@@ -1,0 +1,82 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out: reports
+//! *simulated cycles* under each ablation as custom measurements (lower =
+//! better), alongside host-time of the full flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Print a small ablation table once (criterion runs the timing part).
+fn ablation_tables() {
+    let b = chstone::AES;
+    let prepared = chstone::compile_and_prepare(&b);
+    let input = chstone::input_for(b.name, b.default_scale);
+
+    println!("\n=== ablation: HLS chaining / loop pipelining (pure HW cycles) ===");
+    for (name, chaining, pipelining) in [
+        ("baseline", true, true),
+        ("no-chaining", false, true),
+        ("no-loop-pipelining", true, false),
+        ("neither", false, false),
+    ] {
+        let cfg = twill_rt::SimConfig {
+            hls: twill_hls::schedule::HlsOptions {
+                chaining,
+                loop_pipelining: pipelining,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let rep = twill_rt::simulate_pure_hw(&prepared, input.clone(), &cfg).unwrap();
+        println!("  {name:20} {} cycles", rep.cycles);
+    }
+
+    println!("\n=== ablation: DSWP options (hybrid cycles, aes) ===");
+    for (name, opts) in [
+        ("baseline", twill_dswp::DswpOptions { num_partitions: b.partitions, ..Default::default() }),
+        (
+            "no-pruning",
+            twill_dswp::DswpOptions {
+                num_partitions: b.partitions,
+                prune: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-phi-const-pairs",
+            twill_dswp::DswpOptions {
+                num_partitions: b.partitions,
+                phi_const_pairs: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "flat-placement-weights",
+            twill_dswp::DswpOptions {
+                num_partitions: b.partitions,
+                freq_weights: false,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let d = twill_dswp::run_dswp(&prepared, &opts);
+        let rep = twill_rt::simulate_hybrid(&d, input.clone(), &Default::default()).unwrap();
+        println!("  {name:24} {} cycles, {} queues", rep.cycles, d.stats.queues);
+    }
+}
+
+fn bench_full_flow(c: &mut Criterion) {
+    ablation_tables();
+    let b = chstone::AES;
+    c.bench_function("full_flow_aes", |bench| {
+        bench.iter(|| {
+            let prepared = chstone::compile_and_prepare(&b);
+            twill::Compiler::new().partitions(b.partitions).build_from_module(prepared)
+        })
+    });
+}
+
+criterion_group! {
+    name = ablate;
+    config = Criterion::default().sample_size(10);
+    targets = bench_full_flow
+}
+criterion_main!(ablate);

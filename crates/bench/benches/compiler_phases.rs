@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the compiler phases on the CHStone suite:
+//! frontend parse+lower, the optimization pipeline, PDG construction, and
+//! DSWP thread extraction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    for b in [chstone::AES, chstone::JPEG, chstone::GSM] {
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| twill_frontend::compile(b.name, b.source).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pass_pipeline");
+    for b in [chstone::AES, chstone::JPEG] {
+        let raw = twill_frontend::compile(b.name, b.source).unwrap();
+        g.bench_function(b.name, |bench| {
+            bench.iter_batched(
+                || raw.clone(),
+                |mut m| {
+                    twill_passes::run_standard_pipeline(
+                        &mut m,
+                        &twill_passes::PipelineOptions {
+                            verify_between: false,
+                            ..Default::default()
+                        },
+                    );
+                    m
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_pdg_and_dswp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dswp");
+    for b in [chstone::AES, chstone::MOTION] {
+        let prepared = chstone::compile_and_prepare(&b);
+        g.bench_function(format!("{}_extract", b.name), |bench| {
+            bench.iter(|| {
+                twill_dswp::run_dswp(
+                    &prepared,
+                    &twill_dswp::DswpOptions {
+                        num_partitions: b.partitions,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hls(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hls_schedule");
+    for b in [chstone::AES, chstone::JPEG] {
+        let prepared = chstone::compile_and_prepare(&b);
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                twill_hls::schedule::schedule_module(&prepared, &Default::default())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = phases;
+    config = Criterion::default().sample_size(20);
+    targets = bench_frontend, bench_pipeline, bench_pdg_and_dswp, bench_hls
+}
+criterion_main!(phases);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the cycle-level simulator itself: simulated
+//! cycles per host-second for the three configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_simulator(c: &mut Criterion) {
+    let b = chstone::AES;
+    let prepared = chstone::compile_and_prepare(&b);
+    let input = chstone::input_for(b.name, 4);
+    let build = twill::Compiler::new().partitions(b.partitions).build_from_module(prepared);
+
+    let sw_cycles = build.simulate_pure_sw(input.clone()).unwrap().cycles;
+    let hw_cycles = build.simulate_pure_hw(input.clone()).unwrap().cycles;
+    let tw_cycles = build.simulate_hybrid(input.clone()).unwrap().cycles;
+
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(sw_cycles));
+    g.bench_function("pure_sw_aes", |bench| {
+        bench.iter(|| build.simulate_pure_sw(input.clone()).unwrap())
+    });
+    g.throughput(Throughput::Elements(hw_cycles));
+    g.bench_function("pure_hw_aes", |bench| {
+        bench.iter(|| build.simulate_pure_hw(input.clone()).unwrap())
+    });
+    g.throughput(Throughput::Elements(tw_cycles));
+    g.bench_function("hybrid_aes", |bench| {
+        bench.iter(|| build.simulate_hybrid(input.clone()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let b = chstone::MOTION;
+    let m = chstone::compile_and_prepare(&b);
+    let input = chstone::input_for(b.name, 1);
+    c.bench_function("reference_interpreter_motion", |bench| {
+        bench.iter(|| twill_ir::interp::run_main(&m, input.clone(), 2_000_000_000).unwrap())
+    });
+}
+
+criterion_group! {
+    name = sim;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator, bench_interpreter
+}
+criterion_main!(sim);

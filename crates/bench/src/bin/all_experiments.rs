@@ -1,0 +1,23 @@
+//! Runs every experiment in sequence (the data source for EXPERIMENTS.md).
+
+use std::process::Command;
+
+fn main() {
+    // Run in-process for the tables to avoid rebuild churn.
+    for bin in [
+        "table_6_1", "table_6_2", "fig_6_1", "fig_6_2", "fig_6_3", "fig_6_4", "fig_6_5",
+        "fig_6_6",
+    ] {
+        println!("\n=== {bin} ===\n");
+        let status = Command::new(std::env::current_exe().unwrap().with_file_name(bin))
+            .status()
+            .expect("spawn experiment binary");
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\n=== blowfish tuned (§6.4) ===\n");
+    let t = twill::experiments::blowfish_tuned(None);
+    println!(
+        "default: {} cycles / {} queues; tuned: {} cycles / {} queues ({:.2}x vs pure HW)",
+        t.default_cycles, t.default_queues, t.tuned_cycles, t.tuned_queues, t.tuned_vs_hw
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates paper Fig 6.1: power normalized to the pure-SW (Microblaze)
+//! implementation.
+
+fn main() {
+    let rows = twill::experiments::fig_6_1(None);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.0} mW", r.power.pure_sw_mw),
+                format!("{:.2}", r.normalized.1),
+                format!("{:.2}", r.normalized.2),
+            ]
+        })
+        .collect();
+    println!("Fig 6.1 — power normalized to pure SW (= 1.00)\n");
+    print!(
+        "{}",
+        twill::report::format_table(
+            &["benchmark", "pure SW", "pure HW (norm)", "Twill (norm)"],
+            &table
+        )
+    );
+    println!("\npaper shape: pure HW lowest, Twill between HW and SW (PLLs dominate)");
+}

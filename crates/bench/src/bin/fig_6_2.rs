@@ -1,0 +1,43 @@
+//! Regenerates paper Fig 6.2: performance speedups normalized to the pure
+//! software implementation. Pass `--blowfish-tuned` to also run the §6.4
+//! modified-heuristic experiment.
+
+fn main() {
+    let rows = twill::experiments::fig_6_2(None);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.sw_cycles.to_string(),
+                format!("{:.2}x", r.hw_speedup),
+                format!("{:.2}x", r.twill_speedup),
+                format!("{:.2}x", r.twill_vs_hw),
+            ]
+        })
+        .collect();
+    println!("Fig 6.2 — speedups normalized to pure SW\n");
+    print!(
+        "{}",
+        twill::report::format_table(
+            &["benchmark", "SW cycles", "pure HW", "Twill", "Twill vs HW"],
+            &table
+        )
+    );
+    let (hw, twill, ratio) = twill::experiments::fig_6_2_geomeans(&rows);
+    println!("\ngeomeans: pure HW {hw:.2}x, Twill {twill:.2}x, Twill/HW {ratio:.2}x");
+    println!("paper:    pure HW ~13.6x, Twill 22.2x, Twill/HW 1.63x (averages)");
+
+    if std::env::args().any(|a| a == "--blowfish-tuned") {
+        let t = twill::experiments::blowfish_tuned(None);
+        println!("\n§6.4 Blowfish heuristic experiment:");
+        println!(
+            "  default-heuristic: {} cycles, {} queues",
+            t.default_cycles, t.default_queues
+        );
+        println!(
+            "  tuned-heuristic:   {} cycles, {} queues ({:.2}x vs pure HW; paper: 1.89x, queues 92 -> 34)",
+            t.tuned_cycles, t.tuned_queues, t.tuned_vs_hw
+        );
+    }
+}

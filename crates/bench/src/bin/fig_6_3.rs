@@ -1,0 +1,30 @@
+//! Regenerates paper Fig 6.3: MIPS performance vs targeted partition split
+//! point (and the queue-count anti-correlation of §6.5).
+
+fn main() {
+    print_split_sweep("mips");
+}
+
+pub fn print_split_sweep(name: &str) {
+    let rows = twill::experiments::fig_6_3_4(name, None);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}%", r.sw_target_percent),
+                r.cycles.to_string(),
+                r.queues.to_string(),
+                format!("{:.2}x", r.speedup_vs_sw),
+            ]
+        })
+        .collect();
+    println!("{name} — performance vs targeted SW split point (2 partitions)\n");
+    print!(
+        "{}",
+        twill::report::format_table(
+            &["SW target", "cycles", "queues", "speedup vs SW"],
+            &table
+        )
+    );
+    println!("\npaper shape: even splits worst; queue count anti-correlates with speed");
+}

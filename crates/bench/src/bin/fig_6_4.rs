@@ -1,0 +1,10 @@
+//! Regenerates paper Fig 6.4: Blowfish performance vs targeted partition
+//! split point.
+
+#[path = "fig_6_3.rs"]
+#[allow(dead_code)]
+mod fig_6_3;
+
+fn main() {
+    fig_6_3::print_split_sweep("blowfish");
+}

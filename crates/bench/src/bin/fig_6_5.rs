@@ -1,0 +1,26 @@
+//! Regenerates paper Fig 6.5: Twill speedup normalized to the 2-cycle
+//! queue-latency baseline, for queue latencies 2..128.
+
+fn main() {
+    let rows = twill::experiments::fig_6_5(None);
+    let headers: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(twill::experiments::LATENCY_POINTS.iter().map(|l| format!("lat {l}")))
+        .collect();
+    let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            std::iter::once(r.name.clone())
+                .chain(r.normalized.iter().map(|v| format!("{v:.2}")))
+                .collect()
+        })
+        .collect();
+    println!("Fig 6.5 — speedup normalized to 2-cycle queue latency\n");
+    print!("{}", twill::report::format_table(&href, &table));
+    let avg128: f64 =
+        rows.iter().map(|r| *r.normalized.last().unwrap()).sum::<f64>() / rows.len() as f64;
+    println!(
+        "\nmean slowdown at latency 128: {:.0}%  (paper: 27% on average)",
+        (1.0 - avg128) * 100.0
+    );
+}

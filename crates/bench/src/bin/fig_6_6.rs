@@ -1,0 +1,32 @@
+//! Regenerates paper Fig 6.6: Twill speedup normalized to 8-deep queues,
+//! for queue depths 2..32, plus the device-fit check (the paper's 32-deep
+//! JPEG did not fit the Virtex-5).
+
+fn main() {
+    let rows = twill::experiments::fig_6_6(None);
+    let headers: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(twill::experiments::SIZE_POINTS.iter().map(|d| format!("depth {d}")))
+        .collect();
+    let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            std::iter::once(r.name.clone())
+                .chain(r.normalized.iter().zip(&r.fits_device).map(|(v, fits)| {
+                    if *fits {
+                        format!("{v:.2}")
+                    } else {
+                        format!("{v:.2}!")
+                    }
+                }))
+                .collect()
+        })
+        .collect();
+    println!("Fig 6.6 — speedup normalized to 8-deep queues ('!' = exceeds device)\n");
+    print!("{}", twill::report::format_table(&href, &table));
+    let avg2: f64 = rows.iter().map(|r| r.normalized[0]).sum::<f64>() / rows.len() as f64;
+    println!(
+        "\nmean slowdown with 2-deep queues: {:.1}%  (paper: 9.7% going 32 -> 8)",
+        (1.0 - avg2) * 100.0
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerates paper Table 6.1: queues, semaphores and hardware threads
+//! produced by DSWP for each CHStone benchmark.
+
+fn main() {
+    let rows = twill::experiments::table_6_1();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.queues.to_string(),
+                r.semaphores.to_string(),
+                r.hw_threads.to_string(),
+                format!("{}q/{}t", r.forced_queues, r.forced_hw_threads),
+                format!("{}/{}/{}", r.paper_queues, r.paper_semaphores, r.paper_hw_threads),
+            ]
+        })
+        .collect();
+    println!("Table 6.1 — DSWP results (paper column: queues/sems/HW threads)\n");
+    print!(
+        "{}",
+        twill::report::format_table(
+            &["benchmark", "queues", "semaphores", "hw_threads", "forced-split", "paper"],
+            &table
+        )
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates paper Table 6.2: LUTs for the pure LegUp translation vs the
+//! Twill hybrid (HW threads only / + runtime / + Microblaze).
+
+fn main() {
+    let rows = twill::experiments::table_6_2();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.legup_luts.to_string(),
+                r.twill_hw_luts.to_string(),
+                r.twill_luts.to_string(),
+                r.twill_mb_luts.to_string(),
+                format!("{}/{}/{}/{}", r.paper.0, r.paper.1, r.paper.2, r.paper.3),
+            ]
+        })
+        .collect();
+    println!("Table 6.2 — FPGA LUTs (paper column: LegUp/TwillHW/Twill/Twill+MB)\n");
+    print!(
+        "{}",
+        twill::report::format_table(
+            &["benchmark", "LegUp", "Twill HWThreads", "Twill", "Twill+Microblaze", "paper"],
+            &table
+        )
+    );
+    let n = rows.len() as f64;
+    let geo = |f: &dyn Fn(&twill::experiments::Table62Row) -> f64| {
+        (rows.iter().map(|r| f(r).ln()).sum::<f64>() / n).exp()
+    };
+    println!(
+        "\nHW-thread area ratio (LegUp / Twill HWThreads), geomean: {:.2}x  (paper: 1.73x)",
+        geo(&|r| r.legup_luts as f64 / r.twill_hw_luts as f64)
+    );
+    println!(
+        "Total area ratio (Twill / LegUp), geomean: {:.2}x  (paper: 1.35x increase)",
+        geo(&|r| r.twill_luts as f64 / r.legup_luts as f64)
+    );
+}

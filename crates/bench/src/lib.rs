@@ -1,0 +1,9 @@
+//! Shared printing helpers for the experiment binaries.
+
+pub use twill::experiments;
+pub use twill::report::format_table;
+
+/// Print a markdown-ish section header.
+pub fn section(title: &str) {
+    println!("\n## {title}\n");
+}

@@ -1,0 +1,90 @@
+/* ADPCM encode + decode round trip (CHStone "adpcm").
+ *
+ * CHStone's adpcm is a CCITT G.722-style codec; this reproduction keeps
+ * the same pipeline shape — adaptive-quantizer encoder feeding a decoder
+ * feeding error/checksum accumulation — with a compact IMA-style step
+ * table (documented substitution). Codec state lives in locals so the
+ * encoder, decoder and accumulator form the decoupled recurrences DSWP
+ * pipelines (stage 1 → stage 2 → stage 3).
+ *
+ * Input stream: nsamples, then nsamples PCM samples.
+ * Output: decoded-signal checksum, total absolute reconstruction error,
+ * and the final predictor state of both codecs.
+ */
+
+const int steptab[16] = {7, 9, 11, 13, 16, 19, 23, 28, 34, 41, 49, 60, 73, 88, 107, 130};
+const int indextab[8] = {-1, -1, -1, -1, 2, 4, 6, 8};
+
+int main() {
+  int n = in();
+  int enc_pred = 0, enc_index = 0;
+  int dec_pred = 0, dec_index = 0;
+  unsigned int checksum = 0;
+  int total_err = 0;
+  for (int i = 0; i < n; i++) {
+    int sample = in();
+
+    /* ---- encoder stage ---- */
+    int step = steptab[enc_index];
+    int diff = sample - enc_pred;
+    int code = 0;
+    if (diff < 0) {
+      code = 8;
+      diff = -diff;
+    }
+    if (diff >= step) {
+      code |= 4;
+      diff -= step;
+    }
+    if (diff >= (step >> 1)) {
+      code |= 2;
+      diff -= step >> 1;
+    }
+    if (diff >= (step >> 2)) {
+      code |= 1;
+    }
+    int e_delta = (step >> 3) + ((code & 1) ? (step >> 2) : 0) +
+                  ((code & 2) ? (step >> 1) : 0) + ((code & 4) ? step : 0);
+    if (code & 8) {
+      enc_pred -= e_delta;
+    } else {
+      enc_pred += e_delta;
+    }
+    if (enc_pred > 32767) enc_pred = 32767;
+    if (enc_pred < -32768) enc_pred = -32768;
+    int e_ix = enc_index + indextab[code & 7];
+    if (e_ix < 0) e_ix = 0;
+    if (e_ix > 15) e_ix = 15;
+    enc_index = e_ix;
+
+    /* ---- decoder stage (consumes only `code`) ---- */
+    int dstep = steptab[dec_index];
+    int d_delta = (dstep >> 3) + ((code & 1) ? (dstep >> 2) : 0) +
+                  ((code & 2) ? (dstep >> 1) : 0) + ((code & 4) ? dstep : 0);
+    if (code & 8) {
+      dec_pred -= d_delta;
+    } else {
+      dec_pred += d_delta;
+    }
+    if (dec_pred > 32767) dec_pred = 32767;
+    if (dec_pred < -32768) dec_pred = -32768;
+    int d_ix = dec_index + indextab[code & 7];
+    if (d_ix < 0) d_ix = 0;
+    if (d_ix > 15) d_ix = 15;
+    dec_index = d_ix;
+    int rec = dec_pred;
+
+    /* ---- accumulation stage (consumes sample + rec) ---- */
+    int err = sample - rec;
+    if (err < 0) err = -err;
+    total_err += err;
+    checksum = checksum * 131 + (unsigned int) (rec & 0xFFFF);
+  }
+  out((int) checksum);
+  out(total_err);
+  out(enc_pred);
+  out(enc_index);
+  out(dec_pred);
+  out(dec_index);
+  return 0;
+}

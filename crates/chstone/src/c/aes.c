@@ -1,0 +1,150 @@
+/* AES-128 ECB encryption, word-oriented (CHStone "aes").
+ *
+ * The cipher state is four column words; each round is expressed as four
+ * calls to `aes_col` (SubBytes + ShiftRows byte selection + MixColumns +
+ * AddRoundKey for one output column) and the ten rounds are written out
+ * explicitly. After inlining, the block loop becomes a forward dataflow
+ * chain of forty column computations — the long-running pipeline DSWP
+ * extracts (documented substitution: CHStone's byte-array formulation
+ * communicates rounds through an in-memory state array, which pessimistic
+ * memory dependence analysis would serialize).
+ *
+ * The S-box is the standard constant table (a const global stays local
+ * to each hardware thread as a ROM — thesis §5.2's constant-global
+ * exemption).
+ *
+ * Input stream: 4 key words, nblocks, then nblocks*4 data words.
+ * Output: rolling ciphertext checksum, then the last ciphertext block.
+ */
+
+const unsigned char sbox[256] = {
+  0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
+  0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+  0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0, 0xB7, 0xFD, 0x93, 0x26,
+  0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+  0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2,
+  0xEB, 0x27, 0xB2, 0x75, 0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+  0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84, 0x53, 0xD1, 0x00, 0xED,
+  0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+  0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F,
+  0x50, 0x3C, 0x9F, 0xA8, 0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+  0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2, 0xCD, 0x0C, 0x13, 0xEC,
+  0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+  0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14,
+  0xDE, 0x5E, 0x0B, 0xDB, 0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+  0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79, 0xE7, 0xC8, 0x37, 0x6D,
+  0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+  0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F,
+  0x4B, 0xBD, 0x8B, 0x8A, 0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+  0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E, 0xE1, 0xF8, 0x98, 0x11,
+  0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+  0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F,
+  0xB0, 0x54, 0xBB, 0x16
+};
+unsigned int rk[44]; /* round keys, word-oriented */
+
+unsigned char xtime(unsigned char x) {
+  unsigned char h = x & 0x80;
+  unsigned char r = (unsigned char)(x << 1);
+  if (h) r = r ^ 0x1B;
+  return r;
+}
+
+unsigned int subword(unsigned int w) {
+  return ((unsigned int) sbox[(w >> 24) & 0xFF] << 24) |
+         ((unsigned int) sbox[(w >> 16) & 0xFF] << 16) |
+         ((unsigned int) sbox[(w >> 8) & 0xFF] << 8) |
+         (unsigned int) sbox[w & 0xFF];
+}
+
+void expand_key() {
+  unsigned int rcon = 0x01000000;
+  for (int i = 4; i < 44; i++) {
+    unsigned int t = rk[i - 1];
+    if (i % 4 == 0) {
+      t = subword((t << 8) | (t >> 24)) ^ rcon;
+      rcon = ((unsigned int) xtime((unsigned char)(rcon >> 24))) << 24;
+    }
+    rk[i] = rk[i - 4] ^ t;
+  }
+}
+
+/* One output column: inputs are the four state columns arranged so that
+ * ShiftRows is the byte selection (row r comes from column (j+r) mod 4),
+ * followed by SubBytes, MixColumns and the round-key word. */
+unsigned int aes_col(unsigned int w0, unsigned int w1, unsigned int w2,
+                     unsigned int w3, unsigned int rkw) {
+  unsigned char s0 = sbox[(w0 >> 24) & 0xFF];
+  unsigned char s1 = sbox[(w1 >> 16) & 0xFF];
+  unsigned char s2 = sbox[(w2 >> 8) & 0xFF];
+  unsigned char s3 = sbox[w3 & 0xFF];
+  unsigned char t0 = (unsigned char)(xtime(s0) ^ (xtime(s1) ^ s1) ^ s2 ^ s3);
+  unsigned char t1 = (unsigned char)(s0 ^ xtime(s1) ^ (xtime(s2) ^ s2) ^ s3);
+  unsigned char t2 = (unsigned char)(s0 ^ s1 ^ xtime(s2) ^ (xtime(s3) ^ s3));
+  unsigned char t3 = (unsigned char)((xtime(s0) ^ s0) ^ s1 ^ s2 ^ xtime(s3));
+  return (((unsigned int) t0 << 24) | ((unsigned int) t1 << 16) |
+          ((unsigned int) t2 << 8) | (unsigned int) t3) ^ rkw;
+}
+
+/* Final round: no MixColumns. */
+unsigned int aes_col_final(unsigned int w0, unsigned int w1, unsigned int w2,
+                           unsigned int w3, unsigned int rkw) {
+  unsigned char s0 = sbox[(w0 >> 24) & 0xFF];
+  unsigned char s1 = sbox[(w1 >> 16) & 0xFF];
+  unsigned char s2 = sbox[(w2 >> 8) & 0xFF];
+  unsigned char s3 = sbox[w3 & 0xFF];
+  return (((unsigned int) s0 << 24) | ((unsigned int) s1 << 16) |
+          ((unsigned int) s2 << 8) | (unsigned int) s3) ^ rkw;
+}
+
+int main() {
+  for (int i = 0; i < 4; i++) {
+    rk[i] = (unsigned int) in();
+  }
+  expand_key();
+
+  int nblocks = in();
+  unsigned int checksum = 0;
+  unsigned int o0 = 0, o1 = 0, o2 = 0, o3 = 0;
+  for (int b = 0; b < nblocks; b++) {
+    unsigned int c0 = (unsigned int) in() ^ rk[0];
+    unsigned int c1 = (unsigned int) in() ^ rk[1];
+    unsigned int c2 = (unsigned int) in() ^ rk[2];
+    unsigned int c3 = (unsigned int) in() ^ rk[3];
+    unsigned int n0, n1, n2, n3;
+    /* rounds 1..9, written out so each is a pipeline stage */
+    n0 = aes_col(c0, c1, c2, c3, rk[4]);  n1 = aes_col(c1, c2, c3, c0, rk[5]);
+    n2 = aes_col(c2, c3, c0, c1, rk[6]);  n3 = aes_col(c3, c0, c1, c2, rk[7]);
+    c0 = aes_col(n0, n1, n2, n3, rk[8]);  c1 = aes_col(n1, n2, n3, n0, rk[9]);
+    c2 = aes_col(n2, n3, n0, n1, rk[10]); c3 = aes_col(n3, n0, n1, n2, rk[11]);
+    n0 = aes_col(c0, c1, c2, c3, rk[12]); n1 = aes_col(c1, c2, c3, c0, rk[13]);
+    n2 = aes_col(c2, c3, c0, c1, rk[14]); n3 = aes_col(c3, c0, c1, c2, rk[15]);
+    c0 = aes_col(n0, n1, n2, n3, rk[16]); c1 = aes_col(n1, n2, n3, n0, rk[17]);
+    c2 = aes_col(n2, n3, n0, n1, rk[18]); c3 = aes_col(n3, n0, n1, n2, rk[19]);
+    n0 = aes_col(c0, c1, c2, c3, rk[20]); n1 = aes_col(c1, c2, c3, c0, rk[21]);
+    n2 = aes_col(c2, c3, c0, c1, rk[22]); n3 = aes_col(c3, c0, c1, c2, rk[23]);
+    c0 = aes_col(n0, n1, n2, n3, rk[24]); c1 = aes_col(n1, n2, n3, n0, rk[25]);
+    c2 = aes_col(n2, n3, n0, n1, rk[26]); c3 = aes_col(n3, n0, n1, n2, rk[27]);
+    n0 = aes_col(c0, c1, c2, c3, rk[28]); n1 = aes_col(c1, c2, c3, c0, rk[29]);
+    n2 = aes_col(c2, c3, c0, c1, rk[30]); n3 = aes_col(c3, c0, c1, c2, rk[31]);
+    c0 = aes_col(n0, n1, n2, n3, rk[32]); c1 = aes_col(n1, n2, n3, n0, rk[33]);
+    c2 = aes_col(n2, n3, n0, n1, rk[34]); c3 = aes_col(n3, n0, n1, n2, rk[35]);
+    n0 = aes_col(c0, c1, c2, c3, rk[36]); n1 = aes_col(c1, c2, c3, c0, rk[37]);
+    n2 = aes_col(c2, c3, c0, c1, rk[38]); n3 = aes_col(c3, c0, c1, c2, rk[39]);
+    /* final round */
+    o0 = aes_col_final(n0, n1, n2, n3, rk[40]);
+    o1 = aes_col_final(n1, n2, n3, n0, rk[41]);
+    o2 = aes_col_final(n2, n3, n0, n1, rk[42]);
+    o3 = aes_col_final(n3, n0, n1, n2, rk[43]);
+    checksum = checksum * 31 + o0;
+    checksum = checksum * 31 + o1;
+    checksum = checksum * 31 + o2;
+    checksum = checksum * 31 + o3;
+  }
+  out((int) checksum);
+  out((int) o0);
+  out((int) o1);
+  out((int) o2);
+  out((int) o3);
+  return 0;
+}

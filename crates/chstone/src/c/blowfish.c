@@ -1,0 +1,115 @@
+/* Blowfish-style Feistel cipher (CHStone "blowfish").
+ *
+ * Structure-faithful: 16-round Feistel with four 256-entry S-boxes and an
+ * 18-entry P-array, key schedule that runs the cipher over its own state,
+ * and an encryption driver. The P/S initial values come from a
+ * deterministic LCG instead of the digits of pi (documented substitution —
+ * avoids 4 KiB of literal tables while keeping identical dataflow).
+ *
+ * The key schedule and the bulk encryption both call bf_encrypt — the
+ * "optimized call graph" the thesis blames for Blowfish's partitioning
+ * trouble (§6.4).
+ *
+ * Input stream: 4 key words, nblocks, then nblocks*2 data words.
+ * Output: running ciphertext checksum and the last ciphertext block.
+ */
+
+unsigned int P[18];
+unsigned int S[1024]; /* 4 boxes x 256, flattened */
+unsigned int xl, xr;
+
+unsigned int f_mix(unsigned int x) {
+  unsigned int a = (x >> 24) & 0xFF;
+  unsigned int b = (x >> 16) & 0xFF;
+  unsigned int c = (x >> 8) & 0xFF;
+  unsigned int d = x & 0xFF;
+  return ((S[a] + S[256 + b]) ^ S[512 + c]) + S[768 + d];
+}
+
+void bf_encrypt() {
+  unsigned int l = xl;
+  unsigned int r = xr;
+  for (int i = 0; i < 16; i++) {
+    l = l ^ P[i];
+    r = r ^ f_mix(l);
+    unsigned int t = l;
+    l = r;
+    r = t;
+  }
+  unsigned int t2 = l;
+  l = r;
+  r = t2;
+  r = r ^ P[16];
+  l = l ^ P[17];
+  xl = l;
+  xr = r;
+}
+
+void init_boxes() {
+  unsigned int lcg = 0x12345678;
+  for (int i = 0; i < 18; i++) {
+    lcg = lcg * 1664525 + 1013904223;
+    P[i] = lcg;
+  }
+  for (int i = 0; i < 1024; i++) {
+    lcg = lcg * 1664525 + 1013904223;
+    S[i] = lcg;
+  }
+}
+
+void key_schedule(unsigned int k0, unsigned int k1, unsigned int k2, unsigned int k3) {
+  P[0] = P[0] ^ k0;
+  P[1] = P[1] ^ k1;
+  P[2] = P[2] ^ k2;
+  P[3] = P[3] ^ k3;
+  P[4] = P[4] ^ k0;
+  P[5] = P[5] ^ k1;
+  P[6] = P[6] ^ k2;
+  P[7] = P[7] ^ k3;
+  P[8] = P[8] ^ k0;
+  P[9] = P[9] ^ k1;
+  P[10] = P[10] ^ k2;
+  P[11] = P[11] ^ k3;
+  P[12] = P[12] ^ k0;
+  P[13] = P[13] ^ k1;
+  P[14] = P[14] ^ k2;
+  P[15] = P[15] ^ k3;
+  P[16] = P[16] ^ k0;
+  P[17] = P[17] ^ k1;
+  xl = 0;
+  xr = 0;
+  for (int i = 0; i < 18; i += 2) {
+    bf_encrypt();
+    P[i] = xl;
+    P[i + 1] = xr;
+  }
+  /* CHStone reworks all four S boxes; we refresh the first two (shorter
+   * key schedule, same call pattern). */
+  for (int i = 0; i < 512; i += 2) {
+    bf_encrypt();
+    S[i] = xl;
+    S[i + 1] = xr;
+  }
+}
+
+int main() {
+  init_boxes();
+  unsigned int k0 = (unsigned int) in();
+  unsigned int k1 = (unsigned int) in();
+  unsigned int k2 = (unsigned int) in();
+  unsigned int k3 = (unsigned int) in();
+  key_schedule(k0, k1, k2, k3);
+
+  int nblocks = in();
+  unsigned int checksum = 0;
+  for (int b = 0; b < nblocks; b++) {
+    xl = (unsigned int) in();
+    xr = (unsigned int) in();
+    bf_encrypt();
+    checksum = checksum * 131 + (xl ^ (xr >> 7));
+  }
+  out((int) checksum);
+  out((int) xl);
+  out((int) xr);
+  return 0;
+}

@@ -1,0 +1,96 @@
+/* GSM 06.10 LPC analysis stage (CHStone "gsm").
+ *
+ * Performs the benchmark's core: windowed autocorrelation of a speech
+ * segment followed by the Schur recursion computing the eight reflection
+ * coefficients, all in scaled integer arithmetic (heavy on division —
+ * which is where the thesis' HW divider matters).
+ *
+ * Input stream: nframes, then nframes*40 8-bit samples (as ints).
+ * Output: per-frame reflection coefficients folded into a checksum;
+ * finally the checksum and the last frame's coefficients.
+ */
+
+int samples[40];
+int acf[9];
+int refl[8];
+int p_arr[9];
+int k_arr[9];
+
+void autocorrelation() {
+  for (int lag = 0; lag <= 8; lag++) {
+    int sum = 0;
+    for (int i = lag; i < 40; i++) {
+      sum += samples[i] * samples[i - lag];
+    }
+    acf[lag] = sum;
+  }
+}
+
+/* Q15 multiply with truncation toward zero. */
+int mult_r(int a, int b) {
+  int prod = a * b;
+  if (prod < 0) {
+    return -((-prod) >> 15);
+  }
+  return prod >> 15;
+}
+
+void schur() {
+  for (int i = 0; i < 8; i++) refl[i] = 0;
+  if (acf[0] == 0) {
+    return;
+  }
+  /* Normalize so Q15 products stay within 32 bits (GSM's scaling step). */
+  while (acf[0] >= 32768) {
+    for (int i = 0; i <= 8; i++) {
+      acf[i] = acf[i] >> 1;
+    }
+  }
+  for (int i = 0; i < 8; i++) {
+    k_arr[i] = acf[i + 1];
+    p_arr[i] = acf[i];
+  }
+  p_arr[8] = acf[8];
+  for (int n = 0; n < 8; n++) {
+    if (p_arr[0] <= 0) {
+      return;
+    }
+    int num = k_arr[0];
+    int neg = 0;
+    if (num < 0) { num = -num; neg = 1; }
+    int rc;
+    if (num >= p_arr[0]) {
+      rc = 32767;
+    } else {
+      /* Q15 division: the hot divider the thesis calls out. */
+      rc = (int) ((num << 15) / p_arr[0]);
+    }
+    refl[n] = neg ? -rc : rc;
+    if (n == 7) return;
+    int src = refl[n];
+    /* Schur update */
+    p_arr[0] = p_arr[0] + mult_r(k_arr[0], src);
+    for (int j = 0; j < 7 - n; j++) {
+      k_arr[j] = k_arr[j + 1] + mult_r(p_arr[j + 1], src);
+      p_arr[j + 1] = p_arr[j + 1] + mult_r(k_arr[j + 1], src);
+    }
+  }
+}
+
+int main() {
+  int nframes = in();
+  unsigned int checksum = 0;
+  for (int f = 0; f < nframes; f++) {
+    for (int i = 0; i < 40; i++) {
+      samples[i] = (in() & 0xFF) - 128;
+    }
+    autocorrelation();
+    schur();
+    for (int i = 0; i < 8; i++) {
+      checksum = checksum * 37 + (unsigned int) (refl[i] & 0xFFFF);
+    }
+  }
+  out((int) checksum);
+  for (int i = 0; i < 8; i++) out(refl[i]);
+  return 0;
+}

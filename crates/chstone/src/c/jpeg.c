@@ -1,0 +1,131 @@
+/* JPEG decode kernel: zigzag + dequantize + 2-D integer IDCT + level
+ * shift/clamp (CHStone "jpeg").
+ *
+ * CHStone's jpeg decodes a full JFIF file; this reproduction runs the
+ * compute core the thesis' pipeline actually spends time in — per-block
+ * coefficient reordering, dequantization and the separable fixed-point
+ * IDCT — over a stream of coefficient blocks (documented substitution:
+ * the Huffman bit-reader is replaced by the input stream).
+ *
+ * Input stream: nblocks, then nblocks*64 quantized coefficients in zigzag
+ * order.
+ * Output: rolling checksum of all reconstructed pixels, then four corner
+ * pixels of the last block.
+ */
+
+int zigzag[64];
+int qtab[64];
+int coef[64];
+int block[64];
+int tmp[64];
+int basis[64]; /* Q12 IDCT basis: c(u) * cos((2x+1)u*pi/16) */
+
+void make_zigzag() {
+  int x = 0, y = 0, dir = 1, i = 0;
+  while (i < 64) {
+    zigzag[i] = y * 8 + x;
+    i++;
+    if (dir == 1) { /* moving up-right */
+      if (x == 7) { y++; dir = 0; }
+      else if (y == 0) { x++; dir = 0; }
+      else { x++; y--; }
+    } else { /* moving down-left */
+      if (y == 7) { x++; dir = 1; }
+      else if (x == 0) { y++; dir = 1; }
+      else { x--; y++; }
+    }
+  }
+}
+
+void make_tables() {
+  /* cos(k*pi/16) in Q12 for k = 0..8, then extended by symmetry. */
+  int base[9];
+  int costab[32];
+  base[0] = 4096;
+  base[1] = 4017;
+  base[2] = 3784;
+  base[3] = 3406;
+  base[4] = 2896;
+  base[5] = 2276;
+  base[6] = 1567;
+  base[7] = 799;
+  base[8] = 0;
+  for (int k = 0; k < 32; k++) {
+    int v;
+    if (k <= 8) v = base[k];
+    else if (k <= 16) v = -base[16 - k];
+    else if (k <= 24) v = -base[k - 16];
+    else v = base[32 - k];
+    costab[k] = v;
+  }
+  /* Basis with c(0) = 1/sqrt(2) folded in (2896 = 4096/sqrt2). */
+  for (int u = 0; u < 8; u++) {
+    int cu = (u == 0) ? 2896 : 4096;
+    for (int x = 0; x < 8; x++) {
+      int ang = ((2 * x + 1) * u) % 32;
+      basis[u * 8 + x] = (cu * costab[ang]) >> 12;
+    }
+  }
+  /* Synthetic luminance-style quant table. */
+  for (int y = 0; y < 8; y++) {
+    for (int x = 0; x < 8; x++) {
+      qtab[y * 8 + x] = 16 + (x + y) * 3;
+    }
+  }
+}
+
+/* Separable 8x8 IDCT: rows (block -> tmp) then columns (tmp -> block). */
+void idct_block() {
+  for (int row = 0; row < 8; row++) {
+    for (int x = 0; x < 8; x++) {
+      int sum = 2048; /* rounding */
+      for (int u = 0; u < 8; u++) {
+        sum += block[row * 8 + u] * basis[u * 8 + x];
+      }
+      tmp[row * 8 + x] = sum >> 12;
+    }
+  }
+  for (int col = 0; col < 8; col++) {
+    for (int y = 0; y < 8; y++) {
+      int sum = 2048;
+      for (int u = 0; u < 8; u++) {
+        sum += tmp[u * 8 + col] * basis[u * 8 + y];
+      }
+      block[y * 8 + col] = sum >> 15; /* >>12 for Q12, >>3 for the 1/8 DCT scale */
+    }
+  }
+}
+
+int clamp_pixel(int v) {
+  v += 128;
+  if (v < 0) return 0;
+  if (v > 255) return 255;
+  return v;
+}
+
+int main() {
+  make_zigzag();
+  make_tables();
+  int nblocks = in();
+  unsigned int checksum = 0;
+  for (int b = 0; b < nblocks; b++) {
+    for (int i = 0; i < 64; i++) {
+      coef[i] = in();
+    }
+    /* de-zigzag + dequantize */
+    for (int i = 0; i < 64; i++) {
+      block[zigzag[i]] = coef[i] * qtab[zigzag[i]];
+    }
+    idct_block();
+    for (int i = 0; i < 64; i++) {
+      block[i] = clamp_pixel(block[i]);
+      checksum = checksum * 31 + (unsigned int) block[i];
+    }
+  }
+  out((int) checksum);
+  out(block[0]);
+  out(block[7]);
+  out(block[56]);
+  out(block[63]);
+  return 0;
+}

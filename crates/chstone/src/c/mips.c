@@ -1,0 +1,130 @@
+/* MIPS-style ISA interpreter running a bubble sort (CHStone "mips").
+ *
+ * CHStone's mips simulates real MIPS encodings of a sort routine; this
+ * reproduction keeps the fetch/decode/execute interpreter-in-a-loop shape
+ * with a compact custom encoding (documented substitution):
+ *
+ *   word = (op << 24) | (a << 16) | (b << 8) | c      for register ops
+ *   word = (op << 24) | (a << 16) | (imm & 0xFFFF)    for immediates
+ *
+ * ops: 0 HALT, 1 ADD a,b,c, 2 SUB, 3 AND, 4 OR, 5 SLT a,b,c,
+ *      6 ADDI a,imm(a += simm... a = b? -> ADDI uses a as dest with b in
+ *      bits 8..15: word=(6<<24)|(a<<16)|(b<<8)|imm8), 7 LW a, [rb+imm8],
+ *      8 SW a, [rb+imm8], 9 BEQ a,b,+imm8(signed), 10 BNE, 11 JMP abs,
+ *      12 SLL a,b,sh, 13 SRL a,b,sh
+ *
+ * Input stream: n, then n data words to sort.
+ * Output: the sorted array followed by the executed-instruction count.
+ */
+
+int imem[64];
+int dmem[64];
+int regs[16];
+
+/* Assemble the bubble-sort program.
+ * Register plan: r1 = n, r2 = i, r3 = j, r4 = addr, r5/r6 = elems,
+ * r7 = tmp flag, r8 = n-1, r0 always 0.
+ */
+void load_program() {
+  int pc = 0;
+  /* r8 = r1 - 1 ; uses r9 = 1 */
+  imem[pc++] = (6 << 24) | (9 << 16) | (0 << 8) | 1;    /* ADDI r9 = r0 + 1   */
+  imem[pc++] = (2 << 24) | (8 << 16) | (1 << 8) | 9;    /* SUB  r8 = r1 - r9  */
+  imem[pc++] = (6 << 24) | (2 << 16) | (0 << 8) | 0;    /* ADDI r2 = r0 + 0   (i=0) */
+  /* outer: if (i == n-1) halt */
+  imem[pc++] = (9 << 24) | (2 << 16) | (8 << 8) | 14;   /* BEQ r2, r8, +14 -> halt */
+  imem[pc++] = (6 << 24) | (3 << 16) | (0 << 8) | 0;    /* ADDI r3 = 0        (j=0) */
+  /* limit r10 = n-1-i */
+  imem[pc++] = (2 << 24) | (10 << 16) | (8 << 8) | 2;   /* SUB r10 = r8 - r2  */
+  /* inner: if (j == limit) -> i++, outer */
+  imem[pc++] = (9 << 24) | (3 << 16) | (10 << 8) | 9;   /* BEQ r3, r10, +9    */
+  imem[pc++] = (7 << 24) | (5 << 16) | (3 << 8) | 0;    /* LW r5, [r3+0]      */
+  imem[pc++] = (7 << 24) | (6 << 16) | (3 << 8) | 1;    /* LW r6, [r3+1]      */
+  imem[pc++] = (5 << 24) | (7 << 16) | (6 << 8) | 5;    /* SLT r7 = r6 < r5   */
+  imem[pc++] = (9 << 24) | (7 << 16) | (0 << 8) | 3;    /* BEQ r7, r0, +3 (skip swap) */
+  imem[pc++] = (8 << 24) | (6 << 16) | (3 << 8) | 0;    /* SW r6, [r3+0]      */
+  imem[pc++] = (8 << 24) | (5 << 16) | (3 << 8) | 1;    /* SW r5, [r3+1]      */
+  imem[pc++] = (6 << 24) | (3 << 16) | (3 << 8) | 1;    /* ADDI r3 = r3 + 1   */
+  imem[pc++] = (11 << 24) | 6;                          /* JMP inner          */
+  imem[pc++] = (6 << 24) | (2 << 16) | (2 << 8) | 1;    /* ADDI r2 = r2 + 1   */
+  imem[pc++] = (11 << 24) | 3;                          /* JMP outer          */
+  imem[pc++] = 0;                                       /* HALT */
+}
+
+int main() {
+  load_program();
+  int n = in();
+  if (n > 60) n = 60;
+  for (int i = 0; i < n; i++) {
+    dmem[i] = in();
+  }
+  regs[1] = n;
+
+  int pc = 0;
+  int executed = 0;
+  int running = 1;
+  while (running) {
+    int inst = imem[pc];
+    int op = (inst >> 24) & 0xFF;
+    int a = (inst >> 16) & 0xFF;
+    int b = (inst >> 8) & 0xFF;
+    int c = inst & 0xFF;
+    int next = pc + 1;
+    executed++;
+    switch (op) {
+      case 0:
+        running = 0;
+        break;
+      case 1:
+        regs[a] = regs[b] + regs[c];
+        break;
+      case 2:
+        regs[a] = regs[b] - regs[c];
+        break;
+      case 3:
+        regs[a] = regs[b] & regs[c];
+        break;
+      case 4:
+        regs[a] = regs[b] | regs[c];
+        break;
+      case 5:
+        regs[a] = regs[b] < regs[c] ? 1 : 0;
+        break;
+      case 6:
+        regs[a] = regs[b] + c;
+        break;
+      case 7:
+        regs[a] = dmem[regs[b] + c];
+        break;
+      case 8:
+        dmem[regs[b] + c] = regs[a];
+        break;
+      case 9:
+        if (regs[a] == regs[b]) next = pc + c;
+        break;
+      case 10:
+        if (regs[a] != regs[b]) next = pc + c;
+        break;
+      case 11:
+        next = inst & 0xFFFF;
+        break;
+      case 12:
+        regs[a] = regs[b] << c;
+        break;
+      case 13:
+        regs[a] = (int) ((unsigned int) regs[b] >> c);
+        break;
+      default:
+        running = 0;
+    }
+    regs[0] = 0;
+    pc = next;
+    if (executed > 100000) running = 0;
+  }
+
+  for (int i = 0; i < n; i++) {
+    out(dmem[i]);
+  }
+  out(executed);
+  return 0;
+}

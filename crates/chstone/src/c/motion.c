@@ -1,0 +1,112 @@
+/* MPEG-2 motion estimation/compensation kernel (CHStone "motion").
+ *
+ * CHStone's motion decodes MPEG-2 motion vectors from a bitstream; this
+ * reproduction runs the surrounding computation — full-search block
+ * matching (SAD over a ±7 search window) of 16x16 macroblocks against a
+ * reference frame, followed by motion compensation of the best match
+ * (documented substitution: synthetic frames derived from the input seed
+ * replace the bitstream).
+ *
+ * Input stream: seed, nmacroblocks.
+ * Output: per macroblock best (dx, dy, sad) folded into a checksum, then
+ * the final compensation-error sum.
+ */
+
+unsigned char ref_frame[2304];  /* 48 x 48 */
+unsigned char cur_frame[2304];
+int best_dx, best_dy, best_sad;
+
+unsigned int lcg_state = 1;
+
+unsigned int lcg() {
+  lcg_state = lcg_state * 1664525 + 1013904223;
+  return lcg_state >> 16;
+}
+
+void make_frames(int seed) {
+  lcg_state = (unsigned int) seed;
+  for (int i = 0; i < 2304; i++) {
+    ref_frame[i] = (unsigned char) lcg();
+  }
+  /* current frame = reference shifted by (3, 2) with noise */
+  for (int y = 0; y < 48; y++) {
+    for (int x = 0; x < 48; x++) {
+      int sy = y + 2;
+      int sx = x + 3;
+      int v;
+      if (sy < 48 && sx < 48) {
+        v = ref_frame[sy * 48 + sx];
+      } else {
+        v = 128;
+      }
+      v += (int)(lcg() & 7) - 4;
+      if (v < 0) v = 0;
+      if (v > 255) v = 255;
+      cur_frame[y * 48 + x] = (unsigned char) v;
+    }
+  }
+}
+
+/* SAD of the 16x16 block at (bx,by) in cur vs (bx+dx, by+dy) in ref. */
+int sad16(int bx, int by, int dx, int dy) {
+  int sum = 0;
+  for (int y = 0; y < 16; y++) {
+    for (int x = 0; x < 16; x++) {
+      int c = cur_frame[(by + y) * 48 + bx + x];
+      int r = ref_frame[(by + y + dy) * 48 + bx + x + dx];
+      int d = c - r;
+      if (d < 0) d = -d;
+      sum += d;
+    }
+  }
+  return sum;
+}
+
+void full_search(int bx, int by) {
+  best_sad = 0x7FFFFFFF;
+  best_dx = 0;
+  best_dy = 0;
+  for (int dy = -7; dy <= 7; dy++) {
+    for (int dx = -7; dx <= 7; dx++) {
+      if (bx + dx < 0 || bx + dx + 16 > 48) continue;
+      if (by + dy < 0 || by + dy + 16 > 48) continue;
+      int s = sad16(bx, by, dx, dy);
+      if (s < best_sad) {
+        best_sad = s;
+        best_dx = dx;
+        best_dy = dy;
+      }
+    }
+  }
+}
+
+int main() {
+  int seed = in();
+  int nmb = in();
+  make_frames(seed);
+  unsigned int checksum = 0;
+  int err_total = 0;
+  for (int mb = 0; mb < nmb; mb++) {
+    int bx = 8 + (mb % 3) * 8;
+    int by = 8 + ((mb / 3) % 3) * 8;
+    full_search(bx, by);
+    checksum = checksum * 131 + (unsigned int)(best_dx + 8);
+    checksum = checksum * 131 + (unsigned int)(best_dy + 8);
+    checksum = checksum * 131 + (unsigned int) best_sad;
+    /* motion compensation error for the winning vector */
+    for (int y = 0; y < 16; y++) {
+      for (int x = 0; x < 16; x++) {
+        int c = cur_frame[(by + y) * 48 + bx + x];
+        int r = ref_frame[(by + y + best_dy) * 48 + bx + x + best_dx];
+        int d = c - r;
+        err_total += d * d;
+      }
+    }
+  }
+  out((int) checksum);
+  out(best_dx);
+  out(best_dy);
+  out(best_sad);
+  out(err_total);
+  return 0;
+}

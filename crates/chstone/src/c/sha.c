@@ -1,0 +1,62 @@
+/* SHA-1 over whole 512-bit blocks (CHStone "sha").
+ *
+ * Input stream: nblocks, then nblocks*16 message words.
+ * Output: the five hash words.
+ * Padding is omitted: the driver supplies whole blocks (documented
+ * substitution — CHStone's sha also hashes a fixed in-memory buffer).
+ */
+
+unsigned int w[80];
+
+unsigned int rotl(unsigned int x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+int main() {
+  unsigned int h0 = 0x67452301;
+  unsigned int h1 = 0xEFCDAB89;
+  unsigned int h2 = 0x98BADCFE;
+  unsigned int h3 = 0x10325476;
+  unsigned int h4 = 0xC3D2E1F0;
+
+  int nblocks = in();
+  for (int blk = 0; blk < nblocks; blk++) {
+    for (int t = 0; t < 16; t++) {
+      w[t] = (unsigned int) in();
+    }
+    for (int t = 16; t < 80; t++) {
+      w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+    }
+    unsigned int a = h0, b = h1, c = h2, d = h3, e = h4;
+    for (int t = 0; t < 80; t++) {
+      unsigned int f;
+      unsigned int k;
+      if (t < 20) {
+        f = (b & c) | ((~b) & d);
+        k = 0x5A827999;
+      } else if (t < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1;
+      } else if (t < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDC;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6;
+      }
+      unsigned int tmp = rotl(a, 5) + f + e + k + w[t];
+      e = d;
+      d = c;
+      c = rotl(b, 30);
+      b = a;
+      a = tmp;
+    }
+    h0 += a; h1 += b; h2 += c; h3 += d; h4 += e;
+  }
+  out((int) h0);
+  out((int) h1);
+  out((int) h2);
+  out((int) h3);
+  out((int) h4);
+  return 0;
+}

@@ -1,0 +1,182 @@
+//! `twillc` — the Twill compiler as a command-line tool.
+//!
+//! ```console
+//! twillc program.c [--partitions N] [--sw-fraction F] [--queue-depth D]
+//!        [--allow-recursion] [--run] [--input 1,2,3] [--emit-verilog FILE]
+//!        [--emit-ir FILE] [--stats]
+//! ```
+
+use std::process::ExitCode;
+use twill::Compiler;
+
+struct Args {
+    source: Option<String>,
+    partitions: usize,
+    sw_fraction: Option<f64>,
+    queue_depth: Option<u32>,
+    allow_recursion: bool,
+    run: bool,
+    input: Vec<i32>,
+    emit_verilog: Option<String>,
+    emit_ir: Option<String>,
+    stats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: twillc <program.c> [--partitions N] [--sw-fraction F] \
+         [--queue-depth D] [--allow-recursion] [--run] [--input a,b,c] \
+         [--emit-verilog FILE] [--emit-ir FILE] [--stats]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        source: None,
+        partitions: 3,
+        sw_fraction: None,
+        queue_depth: None,
+        allow_recursion: false,
+        run: false,
+        input: Vec::new(),
+        emit_verilog: None,
+        emit_ir: None,
+        stats: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--partitions" => {
+                args.partitions = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--sw-fraction" => {
+                args.sw_fraction =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--queue-depth" => {
+                args.queue_depth =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--allow-recursion" => args.allow_recursion = true,
+            "--run" => args.run = true,
+            "--input" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                args.input = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--emit-verilog" => args.emit_verilog = Some(it.next().unwrap_or_else(|| usage())),
+            "--emit-ir" => args.emit_ir = Some(it.next().unwrap_or_else(|| usage())),
+            "--stats" => args.stats = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && args.source.is_none() => {
+                args.source = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let Some(path) = args.source.clone() else { usage() };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("twillc: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = std::path::Path::new(&path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program")
+        .to_string();
+
+    let mut compiler = Compiler::new()
+        .partitions(args.partitions)
+        .allow_recursion(args.allow_recursion);
+    if let Some(f) = args.sw_fraction {
+        compiler = compiler.sw_fraction(f);
+    }
+    if let Some(d) = args.queue_depth {
+        compiler = compiler.queue_depth(d);
+    }
+
+    let build = match compiler.compile(&name, &src) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{path}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let s = build.stats();
+    println!(
+        "compiled {name}: {} partition(s), {} hardware thread(s), {} queue(s), {} semaphore(s)",
+        s.partitions, s.hw_threads, s.queues, s.semaphores
+    );
+
+    if args.stats {
+        let a = build.area();
+        println!(
+            "area: LegUp {} LUTs | Twill HW threads {} | + runtime {} | + Microblaze {}",
+            a.legup.luts, a.twill_hw_threads.luts, a.twill_total.luts, a.twill_plus_microblaze.luts
+        );
+        println!("instructions per partition: {:?}", s.insts_per_partition);
+    }
+
+    if let Some(f) = &args.emit_ir {
+        let text = twill_ir::printer::print_module(&build.dswp.module);
+        if let Err(e) = std::fs::write(f, text) {
+            eprintln!("twillc: cannot write {f}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("partitioned IR written to {f}");
+    }
+
+    if let Some(f) = &args.emit_verilog {
+        if let Err(e) = std::fs::write(f, build.verilog()) {
+            eprintln!("twillc: cannot write {f}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("hardware-thread Verilog written to {f}");
+    }
+
+    if args.run {
+        let sw = build.simulate_pure_sw(args.input.clone());
+        let hw = build.simulate_pure_hw(args.input.clone());
+        let tw = build.simulate_hybrid(args.input.clone());
+        match (sw, hw, tw) {
+            (Ok(sw), Ok(hw), Ok(tw)) => {
+                if sw.output != tw.output || sw.output != hw.output {
+                    eprintln!("twillc: CONFIGURATION OUTPUTS DIVERGED (bug!)");
+                    return ExitCode::FAILURE;
+                }
+                println!("output: {:?}", tw.output);
+                println!(
+                    "cycles: pure SW {} | pure HW {} ({:.2}x) | Twill {} ({:.2}x vs SW, {:.2}x vs HW)",
+                    sw.cycles,
+                    hw.cycles,
+                    sw.cycles as f64 / hw.cycles as f64,
+                    tw.cycles,
+                    sw.cycles as f64 / tw.cycles as f64,
+                    hw.cycles as f64 / tw.cycles as f64
+                );
+            }
+            (sw, hw, tw) => {
+                for (name, r) in [("SW", sw.err()), ("HW", hw.err()), ("hybrid", tw.err())] {
+                    if let Some(e) = r {
+                        eprintln!("twillc: {name} simulation failed: {e}");
+                    }
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,322 @@
+//! # Twill
+//!
+//! A faithful, fully-simulated reproduction of *Twill: A Hybrid
+//! Microcontroller-FPGA Framework for Parallelizing Single-Threaded C
+//! Programs* (Gallatin, 2014): an automatic hybrid compiler that extracts
+//! long-running threads from single-threaded C via modified Decoupled
+//! Software Pipelining and distributes them across a soft CPU and FPGA
+//! hardware threads communicating through statically-allocated queues.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use twill::Compiler;
+//!
+//! let src = r#"
+//!     int main() {
+//!       int acc = 0;
+//!       for (int i = 0; i < 64; i++) {
+//!         int x = (i * 7 + 3) ^ (i << 2);
+//!         acc += (x % 11) * (x % 11);
+//!       }
+//!       out(acc);
+//!       return 0;
+//!     }
+//! "#;
+//! let build = Compiler::new().partitions(3).compile("demo", src).unwrap();
+//! let hybrid = build.simulate_hybrid(vec![]).unwrap();
+//! let sw = build.simulate_pure_sw(vec![]).unwrap();
+//! assert_eq!(hybrid.output, sw.output);
+//! assert!(hybrid.cycles < sw.cycles);
+//! ```
+//!
+//! The three configurations of the paper's evaluation:
+//! * [`TwillBuild::simulate_pure_sw`] — everything on the Microblaze-style
+//!   soft CPU,
+//! * [`TwillBuild::simulate_pure_hw`] — the LegUp-style translation as one
+//!   hardware thread,
+//! * [`TwillBuild::simulate_hybrid`] — the Twill hybrid (DSWP partitions on
+//!   CPU + hardware threads).
+//!
+//! [`experiments`] regenerates every table and figure of the paper's
+//! Chapter 6.
+
+pub mod experiments;
+pub mod report;
+
+use twill_dswp::{run_dswp, DswpResult};
+use twill_frontend::CError;
+use twill_hls::schedule::{schedule_module, HlsOptions, ModuleSchedule};
+use twill_ir::Module;
+use twill_rt::{SimConfig, SimError, SimReport};
+
+pub use twill_dswp::DswpOptions;
+pub use twill_hls::area::AreaReport;
+pub use twill_rt::SimConfig as SimulationConfig;
+
+/// The Twill compiler front door.
+#[derive(Clone, Debug)]
+pub struct Compiler {
+    pub dswp: DswpOptions,
+    pub pipeline: twill_passes::PipelineOptions,
+    pub hls: HlsOptions,
+    /// Accept recursive programs (thesis §7 extension): recursive call
+    /// trees are pinned whole to the software master.
+    pub allow_recursion: bool,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Compiler {
+    pub fn new() -> Compiler {
+        Compiler {
+            dswp: DswpOptions::default(),
+            // HLS flows inline aggressively (LegUp flattens what it
+            // synthesizes).
+            pipeline: twill_passes::PipelineOptions {
+                verify_between: false,
+                inline: twill_passes::inline::InlineOptions {
+                    small_threshold: 400,
+                    single_site_threshold: 600,
+                    max_inlines: 1000,
+                    ..Default::default()
+                },
+            },
+            hls: HlsOptions::default(),
+            allow_recursion: false,
+        }
+    }
+
+    /// Total partitions (1 software master + n-1 hardware threads).
+    pub fn partitions(mut self, n: usize) -> Compiler {
+        self.dswp.num_partitions = n;
+        self
+    }
+
+    /// Targeted fraction of estimated work for the software partition.
+    pub fn sw_fraction(mut self, f: f64) -> Compiler {
+        self.dswp.sw_fraction = f;
+        self
+    }
+
+    /// Explicit per-partition work targets (the Fig 6.3/6.4 sweeps).
+    pub fn split_points(mut self, sp: Vec<f64>) -> Compiler {
+        self.dswp.split_points = Some(sp);
+        self
+    }
+
+    /// Queue depth for all generated queues (paper baseline: 8).
+    pub fn queue_depth(mut self, d: u32) -> Compiler {
+        self.dswp.queue_depth = d;
+        self
+    }
+
+    /// Accept recursive programs (thesis §7 extension: recursion runs on
+    /// the software master; hardware threads never need a stack).
+    pub fn allow_recursion(mut self, yes: bool) -> Compiler {
+        self.allow_recursion = yes;
+        self
+    }
+
+    /// Compile mini-C source through the full Twill flow.
+    pub fn compile(&self, name: &str, source: &str) -> Result<TwillBuild, CError> {
+        let mut prepared = twill_frontend::compile_with(name, source, self.allow_recursion)?;
+        twill_passes::run_standard_pipeline(&mut prepared, &self.pipeline);
+        Ok(self.build_from_module(prepared))
+    }
+
+    /// Run the Twill flow on an already-prepared IR module.
+    pub fn build_from_module(&self, prepared: Module) -> TwillBuild {
+        let dswp = run_dswp(&prepared, &self.dswp);
+        let hybrid_schedule = schedule_module(&dswp.module, &self.hls);
+        let pure_schedule = schedule_module(&prepared, &self.hls);
+        TwillBuild { prepared, dswp, hybrid_schedule, pure_schedule, hls: self.hls }
+    }
+}
+
+/// A fully-compiled program: prepared IR, DSWP partitions and hardware
+/// schedules, ready to simulate or inspect.
+pub struct TwillBuild {
+    /// The optimized single-threaded module (input to DSWP; also the
+    /// pure-SW / pure-HW baselines).
+    pub prepared: Module,
+    /// The partitioned program + thread table + Table 6.1 statistics.
+    pub dswp: DswpResult,
+    /// HLS schedules for the partitioned module.
+    pub hybrid_schedule: ModuleSchedule,
+    /// HLS schedule of the whole program (the LegUp pure-HW baseline).
+    pub pure_schedule: ModuleSchedule,
+    hls: HlsOptions,
+}
+
+impl TwillBuild {
+    /// Golden reference: the interpreter, no timing.
+    pub fn run_reference(&self, input: Vec<i32>) -> Result<Vec<i32>, twill_ir::ExecError> {
+        twill_ir::interp::run_main(&self.prepared, input, 4_000_000_000).map(|(o, _, _)| o)
+    }
+
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig { hls: self.hls, ..Default::default() }
+    }
+
+    pub fn simulate_pure_sw(&self, input: Vec<i32>) -> Result<SimReport, SimError> {
+        twill_rt::simulate_pure_sw(&self.prepared, input, &self.sim_config())
+    }
+
+    pub fn simulate_pure_hw(&self, input: Vec<i32>) -> Result<SimReport, SimError> {
+        twill_rt::simulate_pure_hw(&self.prepared, input, &self.sim_config())
+    }
+
+    pub fn simulate_hybrid(&self, input: Vec<i32>) -> Result<SimReport, SimError> {
+        twill_rt::simulate_hybrid(&self.dswp, input, &self.sim_config())
+    }
+
+    pub fn simulate_hybrid_with(
+        &self,
+        input: Vec<i32>,
+        cfg: &SimConfig,
+    ) -> Result<SimReport, SimError> {
+        twill_rt::simulate_hybrid(&self.dswp, input, cfg)
+    }
+
+    /// DSWP statistics (queues/semaphores/HW threads — Table 6.1).
+    pub fn stats(&self) -> &twill_dswp::extract::DswpStats {
+        &self.dswp.stats
+    }
+
+    /// Area breakdown in the four columns of Table 6.2.
+    pub fn area(&self) -> report::AreaBreakdown {
+        report::area_breakdown(self)
+    }
+
+    /// Verilog for the hardware threads (thesis §5.4 output artifact).
+    pub fn verilog(&self) -> String {
+        twill_hls::verilog::emit_module(&self.dswp.module, &self.hybrid_schedule)
+    }
+
+    /// Verilog for the pure-HW (LegUp-style) translation.
+    pub fn verilog_pure_hw(&self) -> String {
+        twill_hls::verilog::emit_module(&self.prepared, &self.pure_schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 32; i++) {
+    acc += (i * 3) ^ (acc >> 2);
+  }
+  out(acc);
+  return 0;
+}
+"#;
+
+    #[test]
+    fn compile_and_simulate_all_configs() {
+        let b = Compiler::new().partitions(3).compile("t", SRC).unwrap();
+        let golden = b.run_reference(vec![]).unwrap();
+        assert_eq!(b.simulate_pure_sw(vec![]).unwrap().output, golden);
+        assert_eq!(b.simulate_pure_hw(vec![]).unwrap().output, golden);
+        assert_eq!(b.simulate_hybrid(vec![]).unwrap().output, golden);
+    }
+
+    #[test]
+    fn frontend_errors_surface() {
+        let err = match Compiler::new().compile("t", "int main( { return 0; }") {
+            Err(e) => e,
+            Ok(_) => panic!("expected a parse error"),
+        };
+        assert!(err.line > 0);
+    }
+
+    #[test]
+    fn area_columns_ordered_like_table_6_2() {
+        let b = Compiler::new().partitions(3).compile("t", SRC).unwrap();
+        let a = b.area();
+        // HW threads alone are smaller than with the runtime; adding the
+        // Microblaze adds its 1434 LUTs.
+        assert!(a.twill_hw_threads.luts <= a.twill_total.luts);
+        assert_eq!(
+            a.twill_plus_microblaze.luts,
+            a.twill_total.luts + twill_ir::cost::LUTS_MICROBLAZE
+        );
+    }
+
+    #[test]
+    fn queue_depth_option_bounds_occupancy() {
+        let b = Compiler::new()
+            .partitions(2)
+            .split_points(vec![0.5, 0.5])
+            .queue_depth(2)
+            .compile("t", SRC)
+            .unwrap();
+        let golden = b.run_reference(vec![]).unwrap();
+        let rep = b.simulate_hybrid(vec![]).unwrap();
+        assert_eq!(rep.output, golden);
+        assert!(rep.stats.queue_peak.iter().all(|&p| p <= 2), "{:?}", rep.stats.queue_peak);
+    }
+
+    #[test]
+    fn split_points_force_multiple_busy_partitions() {
+        let b = Compiler::new()
+            .partitions(2)
+            .split_points(vec![0.5, 0.5])
+            .compile("t", SRC)
+            .unwrap();
+        let s = b.stats();
+        assert_eq!(s.partitions, 2);
+        assert!(s.insts_per_partition.iter().all(|&n| n > 0), "{s:?}");
+        assert!(s.queues >= 1, "forced even split must communicate: {s:?}");
+    }
+
+    #[test]
+    fn recursion_rejected_by_default_allowed_when_opted_in() {
+        let rec = "int fact(int n) { return n < 2 ? 1 : n * fact(n - 1); }\nint main() { out(fact(6)); return 0; }";
+        let err = match Compiler::new().compile("t", rec) {
+            Err(e) => e,
+            Ok(_) => panic!("default compiler must reject recursion"),
+        };
+        assert!(err.msg.contains("recursion"), "{err}");
+        let b = Compiler::new().allow_recursion(true).compile("t", rec).unwrap();
+        assert_eq!(b.run_reference(vec![]).unwrap(), vec![720]);
+        assert_eq!(b.simulate_hybrid(vec![]).unwrap().output, vec![720]);
+    }
+
+    #[test]
+    fn builder_queue_depth_sets_declared_queue_depths() {
+        let b = Compiler::new()
+            .partitions(2)
+            .split_points(vec![0.5, 0.5])
+            .queue_depth(4)
+            .compile("t", SRC)
+            .unwrap();
+        assert!(!b.dswp.module.queues.is_empty());
+        assert!(b.dswp.module.queues.iter().all(|q| q.depth == 4));
+        // The simulator override stays unset: declared depths rule.
+        assert_eq!(b.sim_config().queue_depth, None);
+    }
+
+    #[test]
+    fn hybrid_cycles_reported_nonzero_and_cpu_fraction_sane() {
+        let b = Compiler::new().partitions(2).compile("t", SRC).unwrap();
+        let rep = b.simulate_hybrid(vec![]).unwrap();
+        assert!(rep.cycles > 0);
+        assert!((0.0..=1.0).contains(&rep.cpu_busy_fraction), "{}", rep.cpu_busy_fraction);
+        assert_eq!(rep.hw_threads, b.stats().hw_threads);
+    }
+
+    #[test]
+    fn verilog_emitted_for_both_flows() {
+        let b = Compiler::new().partitions(2).compile("t", SRC).unwrap();
+        assert!(b.verilog().contains("module"));
+        assert!(b.verilog_pure_hw().contains("module main"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Area and power reporting in the paper's terms (Table 6.2, Fig 6.1).
+
+use crate::TwillBuild;
+use twill_hls::area::{
+    estimate_function_area, estimate_module_area, microblaze_area, runtime_area, AreaReport,
+};
+use twill_hls::power::{fig_6_1_configs, power_mw};
+
+/// The four columns of Table 6.2 for one program.
+#[derive(Debug, Clone, Copy)]
+pub struct AreaBreakdown {
+    /// Pure LegUp translation of the whole program.
+    pub legup: AreaReport,
+    /// LUTs of the Twill-generated HW threads only.
+    pub twill_hw_threads: AreaReport,
+    /// HW threads + runtime system (queues, semaphores, buses, scheduler).
+    pub twill_total: AreaReport,
+    /// Everything plus the Microblaze soft core.
+    pub twill_plus_microblaze: AreaReport,
+}
+
+pub fn area_breakdown(b: &TwillBuild) -> AreaBreakdown {
+    let legup = estimate_module_area(&b.prepared, &b.pure_schedule);
+
+    // Twill HW threads: only functions that actually run in hardware
+    // (nonempty hardware-partition versions reachable from the HW entry
+    // points).
+    let hw_funcs = hw_reachable_functions(b);
+    let mut twill_hw = AreaReport::default();
+    for fid in &hw_funcs {
+        twill_hw.add(estimate_function_area(b.hybrid_schedule.for_func(*fid)));
+    }
+
+    let hw_threads = b.dswp.threads.iter().filter(|t| t.is_hw).count() as u32;
+    let mut twill_total = twill_hw;
+    twill_total.add(runtime_area(&b.dswp.module, hw_threads, 1));
+
+    let mut twill_mb = twill_total;
+    twill_mb.add(microblaze_area());
+
+    AreaBreakdown {
+        legup,
+        twill_hw_threads: twill_hw,
+        twill_total,
+        twill_plus_microblaze: twill_mb,
+    }
+}
+
+/// Functions reachable from the hardware threads' entry points.
+fn hw_reachable_functions(b: &TwillBuild) -> Vec<twill_ir::FuncId> {
+    let m = &b.dswp.module;
+    let mut keep = vec![false; m.funcs.len()];
+    let mut stack: Vec<twill_ir::FuncId> = b
+        .dswp
+        .threads
+        .iter()
+        .filter(|t| t.is_hw)
+        .map(|t| t.entry)
+        .collect();
+    for f in &stack {
+        keep[f.index()] = true;
+    }
+    while let Some(f) = stack.pop() {
+        let func = m.func(f);
+        for (_, iid) in func.inst_ids_in_layout() {
+            if let twill_ir::Op::Call(c, _) = &func.inst(iid).op {
+                if !keep[c.index()] {
+                    keep[c.index()] = true;
+                    stack.push(*c);
+                }
+            }
+        }
+    }
+    (0..m.funcs.len())
+        .filter(|&i| keep[i])
+        .map(twill_ir::FuncId::new)
+        .collect()
+}
+
+/// Fig 6.1's three power numbers (mW): pure SW, pure HW, Twill hybrid.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerBreakdown {
+    pub pure_sw_mw: f64,
+    pub pure_hw_mw: f64,
+    pub twill_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Normalized to the pure-SW implementation (the figure's y-axis).
+    pub fn normalized(&self) -> (f64, f64, f64) {
+        (1.0, self.pure_hw_mw / self.pure_sw_mw, self.twill_mw / self.pure_sw_mw)
+    }
+}
+
+pub fn power_breakdown(b: &TwillBuild, twill_cpu_util: f64) -> PowerBreakdown {
+    let areas = area_breakdown(b);
+    let (sw, hw, twill) = fig_6_1_configs(areas.legup, areas.twill_total, twill_cpu_util);
+    PowerBreakdown {
+        pure_sw_mw: power_mw(&sw),
+        pure_hw_mw: power_mw(&hw),
+        twill_mw: power_mw(&twill),
+    }
+}
+
+/// Simple fixed-width table formatting for the experiment binaries.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncol) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", c, width = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting_aligns() {
+        let t = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "123456".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].ends_with("123456"));
+    }
+
+    #[test]
+    fn power_ordering_matches_fig_6_1() {
+        let b = crate::Compiler::new().partitions(3).compile(
+            "t",
+            "int main() { int s = 0; for (int i = 0; i < 40; i++) s += i * i; out(s); return 0; }",
+        )
+        .unwrap();
+        let p = power_breakdown(&b, 0.25);
+        let (sw, hw, twill) = p.normalized();
+        assert_eq!(sw, 1.0);
+        assert!(hw < twill, "pure HW lowest: {hw} vs {twill}");
+        assert!(twill < 1.0, "Twill below pure SW: {twill}");
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end tests of the `twillc` command-line driver: flag parsing,
+//! artifact emission, and the three-way simulation cross-check, all via
+//! the real binary.
+
+use std::process::Command;
+
+fn twillc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_twillc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("twillc-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    std::fs::write(&p, contents).unwrap();
+    p
+}
+
+const SRC: &str = r#"
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 40; i++) {
+    acc += (i * 3) ^ (acc >> 2);
+  }
+  out(acc);
+  return 0;
+}
+"#;
+
+#[test]
+fn compiles_and_reports_stats() {
+    let p = write_temp("basic.c", SRC);
+    let out = twillc().arg(&p).arg("--stats").output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("compiled basic:"), "{stdout}");
+    assert!(stdout.contains("area: LegUp"), "{stdout}");
+    assert!(stdout.contains("instructions per partition"), "{stdout}");
+}
+
+#[test]
+fn run_cross_checks_three_configurations() {
+    let p = write_temp("run.c", SRC);
+    let out = twillc().arg(&p).arg("--run").arg("--partitions").arg("2").output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("output: ["), "{stdout}");
+    assert!(stdout.contains("cycles: pure SW"), "{stdout}");
+}
+
+#[test]
+fn run_with_input_feeds_the_stream() {
+    let p = write_temp(
+        "echoish.c",
+        "int main() { int a = in(); int b = in(); out(a * 10 + b); return 0; }",
+    );
+    let out = twillc()
+        .arg(&p)
+        .arg("--run")
+        .arg("--input")
+        .arg("7,3")
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("output: [73]"), "{stdout}");
+}
+
+#[test]
+fn emits_verilog_and_ir_artifacts() {
+    let p = write_temp("emit.c", SRC);
+    let v = p.with_file_name("emit.v");
+    let ir = p.with_file_name("emit.ir");
+    let out = twillc()
+        .arg(&p)
+        .arg("--emit-verilog")
+        .arg(&v)
+        .arg("--emit-ir")
+        .arg(&ir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let vtext = std::fs::read_to_string(&v).unwrap();
+    assert!(vtext.contains("module"), "{vtext}");
+    let irtext = std::fs::read_to_string(&ir).unwrap();
+    assert!(irtext.contains("func @"), "{irtext}");
+    // The emitted IR round-trips through the parser.
+    twill_ir::parser::parse_module(&irtext).unwrap();
+}
+
+#[test]
+fn bad_source_fails_with_diagnostic() {
+    let p = write_temp("bad.c", "int main( { return 0; }");
+    let out = twillc().arg(&p).arg("--run").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad.c"), "diagnostic names the file: {stderr}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = twillc().arg("/nonexistent/nope.c").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn recursion_needs_explicit_flag() {
+    let rec = "int f(int n) { return n < 2 ? 1 : n * f(n - 1); }\nint main() { out(f(5)); return 0; }";
+    let p = write_temp("rec.c", rec);
+    let denied = twillc().arg(&p).output().unwrap();
+    assert!(!denied.status.success());
+    let allowed = twillc().arg(&p).arg("--allow-recursion").arg("--run").output().unwrap();
+    let stdout = String::from_utf8_lossy(&allowed.stdout);
+    assert!(allowed.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&allowed.stderr));
+    assert!(stdout.contains("output: [120]"), "{stdout}");
+}

@@ -1,0 +1,293 @@
+//! Functional (non-cycle-accurate) co-execution of a DSWP result.
+//!
+//! Round-robin steps every thread's interpreter over a shared [`Machine`];
+//! used for differential testing (partitioned output must equal the
+//! single-threaded reference) before the cycle-level simulator gets
+//! involved.
+
+use crate::extract::DswpResult;
+use twill_ir::interp::{Interp, Machine, StepEvent};
+use twill_ir::{layout, ExecError};
+
+/// Errors from partitioned co-execution.
+#[derive(Debug)]
+pub enum RunError {
+    Exec(ExecError),
+    /// No thread could make progress.
+    Deadlock {
+        blocked: Vec<String>,
+    },
+    OutOfFuel,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Exec(e) => write!(f, "{e}"),
+            RunError::Deadlock { blocked } => write!(f, "deadlock: {}", blocked.join("; ")),
+            RunError::OutOfFuel => write!(f, "out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Run all threads to completion, returning (output stream, master return
+/// value, per-thread step counts).
+pub fn run_partitioned(
+    r: &DswpResult,
+    input: Vec<i32>,
+    fuel: u64,
+) -> Result<(Vec<i32>, Option<i64>, Vec<u64>), RunError> {
+    let m = &r.module;
+    let mut machine = Machine::new(m, layout::DEFAULT_MEM_SIZE, input);
+
+    // Stack layout: globals end, then one region per thread.
+    let globals_end = m
+        .globals
+        .iter()
+        .map(|g| g.addr + g.size)
+        .max()
+        .unwrap_or(layout::GLOBAL_BASE);
+    let region = ((layout::DEFAULT_MEM_SIZE - globals_end) / (r.threads.len() as u32 + 1))
+        & !63;
+    let mut threads: Vec<Interp> = r
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let base = (globals_end + 64 + region * i as u32 + 63) & !63;
+            Interp::new(m, t.entry, vec![], (base, base + region - 64))
+        })
+        .collect();
+
+    let mut master_ret: Option<i64> = None;
+    let mut remaining = fuel;
+    loop {
+        if threads.iter().all(|t| t.is_finished()) {
+            break;
+        }
+        let mut progressed = false;
+        let mut blocked_info: Vec<String> = Vec::new();
+        for (i, t) in threads.iter_mut().enumerate() {
+            if t.is_finished() {
+                continue;
+            }
+            // Step this thread until it blocks or finishes (run-to-block
+            // scheduling maximizes queue locality and is deterministic).
+            loop {
+                if remaining == 0 {
+                    return Err(RunError::OutOfFuel);
+                }
+                remaining -= 1;
+                let mut mem = std::mem::take(&mut machine.mem);
+                let ev = t.step(m, &mut mem, &mut machine);
+                machine.mem = mem;
+                match ev {
+                    Ok(StepEvent::Executed(..)) => {
+                        progressed = true;
+                    }
+                    Ok(StepEvent::Blocked(fid, iid)) => {
+                        blocked_info
+                            .push(format!("thread{} @{}:{}", i, m.func(fid).name, iid));
+                        break;
+                    }
+                    Ok(StepEvent::Finished(v)) => {
+                        progressed = true;
+                        // The program's return value comes from whichever
+                        // partition owns the original `ret` (its entry
+                        // function is the only non-void one).
+                        if m.func(r.threads[i].entry).ret != twill_ir::Ty::Void {
+                            master_ret = v;
+                        }
+                        break;
+                    }
+                    Err(e) => return Err(RunError::Exec(e)),
+                }
+            }
+        }
+        if !progressed {
+            return Err(RunError::Deadlock { blocked: blocked_info });
+        }
+    }
+    let steps = threads.iter().map(|t| t.steps).collect();
+    Ok((machine.output.clone(), master_ret, steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::run_dswp;
+    use crate::placement::DswpOptions;
+
+    /// Compile mini-C, run reference, run DSWP, co-execute, compare.
+    fn check(src: &str, input: Vec<i32>, opts: &DswpOptions) -> crate::extract::DswpStats {
+        let mut m = twill_frontend::compile("t", src).unwrap();
+        twill_passes::run_standard_pipeline(&mut m, &Default::default());
+        let (ref_out, ref_ret, _) =
+            twill_ir::interp::run_main(&m, input.clone(), 200_000_000).unwrap();
+
+        let r = run_dswp(&m, opts);
+        twill_ir::verifier::assert_valid(&r.module);
+        for f in &r.module.funcs {
+            let errs = twill_passes::utils::verify_dominance(f);
+            assert!(errs.is_empty(), "@{}: {errs:?}", f.name);
+        }
+        let (out, ret, _) = run_partitioned(&r, input, 400_000_000)
+            .unwrap_or_else(|e| panic!("partitioned run failed: {e}"));
+        assert_eq!(ref_out, out, "output mismatch");
+        if ref_ret.is_some() {
+            assert_eq!(ref_ret, ret, "return value mismatch");
+        }
+        r.stats
+    }
+
+    #[test]
+    fn simple_loop_two_partitions() {
+        let stats = check(
+            r#"
+int main() {
+  int s = 0;
+  for (int i = 0; i < 50; i++) {
+    s += i * i;
+  }
+  out(s);
+  return s;
+}
+"#,
+            vec![],
+            &DswpOptions { num_partitions: 2, ..Default::default() },
+        );
+        // With the loop-boundary software guard the whole hot loop may
+        // land in one hardware partition; correctness is what matters.
+        assert_eq!(stats.partitions, 2);
+    }
+
+    #[test]
+    fn three_partition_pipeline() {
+        check(
+            r#"
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 40; i++) {
+    int x = i * 3 + 1;
+    int y = (x << 2) ^ x;
+    int z = y % 7;
+    acc += z;
+  }
+  out(acc);
+  return 0;
+}
+"#,
+            vec![],
+            &DswpOptions { num_partitions: 3, ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn branches_inside_loop() {
+        check(
+            r#"
+int main() {
+  int even = 0, odd = 0;
+  for (int i = 0; i < 30; i++) {
+    if (i % 2 == 0) even += i;
+    else odd += i * 2;
+  }
+  out(even);
+  out(odd);
+  return 0;
+}
+"#,
+            vec![],
+            &DswpOptions { num_partitions: 2, ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn memory_traffic_through_global_array() {
+        check(
+            r#"
+int buf[64];
+int main() {
+  for (int i = 0; i < 64; i++) buf[i] = i * 5;
+  int s = 0;
+  for (int i = 0; i < 64; i++) s += buf[i];
+  out(s);
+  return 0;
+}
+"#,
+            vec![],
+            &DswpOptions { num_partitions: 2, ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn function_calls_partitioned() {
+        check(
+            r#"
+int work(int x) {
+  int r = 0;
+  for (int i = 0; i < 8; i++) r += (x ^ i) * 3;
+  return r;
+}
+int main() {
+  int total = 0;
+  for (int i = 0; i < 10; i++) {
+    total += work(i + in());
+  }
+  out(total);
+  return 0;
+}
+"#,
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+            &DswpOptions { num_partitions: 2, ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn input_stream_consumed_in_order() {
+        check(
+            r#"
+int main() {
+  int s = 0;
+  for (int i = 0; i < 6; i++) {
+    int v = in();
+    s = s * 31 + v;
+  }
+  out(s);
+  return 0;
+}
+"#,
+            vec![5, 4, 3, 2, 1, 0],
+            &DswpOptions { num_partitions: 3, ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn pruning_on_and_off_agree() {
+        let src = r#"
+int main() {
+  int a = 0, b = 0;
+  for (int i = 0; i < 25; i++) {
+    if (i & 1) a += i * 7;
+    b ^= i << 3;
+  }
+  out(a);
+  out(b);
+  return 0;
+}
+"#;
+        check(src, vec![], &DswpOptions { num_partitions: 2, prune: true, ..Default::default() });
+        check(src, vec![], &DswpOptions { num_partitions: 2, prune: false, ..Default::default() });
+    }
+
+    #[test]
+    fn single_partition_is_identity_semantics() {
+        check(
+            "int main() { int s = 0; for (int i = 0; i < 9; i++) s += i; out(s); return 0; }",
+            vec![],
+            &DswpOptions { num_partitions: 1, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Abstract syntax tree for the mini-C dialect.
+
+/// C-level types. Arrays decay to pointers in expression position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CTy {
+    Void,
+    /// Integer with width in bits (8/16/32) and signedness.
+    Int { bits: u8, signed: bool },
+    Ptr(Box<CTy>),
+    Array(Box<CTy>, u32),
+}
+
+impl CTy {
+    pub const INT: CTy = CTy::Int { bits: 32, signed: true };
+    pub const UINT: CTy = CTy::Int { bits: 32, signed: false };
+    pub const CHAR: CTy = CTy::Int { bits: 8, signed: true };
+    pub const UCHAR: CTy = CTy::Int { bits: 8, signed: false };
+    pub const SHORT: CTy = CTy::Int { bits: 16, signed: true };
+    pub const USHORT: CTy = CTy::Int { bits: 16, signed: false };
+
+    /// Size in bytes when stored in memory.
+    pub fn size(&self) -> u32 {
+        match self {
+            CTy::Void => 0,
+            CTy::Int { bits, .. } => (*bits as u32) / 8,
+            CTy::Ptr(_) => 4,
+            CTy::Array(e, n) => e.size() * n,
+        }
+    }
+
+    /// The element type of a pointer/array, if any.
+    pub fn pointee(&self) -> Option<&CTy> {
+        match self {
+            CTy::Ptr(t) => Some(t),
+            CTy::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn is_integer(&self) -> bool {
+        matches!(self, CTy::Int { .. })
+    }
+
+    pub fn is_pointerish(&self) -> bool {
+        matches!(self, CTy::Ptr(_) | CTy::Array(..))
+    }
+
+    /// The type this decays to in rvalue position.
+    pub fn decayed(&self) -> CTy {
+        match self {
+            CTy::Array(e, _) => CTy::Ptr(e.clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// IR type for a value of this C type.
+    pub fn ir(&self) -> twill_ir::Ty {
+        match self {
+            CTy::Void => twill_ir::Ty::Void,
+            CTy::Int { bits: 8, .. } => twill_ir::Ty::I8,
+            CTy::Int { bits: 16, .. } => twill_ir::Ty::I16,
+            CTy::Int { .. } => twill_ir::Ty::I32,
+            CTy::Ptr(_) | CTy::Array(..) => twill_ir::Ty::Ptr,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    LAnd,
+    LOr,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnKind {
+    Neg,
+    BitNot,
+    LogNot,
+    /// `&x`
+    Addr,
+    /// `*p`
+    Deref,
+}
+
+#[derive(Debug, Clone)]
+pub enum Expr {
+    IntLit(i64, usize),
+    Ident(String, usize),
+    Bin(BinKind, Box<Expr>, Box<Expr>, usize),
+    Un(UnKind, Box<Expr>, usize),
+    /// `a[i]`
+    Index(Box<Expr>, Box<Expr>, usize),
+    Call(String, Vec<Expr>, usize),
+    /// Indirect call through an arbitrary pointer expression: `(*fp)(..)`.
+    CallPtr(Box<Expr>, Vec<Expr>, usize),
+    /// `c ? a : b`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>, usize),
+    /// `(T) e`
+    Cast(CTy, Box<Expr>, usize),
+    /// `lhs = rhs` (returns rhs value, C semantics)
+    Assign(Box<Expr>, Box<Expr>, usize),
+    /// `lhs op= rhs`
+    CompoundAssign(BinKind, Box<Expr>, Box<Expr>, usize),
+    /// `++x` / `--x` / `x++` / `x--` (kind, lvalue, is_post)
+    IncDec(bool, Box<Expr>, bool, usize),
+    /// `e1, e2`
+    Comma(Box<Expr>, Box<Expr>, usize),
+}
+
+impl Expr {
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::IntLit(_, l)
+            | Expr::Ident(_, l)
+            | Expr::Bin(_, _, _, l)
+            | Expr::Un(_, _, l)
+            | Expr::Index(_, _, l)
+            | Expr::Call(_, _, l)
+            | Expr::CallPtr(_, _, l)
+            | Expr::Ternary(_, _, _, l)
+            | Expr::Cast(_, _, l)
+            | Expr::Assign(_, _, l)
+            | Expr::CompoundAssign(_, _, _, l)
+            | Expr::IncDec(_, _, _, l)
+            | Expr::Comma(_, _, l) => *l,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Declaration: type, name, optional array-size brackets already folded
+    /// into the type, optional initializer (scalar expr or brace list).
+    Decl(CTy, String, Option<Init>, usize),
+    Expr(Expr),
+    If(Expr, Vec<Stmt>, Vec<Stmt>, usize),
+    While(Expr, Vec<Stmt>, usize),
+    DoWhile(Vec<Stmt>, Expr, usize),
+    /// init (as stmts), cond (None = true), step, body
+    For(Vec<Stmt>, Option<Expr>, Option<Expr>, Vec<Stmt>, usize),
+    Switch(Expr, Vec<SwitchArm>, usize),
+    Break(usize),
+    Continue(usize),
+    Return(Option<Expr>, usize),
+    Block(Vec<Stmt>),
+    /// Several `Decl`s from one declaration statement; unlike `Block` this
+    /// does NOT open a scope (the variables belong to the enclosing one).
+    DeclGroup(Vec<Stmt>),
+}
+
+#[derive(Debug, Clone)]
+pub enum Init {
+    Scalar(Expr),
+    List(Vec<Expr>),
+}
+
+/// One `case K:` (or `default:`) arm with its statements (fallthrough is
+/// represented by arms whose statement list doesn't end in break).
+#[derive(Debug, Clone)]
+pub struct SwitchArm {
+    /// None = default arm.
+    pub value: Option<i64>,
+    pub body: Vec<Stmt>,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone)]
+pub struct FuncDef {
+    pub name: String,
+    pub ret: CTy,
+    pub params: Vec<(CTy, String)>,
+    pub body: Vec<Stmt>,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone)]
+pub struct GlobalDef {
+    pub ty: CTy,
+    pub name: String,
+    pub init: Option<Init>,
+    pub is_const: bool,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub globals: Vec<GlobalDef>,
+    pub funcs: Vec<FuncDef>,
+}

@@ -1,0 +1,46 @@
+//! # twill-frontend
+//!
+//! A mini-C frontend (the Clang stage of the thesis' tool flow) targeting
+//! the Twill IR. It supports the C subset the thesis supports:
+//!
+//! * integer types only, up to 32 bits (`char`, `short`, `int`, `long` is
+//!   rejected), signed and unsigned — the thesis excludes 64-bit programs,
+//! * pointers and one-dimensional arrays (globals and locals),
+//! * full statement set: `if`/`else`, `while`, `for`, `do`, `switch` with
+//!   fallthrough, `break`/`continue`/`return`,
+//! * short-circuit `&&`/`||`, ternary `?:`, all C integer operators with C
+//!   precedence, compound assignment, `++`/`--`,
+//! * function definitions and calls — **no recursion, no function
+//!   pointers** (both rejected at compile time, same as Twill/LegUp),
+//! * the I/O builtins `out(x)` and `in()` standing in for the thesis'
+//!   serial-port I/O manager.
+//!
+//! Entry point: [`compile`] (source text → `twill_ir::Module`).
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use lexer::{Lexer, Token, TokenKind};
+pub use lower::{compile, compile_with};
+
+/// A frontend diagnostic (lex, parse or semantic error) with location.
+#[derive(Debug, Clone)]
+pub struct CError {
+    pub line: usize,
+    pub col: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for CError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: error: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for CError {}
+
+pub(crate) fn cerr<T>(line: usize, col: usize, msg: impl Into<String>) -> Result<T, CError> {
+    Err(CError { line, col, msg: msg.into() })
+}

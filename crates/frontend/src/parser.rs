@@ -1,0 +1,815 @@
+//! Recursive-descent parser with C operator precedence.
+
+use crate::ast::*;
+use crate::lexer::{Lexer, Token, TokenKind};
+use crate::{cerr, CError};
+
+pub struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, CError>;
+
+impl Parser {
+    pub fn new(src: &str) -> Result<Parser, CError> {
+        Ok(Parser { toks: Lexer::new(src).tokenize()?, pos: 0 })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.toks.get(self.pos + 1).map(|t| &t.kind).unwrap_or(&TokenKind::Eof)
+    }
+
+    fn loc(&self) -> (usize, usize) {
+        let t = &self.toks[self.pos];
+        (t.line, t.col)
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, k: &TokenKind) -> bool {
+        if self.peek() == k {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, k: TokenKind, what: &str) -> PResult<()> {
+        if self.eat(&k) {
+            Ok(())
+        } else {
+            let (l, c) = self.loc();
+            cerr(l, c, format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        let (l, c) = self.loc();
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => cerr(l, c, format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    // ---- types ----
+
+    fn at_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::KwVoid
+                | TokenKind::KwChar
+                | TokenKind::KwShort
+                | TokenKind::KwInt
+                | TokenKind::KwUnsigned
+                | TokenKind::KwSigned
+                | TokenKind::KwConst
+                | TokenKind::KwStatic
+        )
+    }
+
+    /// Parse type specifiers + pointer stars. Returns (type, is_const).
+    fn parse_type(&mut self) -> PResult<(CTy, bool)> {
+        let (l, c) = self.loc();
+        let mut is_const = false;
+        let mut is_static = false;
+        let mut signedness: Option<bool> = None;
+        let mut base: Option<CTy> = None;
+        loop {
+            match self.peek() {
+                TokenKind::KwConst => {
+                    self.bump();
+                    is_const = true;
+                }
+                TokenKind::KwStatic => {
+                    self.bump();
+                    is_static = true;
+                }
+                TokenKind::KwUnsigned => {
+                    self.bump();
+                    signedness = Some(false);
+                }
+                TokenKind::KwSigned => {
+                    self.bump();
+                    signedness = Some(true);
+                }
+                TokenKind::KwVoid => {
+                    self.bump();
+                    base = Some(CTy::Void);
+                }
+                TokenKind::KwChar => {
+                    self.bump();
+                    base = Some(CTy::Int { bits: 8, signed: true });
+                }
+                TokenKind::KwShort => {
+                    self.bump();
+                    base = Some(CTy::Int { bits: 16, signed: true });
+                }
+                TokenKind::KwInt => {
+                    self.bump();
+                    if base.is_none() {
+                        base = Some(CTy::INT);
+                    } // "short int" / "unsigned int": keep existing base
+                }
+                _ => break,
+            }
+        }
+        let _ = is_static;
+        let mut ty = match (base, signedness) {
+            (Some(CTy::Int { bits, .. }), Some(s)) => CTy::Int { bits, signed: s },
+            (Some(t), _) => t,
+            (None, Some(s)) => CTy::Int { bits: 32, signed: s },
+            (None, None) => return cerr(l, c, "expected type"),
+        };
+        while self.eat(&TokenKind::Star) {
+            ty = CTy::Ptr(Box::new(ty));
+        }
+        Ok((ty, is_const))
+    }
+
+    // ---- program ----
+
+    pub fn parse_program(&mut self) -> PResult<Program> {
+        let mut prog = Program::default();
+        while self.peek() != &TokenKind::Eof {
+            let line = self.line();
+            if !self.at_type_start() {
+                let (l, c) = self.loc();
+                return cerr(l, c, format!("expected declaration, found {:?}", self.peek()));
+            }
+            let (ty, is_const) = self.parse_type()?;
+            let name = self.expect_ident()?;
+            if self.peek() == &TokenKind::LParen {
+                prog.funcs.push(self.parse_func(ty, name, line)?);
+            } else {
+                // One or more global declarators sharing the base type.
+                let mut name = name;
+                loop {
+                    let (full_ty, init) = self.parse_declarator_tail(ty.clone())?;
+                    prog.globals.push(GlobalDef {
+                        ty: full_ty,
+                        name: name.clone(),
+                        init,
+                        is_const,
+                        line,
+                    });
+                    if self.eat(&TokenKind::Comma) {
+                        name = self.expect_ident()?;
+                        continue;
+                    }
+                    self.expect(TokenKind::Semi, "';'")?;
+                    break;
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    /// After `type name`, parse `[N]...` suffixes and `= init`.
+    fn parse_declarator_tail(&mut self, mut ty: CTy) -> PResult<(CTy, Option<Init>)> {
+        let mut dims: Vec<Option<u32>> = Vec::new();
+        while self.eat(&TokenKind::LBracket) {
+            if self.eat(&TokenKind::RBracket) {
+                dims.push(None);
+            } else {
+                let (l, c) = self.loc();
+                let e = self.parse_assignment()?;
+                let n = eval_const(&e)
+                    .ok_or_else(|| CError { line: l, col: c, msg: "array size must be a constant".into() })?;
+                self.expect(TokenKind::RBracket, "']'")?;
+                dims.push(Some(n as u32));
+            }
+        }
+        let init = if self.eat(&TokenKind::Assign) { Some(self.parse_init()?) } else { None };
+        // Infer [] size from list init.
+        for d in dims.iter().rev() {
+            let n = match d {
+                Some(n) => *n,
+                None => match &init {
+                    Some(Init::List(es)) => es.len() as u32,
+                    _ => {
+                        return cerr(0, 0, "cannot infer array size without initializer list");
+                    }
+                },
+            };
+            ty = CTy::Array(Box::new(ty), n);
+        }
+        Ok((ty, init))
+    }
+
+    fn parse_init(&mut self) -> PResult<Init> {
+        if self.eat(&TokenKind::LBrace) {
+            let mut items = Vec::new();
+            if !self.eat(&TokenKind::RBrace) {
+                loop {
+                    items.push(self.parse_assignment()?);
+                    if self.eat(&TokenKind::Comma) {
+                        if self.eat(&TokenKind::RBrace) {
+                            break; // trailing comma
+                        }
+                        continue;
+                    }
+                    self.expect(TokenKind::RBrace, "'}'")?;
+                    break;
+                }
+            }
+            Ok(Init::List(items))
+        } else {
+            Ok(Init::Scalar(self.parse_assignment()?))
+        }
+    }
+
+    fn parse_func(&mut self, ret: CTy, name: String, line: usize) -> PResult<FuncDef> {
+        self.expect(TokenKind::LParen, "'('")?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            if self.peek() == &TokenKind::KwVoid && self.peek2() == &TokenKind::RParen {
+                self.bump();
+                self.bump();
+            } else {
+                loop {
+                    let (mut pty, _) = self.parse_type()?;
+                    let pname = self.expect_ident()?;
+                    // Array params decay to pointers.
+                    while self.eat(&TokenKind::LBracket) {
+                        if !self.eat(&TokenKind::RBracket) {
+                            let e = self.parse_assignment()?;
+                            let _ = eval_const(&e);
+                            self.expect(TokenKind::RBracket, "']'")?;
+                        }
+                        pty = CTy::Ptr(Box::new(pty));
+                    }
+                    params.push((pty, pname));
+                    if self.eat(&TokenKind::Comma) {
+                        continue;
+                    }
+                    self.expect(TokenKind::RParen, "')'")?;
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::LBrace, "'{'")?;
+        let body = self.parse_block_items()?;
+        Ok(FuncDef { name, ret, params, body, line })
+    }
+
+    fn parse_block_items(&mut self) -> PResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                let (l, c) = self.loc();
+                return cerr(l, c, "unexpected end of file in block");
+            }
+            out.push(self.parse_stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::LBrace => {
+                self.bump();
+                Ok(Stmt::Block(self.parse_block_items()?))
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(TokenKind::LParen, "'('")?;
+                let cond = self.parse_expr()?;
+                self.expect(TokenKind::RParen, "')'")?;
+                let then_s = vec![self.parse_stmt()?];
+                let else_s =
+                    if self.eat(&TokenKind::KwElse) { vec![self.parse_stmt()?] } else { vec![] };
+                Ok(Stmt::If(cond, then_s, else_s, line))
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(TokenKind::LParen, "'('")?;
+                let cond = self.parse_expr()?;
+                self.expect(TokenKind::RParen, "')'")?;
+                let body = vec![self.parse_stmt()?];
+                Ok(Stmt::While(cond, body, line))
+            }
+            TokenKind::KwDo => {
+                self.bump();
+                let body = vec![self.parse_stmt()?];
+                self.expect(TokenKind::KwWhile, "'while'")?;
+                self.expect(TokenKind::LParen, "'('")?;
+                let cond = self.parse_expr()?;
+                self.expect(TokenKind::RParen, "')'")?;
+                self.expect(TokenKind::Semi, "';'")?;
+                Ok(Stmt::DoWhile(body, cond, line))
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                self.expect(TokenKind::LParen, "'('")?;
+                let init = if self.eat(&TokenKind::Semi) {
+                    vec![]
+                } else if self.at_type_start() {
+                    let s = self.parse_decl_stmt()?;
+                    s
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect(TokenKind::Semi, "';'")?;
+                    vec![Stmt::Expr(e)]
+                };
+                let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.parse_expr()?) };
+                self.expect(TokenKind::Semi, "';'")?;
+                let step =
+                    if self.peek() == &TokenKind::RParen { None } else { Some(self.parse_expr()?) };
+                self.expect(TokenKind::RParen, "')'")?;
+                let body = vec![self.parse_stmt()?];
+                Ok(Stmt::For(init, cond, step, body, line))
+            }
+            TokenKind::KwSwitch => {
+                self.bump();
+                self.expect(TokenKind::LParen, "'('")?;
+                let scrut = self.parse_expr()?;
+                self.expect(TokenKind::RParen, "')'")?;
+                self.expect(TokenKind::LBrace, "'{'")?;
+                let mut arms: Vec<SwitchArm> = Vec::new();
+                while !self.eat(&TokenKind::RBrace) {
+                    let aline = self.line();
+                    if self.eat(&TokenKind::KwCase) {
+                        let (l, c) = self.loc();
+                        let e = self.parse_ternary()?;
+                        let v = eval_const(&e).ok_or_else(|| CError {
+                            line: l,
+                            col: c,
+                            msg: "case value must be a constant".into(),
+                        })?;
+                        self.expect(TokenKind::Colon, "':'")?;
+                        arms.push(SwitchArm { value: Some(v), body: vec![], line: aline });
+                    } else if self.eat(&TokenKind::KwDefault) {
+                        self.expect(TokenKind::Colon, "':'")?;
+                        arms.push(SwitchArm { value: None, body: vec![], line: aline });
+                    } else {
+                        let (l, c) = self.loc();
+                        let stmt = self.parse_stmt()?;
+                        match arms.last_mut() {
+                            Some(arm) => arm.body.push(stmt),
+                            None => {
+                                return cerr(l, c, "statement before first case label");
+                            }
+                        }
+                    }
+                }
+                Ok(Stmt::Switch(scrut, arms, line))
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(TokenKind::Semi, "';'")?;
+                Ok(Stmt::Break(line))
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(TokenKind::Semi, "';'")?;
+                Ok(Stmt::Continue(line))
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let v = if self.peek() == &TokenKind::Semi { None } else { Some(self.parse_expr()?) };
+                self.expect(TokenKind::Semi, "';'")?;
+                Ok(Stmt::Return(v, line))
+            }
+            _ if self.at_type_start() => {
+                let stmts = self.parse_decl_stmt()?;
+                Ok(Stmt::DeclGroup(stmts))
+            }
+            TokenKind::Semi => {
+                self.bump();
+                Ok(Stmt::Block(vec![]))
+            }
+            _ => {
+                let e = self.parse_expr()?;
+                self.expect(TokenKind::Semi, "';'")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    /// Parse `type a = 1, b[3], c;` into individual Decl statements,
+    /// consuming the trailing ';'.
+    fn parse_decl_stmt(&mut self) -> PResult<Vec<Stmt>> {
+        let line = self.line();
+        let (base, _) = self.parse_type()?;
+        let mut out = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let (ty, init) = self.parse_declarator_tail(base.clone())?;
+            out.push(Stmt::Decl(ty, name, init, line));
+            if self.eat(&TokenKind::Comma) {
+                continue;
+            }
+            self.expect(TokenKind::Semi, "';'")?;
+            break;
+        }
+        Ok(out)
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    pub fn parse_expr(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        let first = self.parse_assignment()?;
+        if self.peek() == &TokenKind::Comma {
+            self.bump();
+            let rest = self.parse_expr()?;
+            Ok(Expr::Comma(Box::new(first), Box::new(rest), line))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn parse_assignment(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        let lhs = self.parse_ternary()?;
+        use TokenKind::*;
+        let kind = match self.peek() {
+            Assign => None,
+            PlusEq => Some(BinKind::Add),
+            MinusEq => Some(BinKind::Sub),
+            StarEq => Some(BinKind::Mul),
+            SlashEq => Some(BinKind::Div),
+            PercentEq => Some(BinKind::Rem),
+            AmpEq => Some(BinKind::And),
+            PipeEq => Some(BinKind::Or),
+            CaretEq => Some(BinKind::Xor),
+            ShlEq => Some(BinKind::Shl),
+            ShrEq => Some(BinKind::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_assignment()?;
+        Ok(match kind {
+            None => Expr::Assign(Box::new(lhs), Box::new(rhs), line),
+            Some(k) => Expr::CompoundAssign(k, Box::new(lhs), Box::new(rhs), line),
+        })
+    }
+
+    fn parse_ternary(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        let cond = self.parse_binary(0)?;
+        if self.eat(&TokenKind::Question) {
+            let t = self.parse_assignment()?;
+            self.expect(TokenKind::Colon, "':'")?;
+            let e = self.parse_ternary()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(t), Box::new(e), line))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Binary operators by precedence level (0 = lowest = `||`).
+    fn parse_binary(&mut self, min_level: u8) -> PResult<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (kind, level) = match self.peek() {
+                TokenKind::PipePipe => (BinKind::LOr, 0),
+                TokenKind::AmpAmp => (BinKind::LAnd, 1),
+                TokenKind::Pipe => (BinKind::Or, 2),
+                TokenKind::Caret => (BinKind::Xor, 3),
+                TokenKind::Amp => (BinKind::And, 4),
+                TokenKind::EqEq => (BinKind::Eq, 5),
+                TokenKind::Ne => (BinKind::Ne, 5),
+                TokenKind::Lt => (BinKind::Lt, 6),
+                TokenKind::Gt => (BinKind::Gt, 6),
+                TokenKind::Le => (BinKind::Le, 6),
+                TokenKind::Ge => (BinKind::Ge, 6),
+                TokenKind::Shl => (BinKind::Shl, 7),
+                TokenKind::Shr => (BinKind::Shr, 7),
+                TokenKind::Plus => (BinKind::Add, 8),
+                TokenKind::Minus => (BinKind::Sub, 8),
+                TokenKind::Star => (BinKind::Mul, 9),
+                TokenKind::Slash => (BinKind::Div, 9),
+                TokenKind::Percent => (BinKind::Rem, 9),
+                _ => break,
+            };
+            if level < min_level {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.parse_binary(level + 1)?;
+            lhs = Expr::Bin(kind, Box::new(lhs), Box::new(rhs), line);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        use TokenKind::*;
+        match self.peek().clone() {
+            Minus => {
+                self.bump();
+                Ok(Expr::Un(UnKind::Neg, Box::new(self.parse_unary()?), line))
+            }
+            Tilde => {
+                self.bump();
+                Ok(Expr::Un(UnKind::BitNot, Box::new(self.parse_unary()?), line))
+            }
+            Bang => {
+                self.bump();
+                Ok(Expr::Un(UnKind::LogNot, Box::new(self.parse_unary()?), line))
+            }
+            Amp => {
+                self.bump();
+                Ok(Expr::Un(UnKind::Addr, Box::new(self.parse_unary()?), line))
+            }
+            Star => {
+                self.bump();
+                Ok(Expr::Un(UnKind::Deref, Box::new(self.parse_unary()?), line))
+            }
+            Plus => {
+                self.bump();
+                self.parse_unary()
+            }
+            PlusPlus => {
+                self.bump();
+                Ok(Expr::IncDec(true, Box::new(self.parse_unary()?), false, line))
+            }
+            MinusMinus => {
+                self.bump();
+                Ok(Expr::IncDec(false, Box::new(self.parse_unary()?), false, line))
+            }
+            LParen if self.is_cast_ahead() => {
+                self.bump();
+                let (ty, _) = self.parse_type()?;
+                self.expect(RParen, "')'")?;
+                Ok(Expr::Cast(ty, Box::new(self.parse_unary()?), line))
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn is_cast_ahead(&self) -> bool {
+        self.peek() == &TokenKind::LParen
+            && matches!(
+                self.peek2(),
+                TokenKind::KwVoid
+                    | TokenKind::KwChar
+                    | TokenKind::KwShort
+                    | TokenKind::KwInt
+                    | TokenKind::KwUnsigned
+                    | TokenKind::KwSigned
+                    | TokenKind::KwConst
+            )
+    }
+
+    fn parse_postfix(&mut self) -> PResult<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                TokenKind::LBracket => {
+                    self.bump();
+                    let idx = self.parse_expr()?;
+                    self.expect(TokenKind::RBracket, "']'")?;
+                    e = Expr::Index(Box::new(e), Box::new(idx), line);
+                }
+                TokenKind::PlusPlus => {
+                    self.bump();
+                    e = Expr::IncDec(true, Box::new(e), true, line);
+                }
+                TokenKind::MinusMinus => {
+                    self.bump();
+                    e = Expr::IncDec(false, Box::new(e), true, line);
+                }
+                TokenKind::LParen => {
+                    // Indirect call through a pointer expression.
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_assignment()?);
+                            if self.eat(&TokenKind::Comma) {
+                                continue;
+                            }
+                            self.expect(TokenKind::RParen, "')'")?;
+                            break;
+                        }
+                    }
+                    e = Expr::CallPtr(Box::new(e), args, line);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> PResult<Expr> {
+        let (l, c) = self.loc();
+        match self.bump() {
+            TokenKind::IntLit(v) | TokenKind::CharLit(v) => Ok(Expr::IntLit(v, l)),
+            TokenKind::Ident(name) => {
+                if self.peek() == &TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_assignment()?);
+                            if self.eat(&TokenKind::Comma) {
+                                continue;
+                            }
+                            self.expect(TokenKind::RParen, "')'")?;
+                            break;
+                        }
+                    }
+                    Ok(Expr::Call(name, args, l))
+                } else {
+                    Ok(Expr::Ident(name, l))
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            other => cerr(l, c, format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+/// Constant-expression evaluator for array sizes / case labels / global
+/// initializers.
+pub fn eval_const(e: &Expr) -> Option<i64> {
+    Some(match e {
+        Expr::IntLit(v, _) => *v,
+        Expr::Un(UnKind::Neg, x, _) => eval_const(x)?.wrapping_neg(),
+        Expr::Un(UnKind::BitNot, x, _) => !eval_const(x)?,
+        Expr::Un(UnKind::LogNot, x, _) => (eval_const(x)? == 0) as i64,
+        Expr::Cast(ty, x, _) => {
+            let v = eval_const(x)?;
+            match ty {
+                CTy::Int { bits, signed: true } => {
+                    let sh = 64 - *bits as u32;
+                    (v << sh) >> sh
+                }
+                CTy::Int { bits, signed: false } => v & ((1i64 << bits).wrapping_sub(1)),
+                _ => return None,
+            }
+        }
+        Expr::Bin(k, a, b, _) => {
+            let a = eval_const(a)?;
+            let b = eval_const(b)?;
+            match k {
+                BinKind::Add => a.wrapping_add(b),
+                BinKind::Sub => a.wrapping_sub(b),
+                BinKind::Mul => a.wrapping_mul(b),
+                BinKind::Div => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a.wrapping_div(b)
+                }
+                BinKind::Rem => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a.wrapping_rem(b)
+                }
+                BinKind::And => a & b,
+                BinKind::Or => a | b,
+                BinKind::Xor => a ^ b,
+                BinKind::Shl => a.wrapping_shl(b as u32 & 31),
+                BinKind::Shr => a.wrapping_shr(b as u32 & 31),
+                BinKind::Lt => (a < b) as i64,
+                BinKind::Gt => (a > b) as i64,
+                BinKind::Le => (a <= b) as i64,
+                BinKind::Ge => (a >= b) as i64,
+                BinKind::Eq => (a == b) as i64,
+                BinKind::Ne => (a != b) as i64,
+                BinKind::LAnd => ((a != 0) && (b != 0)) as i64,
+                BinKind::LOr => ((a != 0) || (b != 0)) as i64,
+            }
+        }
+        Expr::Ternary(c, a, b, _) => {
+            if eval_const(c)? != 0 {
+                eval_const(a)?
+            } else {
+                eval_const(b)?
+            }
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        Parser::new(src).unwrap().parse_program().unwrap()
+    }
+
+    #[test]
+    fn parses_global_and_function() {
+        let p = parse("int g = 5;\nint main() { return g; }\n");
+        assert_eq!(p.globals.len(), 1);
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+    }
+
+    #[test]
+    fn parses_array_global_with_inferred_size() {
+        let p = parse("const int tab[] = {1, 2, 3};\n");
+        assert_eq!(p.globals[0].ty, CTy::Array(Box::new(CTy::INT), 3));
+        assert!(p.globals[0].is_const);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("int f() { return 1 + 2 * 3; }");
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(Expr::Bin(BinKind::Add, _, rhs, _)), _) => {
+                assert!(matches!(**rhs, Expr::Bin(BinKind::Mul, _, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_full_statement_set() {
+        parse(
+            r#"
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    if (i % 2 == 0) continue;
+    acc += i;
+  }
+  while (acc > 100) acc -= 10;
+  do { acc++; } while (acc < 0);
+  switch (acc) {
+    case 1: acc = 10; break;
+    case 2:
+    case 3: acc = 20; break;
+    default: acc = 30;
+  }
+  return acc;
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn parses_pointers_and_arrays() {
+        let p = parse("int f(int *p, int a[], unsigned char buf[16]) { return p[0] + a[1] + buf[2]; }");
+        assert_eq!(p.funcs[0].params[0].0, CTy::Ptr(Box::new(CTy::INT)));
+        assert_eq!(p.funcs[0].params[1].0, CTy::Ptr(Box::new(CTy::INT)));
+        assert_eq!(p.funcs[0].params[2].0, CTy::Ptr(Box::new(CTy::UCHAR)));
+    }
+
+    #[test]
+    fn parses_casts_and_ternary() {
+        parse("int f(int x) { return (unsigned char)(x ? x + 1 : -x); }");
+    }
+
+    #[test]
+    fn unsigned_types() {
+        let p = parse("unsigned int u; unsigned short s; unsigned char c; unsigned x;");
+        assert_eq!(p.globals[0].ty, CTy::UINT);
+        assert_eq!(p.globals[1].ty, CTy::USHORT);
+        assert_eq!(p.globals[2].ty, CTy::UCHAR);
+        assert_eq!(p.globals[3].ty, CTy::UINT);
+    }
+
+    #[test]
+    fn const_eval() {
+        let e = Parser::new("(3 + 4) * 2 - 1").unwrap().parse_expr().unwrap();
+        assert_eq!(eval_const(&e), Some(13));
+        let e = Parser::new("1 << 10").unwrap().parse_expr().unwrap();
+        assert_eq!(eval_const(&e), Some(1024));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Parser::new("int f() { return @; }").is_err());
+        let p = Parser::new("int f() { if }").unwrap().parse_program();
+        assert!(p.is_err());
+    }
+
+    #[test]
+    fn multi_declarator_statement() {
+        let p = parse("int f() { int a = 1, b = 2, c; return a + b; }");
+        match &p.funcs[0].body[0] {
+            Stmt::DeclGroup(items) => assert_eq!(items.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+}

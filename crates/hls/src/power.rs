@@ -1,0 +1,133 @@
+//! Power model reproducing thesis Fig 6.1.
+//!
+//! The thesis measures (with Xilinx power simulation) that the pure-HW
+//! translation draws the least power, Twill sits in the middle, and the
+//! pure-Microblaze build draws the most — "the majority of the power
+//! consumption comes from the multiple Phase-Lock Loops (PLLs)" the soft
+//! core needs. The model:
+//!
+//! `P = P_static + [PLLs if a CPU is configured] + CPU_dynamic·util +
+//!      LUT_dynamic·luts·activity + DSP_dynamic·dsps·activity`
+
+use crate::area::AreaReport;
+
+/// Milliwatt constants (calibrated to give Fig 6.1's ordering and rough
+/// ratios; absolute values are not the object of comparison).
+pub const P_STATIC_MW: f64 = 380.0;
+/// The Microblaze clocking network: several PLLs/DCMs (thesis: dominant).
+pub const P_PLL_MW: f64 = 520.0;
+/// Microblaze core dynamic power at full utilization.
+pub const P_MB_DYN_MW: f64 = 210.0;
+/// Dynamic power per kLUT at activity 1.0.
+pub const P_PER_KLUT_MW: f64 = 14.0;
+/// Dynamic power per DSP block at activity 1.0.
+pub const P_PER_DSP_MW: f64 = 2.2;
+
+/// One configuration to evaluate.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerConfig {
+    /// Synthesized logic (HW threads + runtime), zero for pure SW.
+    pub area: AreaReport,
+    /// Whether a Microblaze (and its PLLs) is instantiated.
+    pub has_cpu: bool,
+    /// Fraction of time the CPU is executing (vs stalled/idle).
+    pub cpu_utilization: f64,
+    /// Average toggle activity of the FPGA logic (0..1).
+    pub logic_activity: f64,
+}
+
+/// Total power in milliwatts.
+pub fn power_mw(c: &PowerConfig) -> f64 {
+    let mut p = P_STATIC_MW;
+    if c.has_cpu {
+        p += P_PLL_MW;
+        p += P_MB_DYN_MW * c.cpu_utilization.clamp(0.0, 1.0);
+    }
+    p += P_PER_KLUT_MW * (c.area.luts as f64 / 1000.0) * c.logic_activity.clamp(0.0, 1.0);
+    p += P_PER_DSP_MW * c.area.dsps as f64 * c.logic_activity.clamp(0.0, 1.0);
+    p
+}
+
+/// The three experiment configurations of Fig 6.1 for one benchmark.
+pub fn fig_6_1_configs(
+    pure_hw_area: AreaReport,
+    twill_hw_area: AreaReport,
+    twill_cpu_util: f64,
+) -> (PowerConfig, PowerConfig, PowerConfig) {
+    let sw = PowerConfig {
+        area: AreaReport::default(),
+        has_cpu: true,
+        cpu_utilization: 1.0,
+        logic_activity: 0.0,
+    };
+    let hw = PowerConfig {
+        area: pure_hw_area,
+        has_cpu: false,
+        cpu_utilization: 0.0,
+        logic_activity: 0.22,
+    };
+    let twill = PowerConfig {
+        area: twill_hw_area,
+        has_cpu: true,
+        cpu_utilization: twill_cpu_util,
+        logic_activity: 0.22,
+    };
+    (sw, hw, twill)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig_6_1_ordering_holds() {
+        // Typical benchmark: pure HW ~12k LUTs, Twill HW threads ~7k + 3k
+        // runtime, CPU 25% busy in the hybrid.
+        let (sw, hw, twill) = fig_6_1_configs(
+            AreaReport { luts: 12_000, dsps: 8, brams: 10 },
+            AreaReport { luts: 10_000, dsps: 14, brams: 2 },
+            0.25,
+        );
+        let p_sw = power_mw(&sw);
+        let p_hw = power_mw(&hw);
+        let p_twill = power_mw(&twill);
+        assert!(p_hw < p_twill, "pure HW must be lowest: {p_hw} vs {p_twill}");
+        assert!(p_twill < p_sw, "Twill below pure SW: {p_twill} vs {p_sw}");
+    }
+
+    #[test]
+    fn pll_dominates_cpu_configs() {
+        let idle_cpu = PowerConfig {
+            area: AreaReport::default(),
+            has_cpu: true,
+            cpu_utilization: 0.0,
+            logic_activity: 0.0,
+        };
+        let no_cpu = PowerConfig {
+            area: AreaReport { luts: 20_000, dsps: 20, brams: 0 },
+            has_cpu: false,
+            cpu_utilization: 0.0,
+            logic_activity: 0.3,
+        };
+        // Even an idle CPU config outdraws a big pure-logic design: the
+        // PLLs dominate (thesis §6.3).
+        assert!(power_mw(&idle_cpu) > power_mw(&no_cpu));
+    }
+
+    #[test]
+    fn power_monotone_in_area_and_util() {
+        let base = PowerConfig {
+            area: AreaReport { luts: 5000, dsps: 2, brams: 0 },
+            has_cpu: true,
+            cpu_utilization: 0.3,
+            logic_activity: 0.2,
+        };
+        let more_area = PowerConfig {
+            area: AreaReport { luts: 9000, dsps: 2, brams: 0 },
+            ..base
+        };
+        let more_util = PowerConfig { cpu_utilization: 0.9, ..base };
+        assert!(power_mw(&more_area) > power_mw(&base));
+        assert!(power_mw(&more_util) > power_mw(&base));
+    }
+}

@@ -1,0 +1,264 @@
+//! Ergonomic function construction, used by the mini-C frontend and by the
+//! DSWP thread extractor when synthesizing partition functions.
+
+use crate::entities::{BlockId, FuncId, GlobalId, QueueId, SemId};
+use crate::inst::{BinOp, CastOp, CmpOp, Intr, Op, Value};
+use crate::module::{Function, Ty};
+
+/// A positioned builder over a [`Function`]. Instructions are appended to
+/// the current block; terminators seal the block and require explicit
+/// repositioning before further insertion.
+pub struct FuncBuilder {
+    pub func: Function,
+    cur: Option<BlockId>,
+}
+
+impl FuncBuilder {
+    pub fn new(name: impl Into<String>, params: Vec<Ty>, ret: Ty) -> Self {
+        FuncBuilder { func: Function::new(name, params, ret), cur: None }
+    }
+
+    pub fn from_function(func: Function) -> Self {
+        FuncBuilder { func, cur: None }
+    }
+
+    /// Finish and return the built function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    pub fn create_block(&mut self, name: impl Into<String>) -> BlockId {
+        self.func.create_block(name)
+    }
+
+    /// Move the insertion point to the end of `b`.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = Some(b);
+    }
+
+    pub fn current_block(&self) -> BlockId {
+        self.cur.expect("builder has no current block")
+    }
+
+    /// Whether the current block already ends in a terminator.
+    pub fn is_terminated(&self) -> bool {
+        let b = self.current_block();
+        self.func
+            .block(b)
+            .terminator()
+            .map(|t| self.func.inst(t).op.is_terminator())
+            .unwrap_or(false)
+    }
+
+    /// Append `op` with result type `ty` to the current block.
+    pub fn emit(&mut self, op: Op, ty: Ty) -> Value {
+        let b = self.current_block();
+        debug_assert!(
+            !self.is_terminated(),
+            "emitting into terminated block {} of {}",
+            self.func.block(b).name,
+            self.func.name
+        );
+        let id = self.func.create_inst(op, ty);
+        self.func.block_mut(b).insts.push(id);
+        Value::Inst(id)
+    }
+
+    // ---- arithmetic ----
+
+    pub fn bin(&mut self, op: BinOp, a: Value, b: Value) -> Value {
+        let ty = self.func.value_ty(a);
+        self.emit(Op::Bin(op, a, b), ty)
+    }
+
+    pub fn add(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Add, a, b)
+    }
+    pub fn sub(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Sub, a, b)
+    }
+    pub fn mul(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Mul, a, b)
+    }
+    pub fn and(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::And, a, b)
+    }
+    pub fn or(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Or, a, b)
+    }
+    pub fn xor(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Xor, a, b)
+    }
+    pub fn shl(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Shl, a, b)
+    }
+    pub fn lshr(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::LShr, a, b)
+    }
+    pub fn ashr(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::AShr, a, b)
+    }
+    pub fn sdiv(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::SDiv, a, b)
+    }
+    pub fn udiv(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::UDiv, a, b)
+    }
+    pub fn srem(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::SRem, a, b)
+    }
+    pub fn urem(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::URem, a, b)
+    }
+
+    pub fn cmp(&mut self, op: CmpOp, a: Value, b: Value) -> Value {
+        self.emit(Op::Cmp(op, a, b), Ty::I1)
+    }
+
+    pub fn select(&mut self, c: Value, a: Value, b: Value) -> Value {
+        let ty = self.func.value_ty(a);
+        self.emit(Op::Select(c, a, b), ty)
+    }
+
+    pub fn cast(&mut self, op: CastOp, v: Value, to: Ty) -> Value {
+        self.emit(Op::Cast(op, v), to)
+    }
+
+    // ---- memory ----
+
+    pub fn load(&mut self, addr: Value, ty: Ty) -> Value {
+        self.emit(Op::Load(addr), ty)
+    }
+
+    pub fn store(&mut self, val: Value, addr: Value) {
+        let ty = self.func.value_ty(val);
+        self.emit(Op::Store(val, addr), ty);
+    }
+
+    pub fn gep(&mut self, base: Value, index: Value, elem_size: u32) -> Value {
+        self.emit(Op::Gep(base, index, elem_size), Ty::Ptr)
+    }
+
+    pub fn alloca(&mut self, size: u32) -> Value {
+        self.emit(Op::Alloca(size), Ty::Ptr)
+    }
+
+    pub fn global_addr(&mut self, g: GlobalId) -> Value {
+        self.emit(Op::GlobalAddr(g), Ty::Ptr)
+    }
+
+    // ---- calls / intrinsics ----
+
+    pub fn call(&mut self, callee: FuncId, args: Vec<Value>, ret: Ty) -> Value {
+        self.emit(Op::Call(callee, args), ret)
+    }
+
+    pub fn out(&mut self, v: Value) {
+        self.emit(Op::Intrin(Intr::Out, vec![v]), Ty::Void);
+    }
+
+    pub fn input(&mut self) -> Value {
+        self.emit(Op::Intrin(Intr::In, vec![]), Ty::I32)
+    }
+
+    pub fn enqueue(&mut self, q: QueueId, v: Value) {
+        self.emit(Op::Intrin(Intr::Enqueue(q), vec![v]), Ty::Void);
+    }
+
+    pub fn dequeue(&mut self, q: QueueId, ty: Ty) -> Value {
+        self.emit(Op::Intrin(Intr::Dequeue(q), vec![]), ty)
+    }
+
+    pub fn sem_raise(&mut self, s: SemId, n: Value) {
+        self.emit(Op::Intrin(Intr::SemRaise(s), vec![n]), Ty::Void);
+    }
+
+    pub fn sem_lower(&mut self, s: SemId, n: Value) {
+        self.emit(Op::Intrin(Intr::SemLower(s), vec![n]), Ty::Void);
+    }
+
+    // ---- control flow ----
+
+    pub fn phi(&mut self, ty: Ty, incoming: Vec<(BlockId, Value)>) -> Value {
+        // PHIs must be a prefix of the block: insert after existing PHIs.
+        let b = self.current_block();
+        let id = self.func.create_inst(Op::Phi(incoming), ty);
+        let at = self
+            .func
+            .block(b)
+            .insts
+            .iter()
+            .take_while(|&&iid| self.func.inst(iid).op.is_phi())
+            .count();
+        self.func.block_mut(b).insts.insert(at, id);
+        Value::Inst(id)
+    }
+
+    pub fn br(&mut self, target: BlockId) {
+        self.emit(Op::Br(target), Ty::Void);
+    }
+
+    pub fn cond_br(&mut self, cond: Value, then_b: BlockId, else_b: BlockId) {
+        self.emit(Op::CondBr(cond, then_b, else_b), Ty::Void);
+    }
+
+    pub fn switch(&mut self, v: Value, cases: Vec<(i64, BlockId)>, default: BlockId) {
+        self.emit(Op::Switch(v, cases, default), Ty::Void);
+    }
+
+    pub fn ret(&mut self, v: Option<Value>) {
+        self.emit(Op::Ret(v), Ty::Void);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::InstId;
+
+    #[test]
+    fn builds_straightline_function() {
+        let mut b = FuncBuilder::new("f", vec![Ty::I32, Ty::I32], Ty::I32);
+        let entry = b.create_block("entry");
+        b.switch_to(entry);
+        b.func.entry = entry;
+        let s = b.add(Value::Arg(0), Value::Arg(1));
+        let d = b.mul(s, Value::imm32(3));
+        b.ret(Some(d));
+        let f = b.finish();
+        assert_eq!(f.live_inst_count(), 3);
+        assert!(f.block(entry).terminator().is_some());
+    }
+
+    #[test]
+    fn phi_inserted_after_existing_phis() {
+        let mut b = FuncBuilder::new("f", vec![], Ty::Void);
+        let e = b.create_block("entry");
+        let body = b.create_block("body");
+        b.switch_to(e);
+        b.br(body);
+        b.switch_to(body);
+        let p1 = b.phi(Ty::I32, vec![(e, Value::imm32(1))]);
+        // Emit a non-phi, then another phi; the phi must come before it.
+        let x = b.add(p1, Value::imm32(1));
+        let _p2 = b.phi(Ty::I32, vec![(e, Value::imm32(2))]);
+        let f = b.finish();
+        let insts = &f.block(body).insts;
+        assert!(matches!(f.inst(insts[0]).op, Op::Phi(_)));
+        assert!(matches!(f.inst(insts[1]).op, Op::Phi(_)));
+        assert!(matches!(f.inst(insts[2]).op, Op::Bin(..)));
+        let _ = x;
+    }
+
+    #[test]
+    fn value_types_propagate() {
+        let mut b = FuncBuilder::new("f", vec![Ty::I8], Ty::I32);
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let w = b.cast(CastOp::Zext, Value::Arg(0), Ty::I32);
+        assert_eq!(b.func.value_ty(w), Ty::I32);
+        let c = b.cmp(CmpOp::Eq, w, Value::imm32(0));
+        assert_eq!(b.func.value_ty(c), Ty::I1);
+        let InstId(_) = c.as_inst().unwrap();
+    }
+}

@@ -1,0 +1,88 @@
+//! Memory layout: assigns flat addresses to globals and defines the memory
+//! map shared by the interpreter and the runtime simulator.
+//!
+//! ```text
+//! 0x0000_0000 .. 0x0000_1000   null guard (never mapped)
+//! 0x0000_1000 .. globals_end   module globals, 4-byte aligned
+//! globals_end .. stack_top     call-frame stack (allocas), grows upward
+//! ```
+//!
+//! The thesis runs on 32 kB of Microblaze BRAM; we default to a more generous
+//! 4 MiB so benchmark working sets never constrain experiments, while keeping
+//! the flat 32-bit address model of the paper's unified address space.
+
+use crate::module::Module;
+
+/// First valid data address; everything below traps as a null dereference.
+pub const GLOBAL_BASE: u32 = 0x1000;
+
+/// Default size of the simulated unified memory.
+pub const DEFAULT_MEM_SIZE: u32 = 4 * 1024 * 1024;
+
+/// Assign addresses to all globals, returning the first free address after
+/// the global segment (= initial stack pointer).
+pub fn assign_global_addrs(m: &mut Module) -> u32 {
+    let mut addr = GLOBAL_BASE;
+    for g in &mut m.globals {
+        g.addr = addr;
+        addr += g.size.max(1);
+        addr = (addr + 3) & !3;
+    }
+    addr
+}
+
+/// Build the initial memory image for a module (globals written at their
+/// assigned addresses, everything else zero).
+pub fn initial_memory(m: &Module, size: u32) -> Vec<u8> {
+    let mut mem = vec![0u8; size as usize];
+    for g in &m.globals {
+        let start = g.addr as usize;
+        let n = g.init.len().min(g.size as usize);
+        mem[start..start + n].copy_from_slice(&g.init[..n]);
+    }
+    mem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Global, Module};
+
+    fn g(name: &str, size: u32, init: Vec<u8>) -> Global {
+        Global { name: name.into(), size, init, addr: 0, is_const: false }
+    }
+
+    #[test]
+    fn globals_are_aligned_and_disjoint() {
+        let mut m = Module::new("t");
+        m.add_global(g("a", 3, vec![1, 2, 3]));
+        m.add_global(g("b", 8, vec![9; 8]));
+        m.add_global(g("c", 1, vec![]));
+        let end = assign_global_addrs(&mut m);
+        assert_eq!(m.globals[0].addr, GLOBAL_BASE);
+        assert_eq!(m.globals[0].addr % 4, 0);
+        assert_eq!(m.globals[1].addr, GLOBAL_BASE + 4);
+        assert_eq!(m.globals[2].addr, GLOBAL_BASE + 12);
+        assert_eq!(end, GLOBAL_BASE + 16);
+    }
+
+    #[test]
+    fn initial_memory_contains_init_bytes() {
+        let mut m = Module::new("t");
+        m.add_global(g("a", 4, vec![0xde, 0xad]));
+        assign_global_addrs(&mut m);
+        let mem = initial_memory(&m, 0x2000);
+        assert_eq!(mem[GLOBAL_BASE as usize], 0xde);
+        assert_eq!(mem[GLOBAL_BASE as usize + 1], 0xad);
+        assert_eq!(mem[GLOBAL_BASE as usize + 2], 0);
+    }
+
+    #[test]
+    fn zero_sized_global_still_gets_unique_slot() {
+        let mut m = Module::new("t");
+        m.add_global(g("z", 0, vec![]));
+        m.add_global(g("a", 4, vec![]));
+        assign_global_addrs(&mut m);
+        assert_ne!(m.globals[0].addr, m.globals[1].addr);
+    }
+}

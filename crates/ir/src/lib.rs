@@ -1,0 +1,34 @@
+//! # twill-ir
+//!
+//! The typed SSA intermediate representation used throughout the Twill
+//! pipeline. It is deliberately modelled on the subset of LLVM 2.9 IR that
+//! the Twill thesis consumes:
+//!
+//! * integer-only types up to 32 bits (`i1`, `i8`, `i16`, `i32`) plus
+//!   pointers — the thesis explicitly excludes 64-bit values,
+//! * SSA form with PHI nodes at block heads,
+//! * no recursion and no function pointers (calls reference functions by id),
+//! * a small set of runtime intrinsics (`enqueue`, `dequeue`, semaphore
+//!   raise/lower, stream I/O) inserted by the DSWP thread-extraction pass.
+//!
+//! The crate also hosts the *reference interpreter* (used as the golden
+//! executor for every benchmark and as the core of the software-thread CPU
+//! model) and the calibrated cycle/area cost tables shared by the PDG
+//! weighting, the HLS scheduler and the runtime simulator.
+
+pub mod builder;
+pub mod cost;
+pub mod entities;
+pub mod inst;
+pub mod interp;
+pub mod layout;
+pub mod module;
+pub mod parser;
+pub mod printer;
+pub mod verifier;
+
+pub use builder::FuncBuilder;
+pub use entities::{BlockId, FuncId, GlobalId, InstId, QueueId, SemId};
+pub use inst::{BinOp, CastOp, CmpOp, Intr, Op, Value};
+pub use interp::{ExecError, Interp, Machine};
+pub use module::{Block, Function, Global, Module, QueueDecl, SemDecl, Ty};

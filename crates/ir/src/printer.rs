@@ -1,0 +1,212 @@
+//! Textual form of the IR, round-trippable with [`crate::parser`].
+//!
+//! The format is deliberately line-oriented and explicit (every immediate
+//! carries a type suffix) so that tests can be written directly in text and
+//! diffs of compiler phases stay readable.
+
+use crate::inst::{Intr, Op, Value};
+use crate::module::{Function, Module, Ty};
+use std::fmt::Write;
+
+fn fmt_value(v: Value) -> String {
+    match v {
+        Value::Inst(i) => format!("%{}", i.0),
+        Value::Arg(n) => format!("%a{n}"),
+        Value::Imm(x, t) => format!("{x}:{t}"),
+    }
+}
+
+fn fmt_values(vs: &[Value]) -> String {
+    vs.iter().map(|v| fmt_value(*v)).collect::<Vec<_>>().join(", ")
+}
+
+/// Print a single instruction (without trailing newline).
+pub fn print_inst(m: &Module, op: &Op, ty: Ty, textual_id: u32) -> String {
+    let lhs = |s: String| format!("%{textual_id} = {s}");
+    match op {
+        Op::Bin(b, x, y) => lhs(format!("{} {} {}, {}", b.mnemonic(), ty, fmt_value(*x), fmt_value(*y))),
+        Op::Cmp(c, x, y) => lhs(format!("cmp {} {}, {}", c.mnemonic(), fmt_value(*x), fmt_value(*y))),
+        Op::Select(c, a, b) => lhs(format!(
+            "select {} {}, {}, {}",
+            ty,
+            fmt_value(*c),
+            fmt_value(*a),
+            fmt_value(*b)
+        )),
+        Op::Cast(c, v) => lhs(format!("{} {} to {}", c.mnemonic(), fmt_value(*v), ty)),
+        Op::Load(a) => lhs(format!("load {} {}", ty, fmt_value(*a))),
+        Op::Store(v, a) => format!("store {} {}, {}", ty, fmt_value(*v), fmt_value(*a)),
+        Op::Gep(b, i, sz) => lhs(format!("gep {}, {}, {}", fmt_value(*b), fmt_value(*i), sz)),
+        Op::Alloca(sz) => lhs(format!("alloca {sz}")),
+        Op::GlobalAddr(g) => lhs(format!("gaddr @{}", m.global(*g).name)),
+        Op::FuncAddr(func) => lhs(format!("faddr @{}", m.func(*func).name)),
+        Op::Call(callee, args) => {
+            let name = &m.func(*callee).name;
+            let s = format!("call {} @{}({})", ty, name, fmt_values(args));
+            if ty == Ty::Void {
+                s
+            } else {
+                lhs(s)
+            }
+        }
+        Op::CallIndirect(t, args) => {
+            let s = format!("calli {} {}({})", ty, fmt_value(*t), fmt_values(args));
+            if ty == Ty::Void {
+                s
+            } else {
+                lhs(s)
+            }
+        }
+        Op::Intrin(i, args) => match i {
+            Intr::Out => format!("out {}", fmt_value(args[0])),
+            Intr::In => lhs("in".to_string()),
+            Intr::Enqueue(q) => format!("enqueue q{}, {}", q.0, fmt_value(args[0])),
+            Intr::Dequeue(q) => lhs(format!("dequeue {} q{}", ty, q.0)),
+            Intr::SemRaise(s) => format!("raise sem{}, {}", s.0, fmt_value(args[0])),
+            Intr::SemLower(s) => format!("lower sem{}, {}", s.0, fmt_value(args[0])),
+        },
+        Op::Phi(incoming) => {
+            let parts: Vec<String> = incoming
+                .iter()
+                .map(|(b, v)| format!("[bb{}: {}]", b.0, fmt_value(*v)))
+                .collect();
+            lhs(format!("phi {} {}", ty, parts.join(", ")))
+        }
+        Op::Br(t) => format!("br bb{}", t.0),
+        Op::CondBr(c, t, e) => format!("condbr {}, bb{}, bb{}", fmt_value(*c), t.0, e.0),
+        Op::Switch(v, cases, d) => {
+            let parts: Vec<String> =
+                cases.iter().map(|(k, b)| format!("[{k}: bb{}]", b.0)).collect();
+            format!(
+                "switch {}, {}, default bb{}",
+                fmt_value(*v),
+                parts.join(", "),
+                d.0
+            )
+        }
+        Op::Ret(Some(v)) => format!("ret {}", fmt_value(*v)),
+        Op::Ret(None) => "ret".to_string(),
+    }
+    .trim_end()
+    .to_string()
+}
+
+/// Print one function.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    let params = f
+        .params
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    writeln!(out, "func @{}({}) -> {} {{", f.name, params, f.ret).unwrap();
+    for b in f.block_ids() {
+        let blk = f.block(b);
+        if blk.name.is_empty() {
+            writeln!(out, "bb{}:", b.0).unwrap();
+        } else {
+            writeln!(out, "bb{}: ; {}", b.0, blk.name).unwrap();
+        }
+        for &i in &blk.insts {
+            let inst = f.inst(i);
+            writeln!(out, "  {}", print_inst(m, &inst.op, inst.ty, i.0)).unwrap();
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Print a whole module (globals, runtime resources, functions).
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    writeln!(out, "module \"{}\"", m.name).unwrap();
+    for (i, q) in m.queues.iter().enumerate() {
+        writeln!(out, "queue q{} {} x {}", i, q.width, q.depth).unwrap();
+    }
+    for (i, s) in m.sems.iter().enumerate() {
+        writeln!(out, "sem sem{} max={} init={}", i, s.max, s.initial).unwrap();
+    }
+    for g in &m.globals {
+        let init_hex: Vec<String> = g.init.iter().map(|b| format!("{b:02x}")).collect();
+        writeln!(
+            out,
+            "global @{} size={}{} [{}]",
+            g.name,
+            g.size,
+            if g.is_const { " const" } else { "" },
+            init_hex.join(" ")
+        )
+        .unwrap();
+    }
+    for f in &m.funcs {
+        out.push('\n');
+        out.push_str(&print_function(m, f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::module::{Global, Module, QueueDecl, SemDecl};
+
+    #[test]
+    fn prints_function_with_all_constructs() {
+        let mut m = Module::new("t");
+        m.add_queue(QueueDecl { width: Ty::I32, depth: 8 });
+        m.add_sem(SemDecl { max: 1, initial: 0 });
+        let g = m.add_global(Global {
+            name: "tab".into(),
+            size: 4,
+            init: vec![1, 2, 3, 4],
+            addr: 0,
+            is_const: true,
+        });
+
+        let mut b = FuncBuilder::new("main", vec![Ty::I32], Ty::I32);
+        let e = b.create_block("entry");
+        let l = b.create_block("loop");
+        b.func.entry = e;
+        b.switch_to(e);
+        let ga = b.global_addr(g);
+        let v = b.load(ga, Ty::I32);
+        b.br(l);
+        b.switch_to(l);
+        let p = b.phi(Ty::I32, vec![(e, v), (l, Value::imm32(0))]);
+        let c = b.cmp(crate::inst::CmpOp::Slt, p, Value::Arg(0));
+        b.cond_br(c, l, e);
+        m.add_func(b.finish());
+
+        let text = print_module(&m);
+        assert!(text.contains("queue q0 i32 x 8"));
+        assert!(text.contains("sem sem0 max=1 init=0"));
+        assert!(text.contains("global @tab size=4 const [01 02 03 04]"));
+        assert!(text.contains("func @main(i32) -> i32 {"));
+        assert!(text.contains("gaddr @tab"));
+        assert!(text.contains("phi i32 [bb0:"));
+        assert!(text.contains("condbr"));
+    }
+
+    #[test]
+    fn void_call_has_no_lhs() {
+        let mut m = Module::new("t");
+        let mut cb = FuncBuilder::new("callee", vec![], Ty::Void);
+        let e = cb.create_block("entry");
+        cb.switch_to(e);
+        cb.ret(None);
+        let callee = m.add_func(cb.finish());
+
+        let mut b = FuncBuilder::new("main", vec![], Ty::Void);
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.call(callee, vec![], Ty::Void);
+        b.ret(None);
+        m.add_func(b.finish());
+
+        let text = print_module(&m);
+        assert!(text.contains("\n  call void @callee()"));
+        assert!(!text.contains("= call void"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests of the evaluation primitives the whole project rests on:
+//! `eval_bin`/`eval_cmp`/`eval_cast` against native Rust integer semantics,
+//! type masking laws, and printer/parser round-trips.
+
+use proptest::prelude::*;
+use twill_ir::interp::{eval_bin, eval_cast, eval_cmp};
+use twill_ir::{BinOp, CastOp, CmpOp, Ty};
+
+fn any_ty() -> impl Strategy<Value = Ty> {
+    prop_oneof![Just(Ty::I1), Just(Ty::I8), Just(Ty::I16), Just(Ty::I32)]
+}
+
+proptest! {
+    #[test]
+    fn mask_is_idempotent(v in any::<i64>(), ty in any_ty()) {
+        prop_assert_eq!(ty.mask(ty.mask(v)), ty.mask(v));
+    }
+
+    #[test]
+    fn sext_preserves_masked_value(v in any::<i64>(), ty in any_ty()) {
+        let m = ty.mask(v);
+        prop_assert_eq!(ty.mask(ty.sext(m)), m);
+    }
+
+    #[test]
+    fn i32_add_matches_wrapping(a in any::<i32>(), b in any::<i32>()) {
+        let r = eval_bin(BinOp::Add, Ty::I32, a as i64 & 0xffff_ffff, b as i64 & 0xffff_ffff).unwrap();
+        prop_assert_eq!(Ty::I32.sext(r) as i32, a.wrapping_add(b));
+    }
+
+    #[test]
+    fn i32_mul_matches_wrapping(a in any::<i32>(), b in any::<i32>()) {
+        let r = eval_bin(BinOp::Mul, Ty::I32, a as i64 & 0xffff_ffff, b as i64 & 0xffff_ffff).unwrap();
+        prop_assert_eq!(Ty::I32.sext(r) as i32, a.wrapping_mul(b));
+    }
+
+    #[test]
+    fn sdiv_matches_rust(a in any::<i32>(), b in any::<i32>()) {
+        prop_assume!(b != 0);
+        let r = eval_bin(BinOp::SDiv, Ty::I32, a as i64 & 0xffff_ffff, b as i64 & 0xffff_ffff).unwrap();
+        prop_assert_eq!(Ty::I32.sext(r) as i32, a.wrapping_div(b));
+    }
+
+    #[test]
+    fn udiv_matches_rust(a in any::<u32>(), b in 1u32..) {
+        let r = eval_bin(BinOp::UDiv, Ty::I32, a as i64, b as i64).unwrap();
+        prop_assert_eq!(r as u32, a / b);
+    }
+
+    #[test]
+    fn srem_sign_follows_dividend(a in any::<i32>(), b in any::<i32>()) {
+        prop_assume!(b != 0);
+        let r = eval_bin(BinOp::SRem, Ty::I32, a as i64 & 0xffff_ffff, b as i64 & 0xffff_ffff).unwrap();
+        prop_assert_eq!(Ty::I32.sext(r) as i32, a.wrapping_rem(b));
+    }
+
+    #[test]
+    fn div_by_zero_always_traps(a in any::<i64>(), ty in any_ty()) {
+        for op in [BinOp::SDiv, BinOp::UDiv, BinOp::SRem, BinOp::URem] {
+            prop_assert!(eval_bin(op, ty, a, 0).is_err());
+        }
+    }
+
+    #[test]
+    fn shifts_match_rust_mod_width(a in any::<i32>(), s in 0u32..64) {
+        let sh = s % 32;
+        let shl = eval_bin(BinOp::Shl, Ty::I32, a as i64 & 0xffff_ffff, s as i64).unwrap();
+        prop_assert_eq!(Ty::I32.sext(shl) as i32, a.wrapping_shl(sh));
+        let ashr = eval_bin(BinOp::AShr, Ty::I32, a as i64 & 0xffff_ffff, s as i64).unwrap();
+        prop_assert_eq!(Ty::I32.sext(ashr) as i32, a.wrapping_shr(sh));
+        let lshr = eval_bin(BinOp::LShr, Ty::I32, a as i64 & 0xffff_ffff, s as i64).unwrap();
+        prop_assert_eq!(lshr as u32, (a as u32).wrapping_shr(sh));
+    }
+
+    #[test]
+    fn narrow_add_wraps(a in any::<u8>(), b in any::<u8>()) {
+        let r = eval_bin(BinOp::Add, Ty::I8, a as i64, b as i64).unwrap();
+        prop_assert_eq!(r as u8, a.wrapping_add(b));
+    }
+
+    #[test]
+    fn cmp_predicates_consistent(a in any::<i32>(), b in any::<i32>()) {
+        let ua = a as i64 & 0xffff_ffff;
+        let ub = b as i64 & 0xffff_ffff;
+        prop_assert_eq!(eval_cmp(CmpOp::Slt, Ty::I32, ua, ub) == 1, a < b);
+        prop_assert_eq!(eval_cmp(CmpOp::Ult, Ty::I32, ua, ub) == 1, (a as u32) < (b as u32));
+        prop_assert_eq!(eval_cmp(CmpOp::Eq, Ty::I32, ua, ub) == 1, a == b);
+        // Inversion law.
+        for op in [CmpOp::Slt, CmpOp::Sle, CmpOp::Ugt, CmpOp::Ne] {
+            let x = eval_cmp(op, Ty::I32, ua, ub);
+            let y = eval_cmp(op.inverted(), Ty::I32, ua, ub);
+            prop_assert_eq!(x ^ y, 1);
+        }
+        // Swap law.
+        for op in [CmpOp::Slt, CmpOp::Uge, CmpOp::Sgt] {
+            prop_assert_eq!(
+                eval_cmp(op, Ty::I32, ua, ub),
+                eval_cmp(op.swapped(), Ty::I32, ub, ua)
+            );
+        }
+    }
+
+    #[test]
+    fn casts_match_rust(v in any::<i32>()) {
+        let raw = v as i64 & 0xffff_ffff;
+        prop_assert_eq!(eval_cast(CastOp::Trunc, Ty::I32, Ty::I8, raw) as u8, v as u8);
+        prop_assert_eq!(
+            Ty::I32.sext(eval_cast(CastOp::Sext, Ty::I8, Ty::I32, raw & 0xff)) as i32,
+            (v as i8) as i32
+        );
+        prop_assert_eq!(
+            eval_cast(CastOp::Zext, Ty::I8, Ty::I32, raw & 0xff) as u32,
+            (v as u8) as u32
+        );
+    }
+
+    #[test]
+    fn commutative_ops_commute(a in any::<i64>(), b in any::<i64>(), ty in any_ty()) {
+        for op in [BinOp::Add, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::Xor] {
+            prop_assert_eq!(
+                eval_bin(op, ty, a, b).unwrap(),
+                eval_bin(op, ty, b, a).unwrap()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Printer/parser round-trip on generated straight-line functions.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn printer_parser_roundtrip(ops in proptest::collection::vec((0usize..13, any::<i8>()), 1..30)) {
+        use twill_ir::{FuncBuilder, Value};
+        let mut b = FuncBuilder::new("f", vec![Ty::I32, Ty::I32], Ty::I32);
+        let entry = b.create_block("entry");
+        b.func.entry = entry;
+        b.switch_to(entry);
+        let mut last = Value::Arg(0);
+        for (code, imm) in ops {
+            let op = BinOp::ALL[code];
+            // Avoid trapping division on zero immediates.
+            let rhs = if op.can_trap() {
+                Value::imm32((imm as i64).unsigned_abs().max(1) as i64)
+            } else {
+                Value::imm32(imm as i64)
+            };
+            last = b.bin(op, last, rhs);
+        }
+        b.ret(Some(last));
+        let mut m = twill_ir::Module::new("t");
+        m.add_func(b.finish());
+        let text1 = twill_ir::printer::print_module(&m);
+        let m2 = twill_ir::parser::parse_module(&text1).unwrap();
+        let text2 = twill_ir::printer::print_module(&m2);
+        prop_assert_eq!(text1, text2);
+        twill_ir::verifier::assert_valid(&m2);
+    }
+}

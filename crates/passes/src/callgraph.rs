@@ -1,0 +1,374 @@
+//! Call graph and interprocedural effect (purity) analysis.
+//!
+//! Twill rejects recursion (like the thesis), so the call graph is a DAG and
+//! bottom-up summaries are exact fixpoints in one reverse-topological pass.
+
+use std::collections::HashSet;
+use twill_ir::{FuncId, Intr, Module, Op};
+
+/// Direct call edges per function.
+pub struct CallGraph {
+    /// `callees[f]` = functions f calls (deduplicated).
+    pub callees: Vec<Vec<FuncId>>,
+    /// `callers[f]` = functions calling f.
+    pub callers: Vec<Vec<FuncId>>,
+    /// Reverse-topological order (callees before callers). Empty if the
+    /// graph has a cycle (recursion), which `is_recursive` reports.
+    pub reverse_topo: Vec<FuncId>,
+    recursive: bool,
+}
+
+impl CallGraph {
+    pub fn new(m: &Module) -> CallGraph {
+        let n = m.funcs.len();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for fid in m.func_ids() {
+            let f = m.func(fid);
+            let mut seen = HashSet::new();
+            for (_, iid) in f.inst_ids_in_layout() {
+                if let Op::Call(callee, _) = &f.inst(iid).op {
+                    if seen.insert(*callee) {
+                        callees[fid.index()].push(*callee);
+                        callers[callee.index()].push(fid);
+                    }
+                }
+            }
+        }
+        // Kahn topological sort on the "calls" relation.
+        let mut out_deg: Vec<usize> = callees.iter().map(|c| c.len()).collect();
+        let mut ready: Vec<FuncId> =
+            (0..n).filter(|&i| out_deg[i] == 0).map(FuncId::new).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(f) = ready.pop() {
+            order.push(f);
+            for &caller in &callers[f.index()] {
+                out_deg[caller.index()] -= 1;
+                if out_deg[caller.index()] == 0 {
+                    ready.push(caller);
+                }
+            }
+        }
+        let recursive = order.len() != n;
+        CallGraph { callees, callers, reverse_topo: order, recursive }
+    }
+
+    pub fn is_recursive(&self) -> bool {
+        self.recursive
+    }
+
+    /// Functions involved in call cycles (direct or mutual recursion).
+    pub fn recursive_funcs(&self, m: &Module) -> Vec<bool> {
+        let n = m.funcs.len();
+        // f is recursive iff f reaches itself through ≥1 call edge.
+        let mut out = vec![false; n];
+        for f in 0..n {
+            let mut seen = vec![false; n];
+            let mut stack: Vec<usize> = self.callees[f].iter().map(|c| c.index()).collect();
+            while let Some(x) = stack.pop() {
+                if x == f {
+                    out[f] = true;
+                    break;
+                }
+                if seen[x] {
+                    continue;
+                }
+                seen[x] = true;
+                for &c in &self.callees[x] {
+                    stack.push(c.index());
+                }
+            }
+        }
+        out
+    }
+
+    /// `recursive_funcs` plus everything they (transitively) call — the set
+    /// the hybrid flow pins to the software master (thesis §7: recursion
+    /// "is only a problem in hardware"; the master call stays in software).
+    pub fn software_pinned_set(&self, m: &Module) -> Vec<bool> {
+        let rec = self.recursive_funcs(m);
+        let mut pinned = rec.clone();
+        let mut stack: Vec<usize> =
+            (0..m.funcs.len()).filter(|&f| pinned[f]).collect();
+        while let Some(f) = stack.pop() {
+            for &c in &self.callees[f] {
+                if !pinned[c.index()] {
+                    pinned[c.index()] = true;
+                    stack.push(c.index());
+                }
+            }
+        }
+        pinned
+    }
+
+    /// Reverse-topological order over the call graph with the pinned set
+    /// collapsed (pinned functions first in arbitrary order — they are not
+    /// planned — then the acyclic remainder, callees before callers).
+    pub fn reverse_topo_excluding(&self, m: &Module, skip: &[bool]) -> Vec<FuncId> {
+        let n = m.funcs.len();
+        let mut out: Vec<FuncId> = (0..n).filter(|&f| skip[f]).map(FuncId::new).collect();
+        // Kahn over the non-skipped subgraph.
+        let mut deg = vec![0usize; n];
+        for f in 0..n {
+            if skip[f] {
+                continue;
+            }
+            deg[f] = self.callees[f].iter().filter(|c| !skip[c.index()]).count();
+        }
+        let mut ready: Vec<FuncId> =
+            (0..n).filter(|&f| !skip[f] && deg[f] == 0).map(FuncId::new).collect();
+        while let Some(f) = ready.pop() {
+            out.push(f);
+            for &caller in &self.callers[f.index()] {
+                if skip[caller.index()] {
+                    continue;
+                }
+                deg[caller.index()] -= 1;
+                if deg[caller.index()] == 0 {
+                    ready.push(caller);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of static call sites of `f` across the module.
+    pub fn call_site_count(&self, m: &Module, f: FuncId) -> usize {
+        let mut count = 0;
+        for fid in m.func_ids() {
+            let func = m.func(fid);
+            for (_, iid) in func.inst_ids_in_layout() {
+                if matches!(&func.inst(iid).op, Op::Call(c, _) if *c == f) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Interprocedural effect summary for each function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Effects {
+    pub reads_mem: bool,
+    pub writes_mem: bool,
+    /// Stream I/O or runtime (queue/semaphore) intrinsics.
+    pub has_io: bool,
+    /// May trap (division whose divisor is not a non-zero constant).
+    pub may_trap: bool,
+}
+
+impl Effects {
+    /// Completely pure: removable if the result is unused.
+    pub fn is_pure(&self) -> bool {
+        !self.reads_mem && !self.writes_mem && !self.has_io && !self.may_trap
+    }
+
+    pub fn union(self, o: Effects) -> Effects {
+        Effects {
+            reads_mem: self.reads_mem || o.reads_mem,
+            writes_mem: self.writes_mem || o.writes_mem,
+            has_io: self.has_io || o.has_io,
+            may_trap: self.may_trap || o.may_trap,
+        }
+    }
+}
+
+/// Bottom-up effect computation. Recursive cliques (and their callees)
+/// are summarized conservatively as fully impure; the acyclic remainder is
+/// exact.
+pub fn function_effects(m: &Module) -> Vec<Effects> {
+    let cg = CallGraph::new(m);
+    let mut fx = vec![Effects::default(); m.funcs.len()];
+    let order: Vec<FuncId> = if cg.is_recursive() {
+        let pinned = cg.software_pinned_set(m);
+        for (f, &p) in pinned.iter().enumerate() {
+            if p {
+                fx[f] =
+                    Effects { reads_mem: true, writes_mem: true, has_io: true, may_trap: true };
+            }
+        }
+        cg.reverse_topo_excluding(m, &pinned)
+            .into_iter()
+            .filter(|f| !pinned[f.index()])
+            .collect()
+    } else {
+        cg.reverse_topo.clone()
+    };
+    for fid in order {
+        let f = m.func(fid);
+        let mut e = Effects::default();
+        for (_, iid) in f.inst_ids_in_layout() {
+            match &f.inst(iid).op {
+                Op::Load(_) => e.reads_mem = true,
+                Op::Store(..) => e.writes_mem = true,
+                Op::Intrin(i, _) => match i {
+                    Intr::Out | Intr::In => e.has_io = true,
+                    _ => e.has_io = true,
+                },
+                Op::Call(c, _) => e = e.union(fx[c.index()]),
+                // Indirect targets are unknown: fully impure.
+                Op::CallIndirect(..) => {
+                    e = e.union(Effects {
+                        reads_mem: true,
+                        writes_mem: true,
+                        has_io: true,
+                        may_trap: true,
+                    })
+                }
+                op @ Op::Bin(b, _, _) if b.can_trap() => {
+                    if op.has_side_effect() {
+                        e.may_trap = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        fx[fid.index()] = e;
+    }
+    fx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twill_ir::parser::parse_module;
+
+    const SRC: &str = r#"
+func @pure(i32) -> i32 {
+bb0:
+  %0 = mul i32 %a0, %a0
+  ret %0
+}
+func @writer(ptr) -> void {
+bb0:
+  store i32 1:i32, %a0
+  ret
+}
+func @top(ptr) -> i32 {
+bb0:
+  %0 = call i32 @pure(3:i32)
+  call void @writer(%a0)
+  ret %0
+}
+"#;
+
+    #[test]
+    fn call_graph_edges_and_topo() {
+        let m = parse_module(SRC).unwrap();
+        let cg = CallGraph::new(&m);
+        assert!(!cg.is_recursive());
+        assert_eq!(cg.callees[2].len(), 2);
+        assert_eq!(cg.callers[0], vec![FuncId(2)]);
+        // reverse topo: leaves first.
+        let pos = |name: &str| {
+            let id = m.find_func(name).unwrap();
+            cg.reverse_topo.iter().position(|&f| f == id).unwrap()
+        };
+        assert!(pos("pure") < pos("top"));
+        assert!(pos("writer") < pos("top"));
+    }
+
+    #[test]
+    fn effects_propagate_up() {
+        let m = parse_module(SRC).unwrap();
+        let fx = function_effects(&m);
+        let id = |n: &str| m.find_func(n).unwrap().index();
+        assert!(fx[id("pure")].is_pure());
+        assert!(fx[id("writer")].writes_mem);
+        assert!(!fx[id("writer")].reads_mem);
+        assert!(fx[id("top")].writes_mem);
+        assert!(!fx[id("top")].has_io);
+    }
+
+    #[test]
+    fn pinned_set_and_condensed_topo() {
+        let src = r#"
+func @helper(i32) -> i32 {
+bb0:
+  %0 = add i32 %a0, 1:i32
+  ret %0
+}
+func @rec(i32) -> i32 {
+bb0:
+  %c = cmp sgt %a0, 0:i32
+  condbr %c, bb1, bb2
+bb1:
+  %1 = sub i32 %a0, 1:i32
+  %2 = call i32 @rec(%1)
+  %3 = call i32 @helper(%2)
+  ret %3
+bb2:
+  ret 0:i32
+}
+func @main() -> i32 {
+bb0:
+  %0 = call i32 @rec(5:i32)
+  %1 = call i32 @helper(%0)
+  ret %1
+}
+"#;
+        let m = twill_ir::parser::parse_module(src).unwrap();
+        let cg = CallGraph::new(&m);
+        assert!(cg.is_recursive());
+        let rec = cg.recursive_funcs(&m);
+        let pinned = cg.software_pinned_set(&m);
+        let id = |n: &str| m.find_func(n).unwrap().index();
+        assert!(rec[id("rec")]);
+        assert!(!rec[id("helper")]);
+        assert!(!rec[id("main")]);
+        // helper is called from rec: pinned too. main is not.
+        assert!(pinned[id("rec")]);
+        assert!(pinned[id("helper")]);
+        assert!(!pinned[id("main")]);
+        // Condensed order covers everything once.
+        let order = cg.reverse_topo_excluding(&m, &pinned);
+        assert_eq!(order.len(), 3);
+        // Effects: pinned impure, main inherits.
+        let fx = function_effects(&m);
+        assert!(!fx[id("rec")].is_pure());
+        assert!(!fx[id("main")].is_pure());
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let src = r#"
+func @a() -> void {
+bb0:
+  call void @b()
+  ret
+}
+func @b() -> void {
+bb0:
+  call void @a()
+  ret
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let cg = CallGraph::new(&m);
+        assert!(cg.is_recursive());
+        // Effects degrade conservatively.
+        let fx = function_effects(&m);
+        assert!(fx.iter().all(|e| !e.is_pure()));
+    }
+
+    #[test]
+    fn call_site_counting() {
+        let src = r#"
+func @leaf() -> void {
+bb0:
+  ret
+}
+func @f() -> void {
+bb0:
+  call void @leaf()
+  call void @leaf()
+  ret
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let cg = CallGraph::new(&m);
+        assert_eq!(cg.call_site_count(&m, FuncId(0)), 2);
+        assert_eq!(cg.call_site_count(&m, FuncId(1)), 0);
+    }
+}

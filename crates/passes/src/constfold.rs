@@ -1,0 +1,327 @@
+//! Constant folding and algebraic simplification ("constprop").
+//!
+//! Folds pure ops with constant operands using the interpreter's own
+//! evaluation functions (so folding can never diverge from execution),
+//! applies a few algebraic identities, turns constant conditional branches
+//! into unconditional ones, and resolves constant switches.
+
+use std::collections::HashSet;
+use twill_ir::interp::{eval_bin, eval_cast, eval_cmp};
+use twill_ir::{BinOp, Function, InstId, Op, Ty, Value};
+
+/// Run to fixpoint on one function. Returns true if anything changed.
+pub fn constfold(f: &mut Function) -> bool {
+    let mut changed_any = false;
+    loop {
+        let mut changed = false;
+        let layout = f.inst_ids_in_layout();
+        for (_, iid) in layout {
+            if let Some(repl) = fold_inst(f, iid) {
+                f.replace_all_uses(Value::Inst(iid), repl);
+                changed = true;
+            }
+        }
+        // Drop now-dead foldable instructions.
+        let used = live_uses(f);
+        let mut dead = HashSet::new();
+        for (_, iid) in f.inst_ids_in_layout() {
+            let inst = f.inst(iid);
+            if !inst.op.is_terminator() && !inst.op.has_side_effect() && !used.contains(&iid) {
+                dead.insert(iid);
+                changed = true;
+            }
+        }
+        crate::utils::remove_insts(f, &dead);
+
+        // Constant branches.
+        for bi in 0..f.blocks.len() {
+            let b = twill_ir::BlockId::new(bi);
+            let Some(term) = f.block(b).terminator() else { continue };
+            let new_op = match &f.inst(term).op {
+                Op::CondBr(Value::Imm(v, t), tb, eb) => {
+                    Some(Op::Br(if t.mask(*v) & 1 != 0 { *tb } else { *eb }))
+                }
+                Op::CondBr(_, tb, eb) if tb == eb => Some(Op::Br(*tb)),
+                Op::Switch(Value::Imm(v, t), cases, default) => {
+                    let x = t.sext(t.mask(*v));
+                    let target =
+                        cases.iter().find(|(k, _)| *k == x).map(|(_, b)| *b).unwrap_or(*default);
+                    Some(Op::Br(target))
+                }
+                _ => None,
+            };
+            if let Some(op) = new_op {
+                // Removing an edge requires dropping phi entries in the
+                // no-longer-targeted block, but only if the edge is truly
+                // gone. Collect old/new successor multisets.
+                let old_succs = f.inst(term).op.successors();
+                let new_succs = op.successors();
+                f.inst_mut(term).op = op;
+                for s in old_succs {
+                    if !new_succs.contains(&s) {
+                        remove_phi_entries(f, s, b);
+                    }
+                }
+                changed = true;
+            }
+        }
+
+        changed_any |= changed;
+        if !changed {
+            break;
+        }
+    }
+    changed_any
+}
+
+fn remove_phi_entries(f: &mut Function, block: twill_ir::BlockId, pred: twill_ir::BlockId) {
+    let insts: Vec<InstId> = f.block(block).insts.clone();
+    for iid in insts {
+        if let Op::Phi(incoming) = &mut f.inst_mut(iid).op {
+            if let Some(pos) = incoming.iter().position(|(b, _)| *b == pred) {
+                incoming.remove(pos);
+            }
+        } else {
+            break;
+        }
+    }
+}
+
+fn live_uses(f: &Function) -> HashSet<InstId> {
+    let mut used = HashSet::new();
+    for (_, iid) in f.inst_ids_in_layout() {
+        f.inst(iid).op.for_each_value(|v| {
+            if let Value::Inst(d) = v {
+                used.insert(d);
+            }
+        });
+    }
+    used
+}
+
+/// If `iid` computes a constant or simplifies to an operand, return the
+/// replacement value.
+fn fold_inst(f: &Function, iid: InstId) -> Option<Value> {
+    let inst = f.inst(iid);
+    let ty = inst.ty;
+    match &inst.op {
+        Op::Bin(b, x, y) => {
+            if let (Value::Imm(xv, xt), Value::Imm(yv, yt)) = (x, y) {
+                let xv = xt.mask(*xv);
+                let yv = yt.mask(*yv);
+                if let Ok(r) = eval_bin(*b, ty, xv, yv) {
+                    return Some(Value::Imm(ty.sext(r), ty));
+                }
+                return None;
+            }
+            // Algebraic identities (careful with traps: division untouched
+            // unless divisor constant non-zero).
+            let is0 = |v: &Value| matches!(v, Value::Imm(n, t) if t.mask(*n) == 0);
+            let is1 = |v: &Value| matches!(v, Value::Imm(n, t) if t.mask(*n) == 1);
+            match b {
+                BinOp::Add | BinOp::Or | BinOp::Xor if is0(y) => Some(*x),
+                BinOp::Add | BinOp::Or | BinOp::Xor if is0(x) => Some(*y),
+                BinOp::Sub if is0(y) => Some(*x),
+                BinOp::Sub if x == y => Some(Value::Imm(0, ty)),
+                BinOp::Mul if is0(x) || is0(y) => Some(Value::Imm(0, ty)),
+                BinOp::Mul if is1(y) => Some(*x),
+                BinOp::Mul if is1(x) => Some(*y),
+                BinOp::And if is0(x) || is0(y) => Some(Value::Imm(0, ty)),
+                BinOp::And | BinOp::Or if x == y => Some(*x),
+                BinOp::Xor if x == y => Some(Value::Imm(0, ty)),
+                BinOp::Shl | BinOp::AShr | BinOp::LShr if is0(y) => Some(*x),
+                BinOp::SDiv | BinOp::UDiv if is1(y) => Some(*x),
+                _ => None,
+            }
+        }
+        Op::Cmp(c, x, y) => {
+            if let (Value::Imm(xv, xt), Value::Imm(yv, _)) = (x, y) {
+                let opty = *xt;
+                let r = eval_cmp(*c, opty, *xv, *yv);
+                return Some(Value::Imm(r, Ty::I1));
+            }
+            if x == y {
+                use twill_ir::CmpOp::*;
+                let r = matches!(c, Eq | Sle | Sge | Ule | Uge);
+                return Some(Value::Imm(r as i64, Ty::I1));
+            }
+            None
+        }
+        Op::Cast(c, v) => {
+            if let Value::Imm(x, from) = v {
+                let r = eval_cast(*c, *from, ty, *x);
+                return Some(Value::Imm(ty.sext(r), ty));
+            }
+            // No-op casts (same width, zext/sext of i32->i32 etc.).
+            let from = f.value_ty(*v);
+            if from == ty {
+                return Some(*v);
+            }
+            None
+        }
+        Op::Select(c, a, b) => match c {
+            Value::Imm(v, t) => Some(if t.mask(*v) & 1 != 0 { *a } else { *b }),
+            _ if a == b => Some(*a),
+            _ => None,
+        },
+        Op::Gep(base, idx, sz) => {
+            // gep base, 0, _ => base ; gep imm, imm, sz => imm
+            if let Value::Imm(i, t) = idx {
+                if t.mask(*i) == 0 {
+                    return Some(*base);
+                }
+                if let Value::Imm(b, _) = base {
+                    let addr = b.wrapping_add(t.sext(t.mask(*i)).wrapping_mul(*sz as i64));
+                    return Some(Value::Imm(Ty::Ptr.mask(addr), Ty::Ptr));
+                }
+            }
+            None
+        }
+        Op::Phi(incoming) => {
+            // Phi with all-identical values (ignoring self-references).
+            let mut uniq: Option<Value> = None;
+            for (_, v) in incoming {
+                if *v == Value::Inst(iid) {
+                    continue;
+                }
+                match uniq {
+                    None => uniq = Some(*v),
+                    Some(u) if u == *v => {}
+                    _ => return None,
+                }
+            }
+            uniq
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twill_ir::parser::parse_module;
+    use twill_ir::printer::print_module;
+
+    fn fold_src(src: &str) -> String {
+        let mut m = parse_module(src).unwrap();
+        constfold(&mut m.funcs[0]);
+        crate::utils::assert_valid_ssa(&m);
+        print_module(&m)
+    }
+
+    #[test]
+    fn folds_constant_chain() {
+        let out = fold_src(
+            "func @f() -> i32 {\nbb0:\n  %0 = add i32 2:i32, 3:i32\n  %1 = mul i32 %0, 4:i32\n  ret %1\n}\n",
+        );
+        assert!(out.contains("ret 20:i32"), "{out}");
+        assert!(!out.contains("add"), "{out}");
+    }
+
+    #[test]
+    fn folds_signed_ops_correctly() {
+        let out = fold_src(
+            "func @f() -> i32 {\nbb0:\n  %0 = sdiv i32 -9:i32, 2:i32\n  ret %0\n}\n",
+        );
+        assert!(out.contains("ret -4:i32"), "{out}");
+    }
+
+    #[test]
+    fn preserves_possible_trap() {
+        // Division by an unknown value must not be removed even if unused.
+        let out = fold_src(
+            "func @f(i32) -> i32 {\nbb0:\n  %0 = sdiv i32 8:i32, %a0\n  ret 1:i32\n}\n",
+        );
+        assert!(out.contains("sdiv"), "{out}");
+        // But division by zero constant isn't folded (kept, traps at run).
+        let out2 = fold_src(
+            "func @f() -> i32 {\nbb0:\n  %0 = sdiv i32 8:i32, 0:i32\n  ret %0\n}\n",
+        );
+        assert!(out2.contains("sdiv"), "{out2}");
+    }
+
+    #[test]
+    fn identities() {
+        let out = fold_src(
+            "func @f(i32) -> i32 {\nbb0:\n  %0 = add i32 %a0, 0:i32\n  %1 = mul i32 %0, 1:i32\n  %2 = xor i32 %1, %1\n  %3 = add i32 %1, %2\n  ret %3\n}\n",
+        );
+        assert!(out.contains("ret %a0"), "{out}");
+    }
+
+    #[test]
+    fn constant_condbr_becomes_br_and_fixes_phis() {
+        let out = fold_src(
+            r#"func @f() -> i32 {
+bb0:
+  condbr 1:i1, bb1, bb2
+bb1:
+  br bb3
+bb2:
+  br bb3
+bb3:
+  %0 = phi i32 [bb1: 10:i32], [bb2: 20:i32]
+  ret %0
+}
+"#,
+        );
+        assert!(out.contains("br bb1"), "{out}");
+        assert!(!out.contains("condbr"), "{out}");
+    }
+
+    #[test]
+    fn constant_switch_resolves() {
+        let out = fold_src(
+            r#"func @f() -> i32 {
+bb0:
+  switch 2:i32, [1: bb1], [2: bb2], default bb3
+bb1:
+  ret 1:i32
+bb2:
+  ret 2:i32
+bb3:
+  ret 0:i32
+}
+"#,
+        );
+        assert!(out.contains("br bb2"), "{out}");
+    }
+
+    #[test]
+    fn cmp_same_operand() {
+        let out = fold_src(
+            "func @f(i32) -> i32 {\nbb0:\n  %0 = cmp sle %a0, %a0\n  %1 = zext %0 to i32\n  ret %1\n}\n",
+        );
+        assert!(out.contains("ret 1:i32"), "{out}");
+    }
+
+    #[test]
+    fn gep_zero_index_folds_to_base() {
+        let out = fold_src(
+            "global @g size=8 []\nfunc @f() -> i32 {\nbb0:\n  %0 = gaddr @g\n  %1 = gep %0, 0:i32, 4\n  %2 = load i32 %1\n  ret %2\n}\n",
+        );
+        assert!(!out.contains("gep"), "{out}");
+    }
+
+    #[test]
+    fn semantics_preserved_under_folding() {
+        // Run a program before and after folding; outputs must match.
+        let src = r#"
+func @main() -> i32 {
+bb0:
+  %0 = add i32 7:i32, 5:i32
+  %1 = shl i32 %0, 2:i32
+  %2 = in
+  %3 = sub i32 %1, %2
+  out %3
+  ret %3
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        twill_ir::layout::assign_global_addrs(&mut m);
+        let (out_before, _, _) = twill_ir::interp::run_main(&m, vec![8], 10_000).unwrap();
+        constfold(&mut m.funcs[0]);
+        let (out_after, _, _) = twill_ir::interp::run_main(&m, vec![8], 10_000).unwrap();
+        assert_eq!(out_before, out_after);
+        assert_eq!(out_after, vec![40]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Dead code elimination ("adce"-grade, minus control-dependence pruning).
+//!
+//! Seeds liveness from side-effecting instructions and terminators, then
+//! marks the transitive operand closure live; everything else is removed.
+//! Pure calls (per the interprocedural effect analysis) whose results are
+//! unused are removed too. Self-referencing phi cycles with no live external
+//! user are eliminated as a unit.
+
+use crate::callgraph::Effects;
+use std::collections::HashSet;
+use twill_ir::{Function, InstId, Module, Op, Value};
+
+/// Remove dead instructions from `f`. `effects` is the module-wide function
+/// effect table (pass `None` to treat every call as side-effecting).
+pub fn dce_function(f: &mut Function, effects: Option<&[Effects]>) -> bool {
+    let mut live: HashSet<InstId> = HashSet::new();
+    let mut work: Vec<InstId> = Vec::new();
+
+    for (_, iid) in f.inst_ids_in_layout() {
+        let op = &f.inst(iid).op;
+        let rooted = match op {
+            Op::Call(callee, _) => match effects {
+                Some(fx) => !fx[callee.index()].is_pure(),
+                None => true,
+            },
+            _ => op.is_terminator() || op.has_side_effect(),
+        };
+        if rooted && live.insert(iid) {
+            work.push(iid);
+        }
+    }
+    while let Some(iid) = work.pop() {
+        f.inst(iid).op.for_each_value(|v| {
+            if let Value::Inst(d) = v {
+                if live.insert(d) {
+                    work.push(d);
+                }
+            }
+        });
+    }
+
+    let mut dead: HashSet<InstId> = HashSet::new();
+    for (_, iid) in f.inst_ids_in_layout() {
+        if !live.contains(&iid) {
+            dead.insert(iid);
+        }
+    }
+    let changed = !dead.is_empty();
+    crate::utils::remove_insts(f, &dead);
+    changed
+}
+
+/// Module-wide DCE with interprocedural purity.
+pub fn dce_module(m: &mut Module) -> bool {
+    let fx = crate::callgraph::function_effects(m);
+    let mut changed = false;
+    for i in 0..m.funcs.len() {
+        changed |= dce_function(&mut m.funcs[i], Some(&fx));
+    }
+    changed
+}
+
+/// Remove whole functions that are unreachable from `main` ("deadargelim"
+/// companion; keeps the module minimal after inlining).
+pub fn remove_dead_functions(m: &mut Module) -> bool {
+    let Some(main) = m.find_func("main") else { return false };
+    let cg = crate::callgraph::CallGraph::new(m);
+    let mut keep = vec![false; m.funcs.len()];
+    let mut stack = vec![main];
+    keep[main.index()] = true;
+    // Address-taken functions may be reached through pointers: roots.
+    for f in &m.funcs {
+        for (_, iid) in f.inst_ids_in_layout() {
+            if let twill_ir::Op::FuncAddr(t) = &f.inst(iid).op {
+                if !keep[t.index()] {
+                    keep[t.index()] = true;
+                    stack.push(*t);
+                }
+            }
+        }
+    }
+    while let Some(f) = stack.pop() {
+        for &c in &cg.callees[f.index()] {
+            if !keep[c.index()] {
+                keep[c.index()] = true;
+                stack.push(c);
+            }
+        }
+    }
+    if keep.iter().all(|&k| k) {
+        return false;
+    }
+    // Renumber FuncIds.
+    let mut remap = vec![None; m.funcs.len()];
+    let mut next = 0u32;
+    for (i, &k) in keep.iter().enumerate() {
+        if k {
+            remap[i] = Some(twill_ir::FuncId(next));
+            next += 1;
+        }
+    }
+    let old_funcs = std::mem::take(&mut m.funcs);
+    for (i, func) in old_funcs.into_iter().enumerate() {
+        if keep[i] {
+            m.funcs.push(func);
+        }
+    }
+    for f in &mut m.funcs {
+        // Only live instructions: dead arena slots may hold stale calls.
+        let live: Vec<twill_ir::InstId> =
+            f.inst_ids_in_layout().into_iter().map(|(_, i)| i).collect();
+        for iid in live {
+            match &mut f.inst_mut(iid).op {
+                Op::Call(callee, _) => {
+                    *callee = remap[callee.index()].expect("call to dead function survived");
+                }
+                Op::FuncAddr(t) => {
+                    *t = remap[t.index()].expect("address of dead function survived");
+                }
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twill_ir::parser::parse_module;
+    use twill_ir::printer::print_module;
+
+    #[test]
+    fn removes_unused_pure_chain() {
+        let src = "func @f(i32) -> i32 {\nbb0:\n  %0 = add i32 %a0, 1:i32\n  %1 = mul i32 %0, %0\n  %2 = add i32 %a0, 2:i32\n  ret %2\n}\n";
+        let mut m = parse_module(src).unwrap();
+        assert!(dce_function(&mut m.funcs[0], None));
+        let out = print_module(&m);
+        assert!(!out.contains("mul"), "{out}");
+        assert!(out.contains("2:i32"), "{out}");
+        crate::utils::assert_valid_ssa(&m);
+    }
+
+    #[test]
+    fn keeps_stores_and_io() {
+        let src = "global @g size=4 []\nfunc @f() -> void {\nbb0:\n  %0 = gaddr @g\n  store i32 1:i32, %0\n  out 5:i32\n  ret\n}\n";
+        let mut m = parse_module(src).unwrap();
+        dce_function(&mut m.funcs[0], None);
+        let out = print_module(&m);
+        assert!(out.contains("store"));
+        assert!(out.contains("out 5:i32"));
+    }
+
+    #[test]
+    fn removes_dead_phi_cycle() {
+        // %0/%1 feed each other but nothing live uses them.
+        let src = r#"
+func @f(i32) -> i32 {
+bb0:
+  br bb1
+bb1:
+  %0 = phi i32 [bb0: 0:i32], [bb1: %1]
+  %1 = add i32 %0, 1:i32
+  %2 = phi i32 [bb0: 0:i32], [bb1: %3]
+  %3 = add i32 %2, 2:i32
+  %c = cmp slt %3, %a0
+  condbr %c, bb1, bb2
+bb2:
+  ret %3
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        assert!(dce_function(&mut m.funcs[0], None));
+        let out = print_module(&m);
+        // The %0/%1 cycle is dead; the %2/%3 cycle feeds the condition.
+        assert_eq!(out.matches("phi").count(), 1, "{out}");
+        crate::utils::assert_valid_ssa(&m);
+    }
+
+    #[test]
+    fn pure_call_removed_impure_kept() {
+        let src = r#"
+func @pure(i32) -> i32 {
+bb0:
+  %0 = add i32 %a0, 1:i32
+  ret %0
+}
+func @impure(i32) -> i32 {
+bb0:
+  out %a0
+  ret %a0
+}
+func @main() -> i32 {
+bb0:
+  %0 = call i32 @pure(1:i32)
+  %1 = call i32 @impure(2:i32)
+  ret 0:i32
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        dce_module(&mut m);
+        let out = print_module(&m);
+        assert!(!out.contains("call i32 @pure"), "{out}");
+        assert!(out.contains("call i32 @impure"), "{out}");
+    }
+
+    #[test]
+    fn dead_functions_removed_and_calls_renumbered() {
+        let src = r#"
+func @dead() -> void {
+bb0:
+  ret
+}
+func @used() -> void {
+bb0:
+  ret
+}
+func @main() -> void {
+bb0:
+  call void @used()
+  ret
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        assert!(remove_dead_functions(&mut m));
+        assert_eq!(m.funcs.len(), 2);
+        assert!(m.find_func("dead").is_none());
+        twill_ir::verifier::assert_valid(&m);
+        // The call still targets @used after renumbering.
+        let (out, _, _) = {
+            let mut m2 = m.clone();
+            twill_ir::layout::assign_global_addrs(&mut m2);
+            twill_ir::interp::run_main(&m2, vec![], 1000).unwrap()
+        };
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,537 @@
+//! Dominator and post-dominator trees with dominance frontiers.
+//!
+//! Implemented with the Cooper–Harvey–Kennedy iterative algorithm over a
+//! generic edge view so the same core serves both directions. The
+//! post-dominator tree uses a virtual exit node that every `ret` block (and,
+//! for infinite loops, one representative of every exit-free SCC) is
+//! connected to, so the tree is total even for non-terminating regions —
+//! the DSWP extractor relies on that.
+
+use twill_ir::{BlockId, Function};
+
+/// Generic dominator computation over an explicit graph.
+///
+/// `n_nodes` real nodes, `entry`, plus successor/predecessor closures.
+fn compute_idoms(
+    n: usize,
+    entry: usize,
+    preds: &[Vec<usize>],
+    rpo: &[usize],
+) -> Vec<Option<usize>> {
+    // rpo_index[node] = position in reverse postorder.
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_index[b] = i;
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[entry] = Some(entry);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            // Pick the first processed predecessor.
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[b] {
+                if idom[p].is_some() {
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+            }
+            if let Some(ni) = new_idom {
+                if idom[b] != Some(ni) {
+                    idom[b] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom[entry] = None; // entry has no idom by convention
+    idom
+}
+
+fn intersect(idom: &[Option<usize>], rpo_index: &[usize], a: usize, b: usize) -> usize {
+    let mut x = a;
+    let mut y = b;
+    while x != y {
+        while rpo_index[x] > rpo_index[y] {
+            x = idom[x].expect("intersect walked past root");
+        }
+        while rpo_index[y] > rpo_index[x] {
+            y = idom[y].expect("intersect walked past root");
+        }
+    }
+    x
+}
+
+fn postorder(n: usize, entry: usize, succs: &[Vec<usize>]) -> Vec<usize> {
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
+    state[entry] = 1;
+    while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+        if *idx < succs[node].len() {
+            let next = succs[node][*idx];
+            *idx += 1;
+            if state[next] == 0 {
+                state[next] = 1;
+                stack.push((next, 0));
+            }
+        } else {
+            state[node] = 2;
+            order.push(node);
+            stack.pop();
+        }
+    }
+    order
+}
+
+/// Dominance frontiers per node (Cytron et al.).
+fn compute_frontiers(
+    n: usize,
+    preds: &[Vec<usize>],
+    idom: &[Option<usize>],
+    entry: usize,
+) -> Vec<Vec<usize>> {
+    let _ = entry;
+    let mut df: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for b in 0..n {
+        if preds[b].len() < 2 {
+            continue;
+        }
+        for &p in &preds[b] {
+            let mut runner = p;
+            while Some(runner) != idom[b] {
+                if !df[runner].contains(&b) {
+                    df[runner].push(b);
+                }
+                match idom[runner] {
+                    Some(next) => runner = next,
+                    None => break, // reached the root
+                }
+            }
+        }
+    }
+    df
+}
+
+/// Forward dominator tree over a function's CFG.
+pub struct DomTree {
+    /// Immediate dominator of each block (None for entry / unreachable).
+    pub idom: Vec<Option<BlockId>>,
+    /// Children in the dominator tree.
+    pub children: Vec<Vec<BlockId>>,
+    /// Dominance frontier of each block.
+    pub frontier: Vec<Vec<BlockId>>,
+    /// Reverse-postorder of reachable blocks.
+    pub rpo: Vec<BlockId>,
+    /// `depth[b]` = distance from entry in the dom tree (entry = 0).
+    pub depth: Vec<u32>,
+    reachable: Vec<bool>,
+}
+
+impl DomTree {
+    pub fn new(f: &Function) -> DomTree {
+        let n = f.blocks.len();
+        let entry = f.entry.index();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for b in 0..n {
+            for s in f.successors(BlockId::new(b)) {
+                succs[b].push(s.index());
+            }
+        }
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let po = postorder(n, entry, &succs);
+        let mut reachable = vec![false; n];
+        for &b in &po {
+            reachable[b] = true;
+        }
+        for b in 0..n {
+            if reachable[b] {
+                for &s in &succs[b] {
+                    if reachable[s] && !preds[s].contains(&b) {
+                        preds[s].push(b);
+                    }
+                }
+            }
+        }
+        let rpo: Vec<usize> = po.iter().rev().copied().collect();
+        let idom_raw = compute_idoms(n, entry, &preds, &rpo);
+        let frontier_raw = compute_frontiers(n, &preds, &idom_raw, entry);
+
+        let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in 0..n {
+            if let Some(d) = idom_raw[b] {
+                children[d].push(BlockId::new(b));
+            }
+        }
+        let mut depth = vec![0u32; n];
+        for &b in &rpo {
+            if let Some(d) = idom_raw[b] {
+                depth[b] = depth[d] + 1;
+            }
+        }
+        DomTree {
+            idom: idom_raw.iter().map(|o| o.map(BlockId::new)).collect(),
+            children,
+            frontier: frontier_raw
+                .into_iter()
+                .map(|v| v.into_iter().map(BlockId::new).collect())
+                .collect(),
+            rpo: rpo.into_iter().map(BlockId::new).collect(),
+            depth,
+            reachable,
+        }
+    }
+
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable[b.index()]
+    }
+
+    /// Does `a` dominate `b`? (Reflexive.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.reachable[a.index()] || !self.reachable[b.index()] {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Nearest common dominator of two reachable blocks.
+    pub fn nearest_common_dominator(&self, a: BlockId, b: BlockId) -> BlockId {
+        let mut x = a;
+        let mut y = b;
+        while x != y {
+            while self.depth[x.index()] > self.depth[y.index()] {
+                x = self.idom[x.index()].expect("walked past entry");
+            }
+            while self.depth[y.index()] > self.depth[x.index()] {
+                y = self.idom[y.index()].expect("walked past entry");
+            }
+            if x != y {
+                x = self.idom[x.index()].expect("walked past entry");
+                y = self.idom[y.index()].expect("walked past entry");
+            }
+        }
+        x
+    }
+
+    /// Pre-order traversal of the dominator tree from the entry.
+    pub fn preorder(&self, entry: BlockId) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        let mut stack = vec![entry];
+        while let Some(b) = stack.pop() {
+            out.push(b);
+            for &c in self.children[b.index()].iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+}
+
+/// Post-dominator tree: dominators of the reversed CFG with a virtual exit.
+///
+/// Node indices are block indices; the virtual exit is index `n`.
+pub struct PostDomTree {
+    /// Immediate post-dominator. `None` means the virtual exit is the ipdom
+    /// (i.e. the block exits the function directly) or the block is
+    /// unreachable in the reverse graph.
+    pub ipdom: Vec<Option<BlockId>>,
+    /// Whether each block reaches the exit (is reverse-reachable).
+    pub reaches_exit: Vec<bool>,
+    /// Post-dominance frontier (used for control-dependence computation).
+    pub frontier: Vec<Vec<BlockId>>,
+    depth: Vec<u32>,
+    n: usize,
+}
+
+impl PostDomTree {
+    pub fn new(f: &Function) -> PostDomTree {
+        let n = f.blocks.len();
+        let virt = n; // virtual exit node
+        let total = n + 1;
+
+        // Reverse graph: succ_rev[b] = preds of b in CFG; exit blocks get an
+        // edge from virt. Also connect exit-free cycles to virt so every
+        // block is reverse-reachable (needed for infinite server loops).
+        let mut fwd_succs: Vec<Vec<usize>> = vec![Vec::new(); total];
+        for b in 0..n {
+            let ss = f.successors(BlockId::new(b));
+            if ss.is_empty() {
+                fwd_succs[b].push(virt);
+            } else {
+                for s in ss {
+                    fwd_succs[b].push(s.index());
+                }
+            }
+        }
+        // Find forward-reachable blocks that cannot reach virt; attach them.
+        let mut can_exit = vec![false; total];
+        can_exit[virt] = true;
+        // iterate to fixpoint (graphs are small)
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..n {
+                if !can_exit[b] && fwd_succs[b].iter().any(|&s| can_exit[s]) {
+                    can_exit[b] = true;
+                    changed = true;
+                }
+            }
+        }
+        for b in 0..n {
+            if !can_exit[b] {
+                // Part of an exit-free region: give it a virtual exit edge.
+                // (One edge per block keeps the algorithm simple; only
+                // relative post-dominance within the region matters.)
+                fwd_succs[b].push(virt);
+                can_exit[b] = true;
+            }
+        }
+
+        // Build the reversed graph.
+        let mut rsuccs: Vec<Vec<usize>> = vec![Vec::new(); total];
+        let mut rpreds: Vec<Vec<usize>> = vec![Vec::new(); total];
+        for b in 0..total {
+            for &s in &fwd_succs[b] {
+                rsuccs[s].push(b);
+                rpreds[b].push(s);
+            }
+        }
+
+        let po = postorder(total, virt, &rsuccs);
+        let mut reachable = vec![false; total];
+        for &b in &po {
+            reachable[b] = true;
+        }
+        let rpo: Vec<usize> = po.iter().rev().copied().collect();
+        let idom_raw = compute_idoms(total, virt, &rpreds, &rpo);
+        let frontier_raw = compute_frontiers(total, &rpreds, &idom_raw, virt);
+
+        let mut depth = vec![0u32; total];
+        for &b in &rpo {
+            if let Some(d) = idom_raw[b] {
+                depth[b] = depth[d] + 1;
+            }
+        }
+
+        PostDomTree {
+            ipdom: (0..n)
+                .map(|b| idom_raw[b].and_then(|d| if d == virt { None } else { Some(BlockId::new(d)) }))
+                .collect(),
+            reaches_exit: (0..n).map(|b| reachable[b]).collect(),
+            frontier: frontier_raw[..n]
+                .iter()
+                .map(|v| v.iter().filter(|&&x| x != virt).map(|&x| BlockId::new(x)).collect())
+                .collect(),
+            depth: depth[..n].to_vec(),
+            n,
+        }
+    }
+
+    /// Does `a` post-dominate `b`? (Reflexive.)
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.ipdom[cur.index()] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Walk up the post-dominator tree from `b` (exclusive), yielding each
+    /// ancestor until the virtual exit.
+    pub fn ancestors(&self, b: BlockId) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        let mut cur = b;
+        while let Some(d) = self.ipdom[cur.index()] {
+            out.push(d);
+            cur = d;
+            if out.len() > self.n {
+                break; // cycle guard (shouldn't happen)
+            }
+        }
+        out
+    }
+
+    pub fn depth_of(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twill_ir::parser::parse_module;
+
+    /// Diamond: bb0 -> bb1, bb2 -> bb3
+    const DIAMOND: &str = r#"
+func @f(i1) -> i32 {
+bb0:
+  condbr %a0, bb1, bb2
+bb1:
+  br bb3
+bb2:
+  br bb3
+bb3:
+  %0 = phi i32 [bb1: 1:i32], [bb2: 2:i32]
+  ret %0
+}
+"#;
+
+    #[test]
+    fn diamond_dominators() {
+        let m = parse_module(DIAMOND).unwrap();
+        let f = &m.funcs[0];
+        let dt = DomTree::new(f);
+        assert_eq!(dt.idom[0], None);
+        assert_eq!(dt.idom[1], Some(BlockId(0)));
+        assert_eq!(dt.idom[2], Some(BlockId(0)));
+        assert_eq!(dt.idom[3], Some(BlockId(0)));
+        assert!(dt.dominates(BlockId(0), BlockId(3)));
+        assert!(!dt.dominates(BlockId(1), BlockId(3)));
+        assert!(dt.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let m = parse_module(DIAMOND).unwrap();
+        let f = &m.funcs[0];
+        let dt = DomTree::new(f);
+        assert_eq!(dt.frontier[1], vec![BlockId(3)]);
+        assert_eq!(dt.frontier[2], vec![BlockId(3)]);
+        assert!(dt.frontier[0].is_empty());
+        assert!(dt.frontier[3].is_empty());
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let m = parse_module(DIAMOND).unwrap();
+        let f = &m.funcs[0];
+        let pdt = PostDomTree::new(f);
+        assert_eq!(pdt.ipdom[0], Some(BlockId(3)));
+        assert_eq!(pdt.ipdom[1], Some(BlockId(3)));
+        assert_eq!(pdt.ipdom[2], Some(BlockId(3)));
+        assert_eq!(pdt.ipdom[3], None); // exits to virtual exit
+        assert!(pdt.post_dominates(BlockId(3), BlockId(0)));
+        assert!(!pdt.post_dominates(BlockId(1), BlockId(0)));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        let src = r#"
+func @f(i32) -> i32 {
+bb0:
+  br bb1
+bb1:
+  %0 = phi i32 [bb0: 0:i32], [bb2: %1]
+  %c = cmp slt %0, %a0
+  condbr %c, bb2, bb3
+bb2:
+  %1 = add i32 %0, 1:i32
+  br bb1
+bb3:
+  ret %0
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = &m.funcs[0];
+        let dt = DomTree::new(f);
+        assert_eq!(dt.idom[1], Some(BlockId(0)));
+        assert_eq!(dt.idom[2], Some(BlockId(1)));
+        assert_eq!(dt.idom[3], Some(BlockId(1)));
+        // The loop header's frontier contains itself (back edge).
+        assert!(dt.frontier[2].contains(&BlockId(1)));
+        let pdt = PostDomTree::new(f);
+        assert_eq!(pdt.ipdom[2], Some(BlockId(1)));
+        assert!(pdt.post_dominates(BlockId(1), BlockId(2)));
+    }
+
+    #[test]
+    fn infinite_loop_is_handled() {
+        let src = r#"
+func @f() -> void {
+bb0:
+  br bb1
+bb1:
+  br bb1
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = &m.funcs[0];
+        let pdt = PostDomTree::new(f);
+        // Should not panic; both blocks reverse-reachable.
+        assert!(pdt.reaches_exit[0]);
+        assert!(pdt.reaches_exit[1]);
+        let dt = DomTree::new(f);
+        assert!(dt.dominates(BlockId(0), BlockId(1)));
+    }
+
+    #[test]
+    fn unreachable_block_excluded() {
+        let src = r#"
+func @f() -> void {
+bb0:
+  ret
+bb1:
+  br bb0
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = &m.funcs[0];
+        let dt = DomTree::new(f);
+        assert!(dt.is_reachable(BlockId(0)));
+        assert!(!dt.is_reachable(BlockId(1)));
+        assert!(!dt.dominates(BlockId(1), BlockId(0)));
+    }
+
+    #[test]
+    fn ncd_in_nested_structure() {
+        let src = r#"
+func @f(i1, i1) -> void {
+bb0:
+  condbr %a0, bb1, bb4
+bb1:
+  condbr %a1, bb2, bb3
+bb2:
+  br bb5
+bb3:
+  br bb5
+bb4:
+  br bb5
+bb5:
+  ret
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = &m.funcs[0];
+        let dt = DomTree::new(f);
+        assert_eq!(dt.nearest_common_dominator(BlockId(2), BlockId(3)), BlockId(1));
+        assert_eq!(dt.nearest_common_dominator(BlockId(2), BlockId(4)), BlockId(0));
+        assert_eq!(dt.nearest_common_dominator(BlockId(5), BlockId(5)), BlockId(5));
+    }
+
+    #[test]
+    fn preorder_visits_all_reachable() {
+        let m = parse_module(DIAMOND).unwrap();
+        let f = &m.funcs[0];
+        let dt = DomTree::new(f);
+        let pre = dt.preorder(f.entry);
+        assert_eq!(pre.len(), 4);
+        assert_eq!(pre[0], f.entry);
+    }
+}

@@ -1,0 +1,398 @@
+//! The thesis' first custom pass (§5.2): "fix" globals by passing their
+//! addresses to all functions as parameters, so that after this pass the
+//! only `gaddr` instructions in the program are in `main`.
+//!
+//! Rationale from the thesis: LegUp synthesizes globals as per-module FPGA
+//! memory blocks that do not stay coherent across hardware threads, so Twill
+//! rewrites every global access to go through the unified address space via
+//! pointers threaded from `main`.
+//!
+//! Constant (read-only) globals are left in place — the follow-up
+//! "constprop" stage can resolve them locally, matching the thesis' note
+//! that constant globals get replaced by constant expressions.
+
+use crate::callgraph::CallGraph;
+use std::collections::BTreeSet;
+use twill_ir::{FuncId, GlobalId, Module, Op, Ty, Value};
+
+/// Run the pass. Returns the number of functions rewritten.
+pub fn globals_to_args(m: &mut Module) -> usize {
+    let Some(main) = m.find_func("main") else { return 0 };
+    let cg = CallGraph::new(m);
+    if cg.is_recursive() {
+        return 0;
+    }
+    // Address-taken functions cannot change signature (callers are
+    // unknown); they keep direct `gaddr` access — they run on the
+    // processor anyway (DSWP pins indirect calls to software, where the
+    // unified address space is native).
+    let mut address_taken = vec![false; m.funcs.len()];
+    for f in &m.funcs {
+        for (_, iid) in f.inst_ids_in_layout() {
+            if let Op::FuncAddr(t) = &f.inst(iid).op {
+                address_taken[t.index()] = true;
+            }
+            if matches!(&f.inst(iid).op, Op::CallIndirect(..)) {
+                // An indirect caller can't forward globals either.
+            }
+        }
+    }
+
+    // Per-function transitive set of non-constant globals referenced.
+    let n = m.funcs.len();
+    let mut needs: Vec<BTreeSet<GlobalId>> = vec![BTreeSet::new(); n];
+    for fid in m.func_ids() {
+        let f = m.func(fid);
+        for (_, iid) in f.inst_ids_in_layout() {
+            if let Op::GlobalAddr(g) = f.inst(iid).op {
+                if !m.global(g).is_const {
+                    needs[fid.index()].insert(g);
+                }
+            }
+        }
+    }
+    // Propagate callee needs upward (reverse topo = callees first).
+    for &fid in &cg.reverse_topo {
+        let mut extra = BTreeSet::new();
+        for &c in &cg.callees[fid.index()] {
+            extra.extend(needs[c.index()].iter().copied());
+        }
+        needs[fid.index()].extend(extra);
+    }
+
+    // Rewrite every function except main: append one ptr param per needed
+    // global; replace local `gaddr` of that global with the param.
+    let mut rewritten = 0;
+    let mut param_index: Vec<Vec<(GlobalId, u16)>> = vec![Vec::new(); n];
+    for fi in 0..n {
+        let fid = FuncId::new(fi);
+        if fid == main || needs[fid.index()].is_empty() || address_taken[fi] {
+            continue;
+        }
+        let globals: Vec<GlobalId> = needs[fid.index()].iter().copied().collect();
+        let f = m.func_mut(fid);
+        let base = f.params.len() as u16;
+        for (k, g) in globals.iter().enumerate() {
+            f.params.push(Ty::Ptr);
+            param_index[fid.index()].push((*g, base + k as u16));
+        }
+        // Replace gaddr instructions with the new parameter.
+        for (_, iid) in f.inst_ids_in_layout() {
+            if let Op::GlobalAddr(g) = f.inst(iid).op {
+                if let Some(&(_, pi)) = param_index[fid.index()].iter().find(|(gg, _)| *gg == g) {
+                    f.replace_all_uses(Value::Inst(iid), Value::Arg(pi));
+                }
+            }
+        }
+        // Remove the dead gaddr instructions (non-const ones now unused).
+        let dead: std::collections::HashSet<_> = f
+            .inst_ids_in_layout()
+            .into_iter()
+            .filter(|(_, i)| match f.inst(*i).op {
+                Op::GlobalAddr(g) => param_index[fid.index()].iter().any(|(gg, _)| *gg == g),
+                _ => false,
+            })
+            .map(|(_, i)| i)
+            .collect();
+        crate::utils::remove_insts(f, &dead);
+        rewritten += 1;
+    }
+
+    // Fix every call site: pass the callee's needed globals. Inside main,
+    // materialize gaddr instructions at the top of the entry block (the
+    // thesis: "the very first instructions in the main function … take the
+    // address of each global"). Inside other functions, forward from the
+    // caller's own params.
+    for fi in 0..n {
+        let fid = FuncId::new(fi);
+        let callee_needs: Vec<(usize, Vec<GlobalId>)> = {
+            let f = m.func(fid);
+            f.inst_ids_in_layout()
+                .into_iter()
+                .filter_map(|(_, i)| match &f.inst(i).op {
+                    Op::Call(c, _) if !address_taken[c.index()] => {
+                        let gl: Vec<GlobalId> = needs[c.index()].iter().copied().collect();
+                        if gl.is_empty() {
+                            None
+                        } else {
+                            Some((i.index(), gl))
+                        }
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        if callee_needs.is_empty() {
+            continue;
+        }
+        // Source of a global's address in this function.
+        let mut main_gaddrs: Vec<(GlobalId, Value)> = Vec::new();
+        if fid == main {
+            // Materialize each needed global once at entry head.
+            let all: BTreeSet<GlobalId> =
+                callee_needs.iter().flat_map(|(_, gl)| gl.iter().copied()).collect();
+            let f = m.func_mut(fid);
+            for (k, g) in all.iter().enumerate() {
+                let ga = f.create_inst(Op::GlobalAddr(*g), Ty::Ptr);
+                f.block_mut(f.entry).insts.insert(k, ga);
+                main_gaddrs.push((*g, Value::Inst(ga)));
+            }
+        }
+        let lookup = |g: GlobalId| -> Value {
+            if fid == main {
+                main_gaddrs.iter().find(|(gg, _)| *gg == g).unwrap().1
+            } else {
+                let (_, pi) =
+                    *param_index[fid.index()].iter().find(|(gg, _)| *gg == g).unwrap();
+                Value::Arg(pi)
+            }
+        };
+        let f = m.func_mut(fid);
+        for (inst_idx, gl) in callee_needs {
+            let vals: Vec<Value> = gl.iter().map(|&g| lookup(g)).collect();
+            if let Op::Call(_, args) = &mut f.insts[inst_idx].op {
+                args.extend(vals);
+            }
+        }
+    }
+    rewritten
+}
+
+/// Check the pass postcondition: no non-constant `gaddr` outside `main`.
+pub fn check_globals_only_in_main(m: &Module) -> bool {
+    let Some(main) = m.find_func("main") else { return true };
+    let mut address_taken = vec![false; m.funcs.len()];
+    for f in &m.funcs {
+        for (_, iid) in f.inst_ids_in_layout() {
+            if let Op::FuncAddr(t) = &f.inst(iid).op {
+                address_taken[t.index()] = true;
+            }
+        }
+    }
+    for fid in m.func_ids() {
+        if fid == main || address_taken[fid.index()] {
+            continue;
+        }
+        let f = m.func(fid);
+        for (_, iid) in f.inst_ids_in_layout() {
+            if let Op::GlobalAddr(g) = f.inst(iid).op {
+                if !m.global(g).is_const {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// `deadargelim`: drop unused parameters of non-main functions, fixing all
+/// call sites. Helps after globals2args + constprop made some args dead.
+pub fn dead_arg_elim(m: &mut Module) -> usize {
+    let Some(main) = m.find_func("main") else { return 0 };
+    let mut removed = 0;
+    for fid in 0..m.funcs.len() {
+        let fid = FuncId::new(fid);
+        if fid == main {
+            continue;
+        }
+        let used: BTreeSet<u16> = {
+            let f = m.func(fid);
+            let mut s = BTreeSet::new();
+            for (_, iid) in f.inst_ids_in_layout() {
+                f.inst(iid).op.for_each_value(|v| {
+                    if let Value::Arg(k) = v {
+                        s.insert(k);
+                    }
+                });
+            }
+            s
+        };
+        let nparams = m.func(fid).params.len() as u16;
+        let dead: Vec<u16> = (0..nparams).filter(|k| !used.contains(k)).collect();
+        if dead.is_empty() {
+            continue;
+        }
+        // Remap arg indices.
+        let mut remap: Vec<Option<u16>> = Vec::with_capacity(nparams as usize);
+        let mut next = 0u16;
+        for k in 0..nparams {
+            if dead.contains(&k) {
+                remap.push(None);
+            } else {
+                remap.push(Some(next));
+                next += 1;
+            }
+        }
+        {
+            let f = m.func_mut(fid);
+            let old = std::mem::take(&mut f.params);
+            f.params = old
+                .into_iter()
+                .enumerate()
+                .filter(|(k, _)| !dead.contains(&(*k as u16)))
+                .map(|(_, t)| t)
+                .collect();
+            let live: Vec<twill_ir::InstId> =
+                f.inst_ids_in_layout().into_iter().map(|(_, i)| i).collect();
+            for iid in live {
+                f.inst_mut(iid).op.for_each_value_mut(|v| {
+                    if let Value::Arg(k) = v {
+                        *v = Value::Arg(remap[*k as usize].expect("use of dead arg"));
+                    }
+                });
+            }
+        }
+        // Fix call sites everywhere (live instructions only).
+        for caller in 0..m.funcs.len() {
+            let f = &mut m.funcs[caller];
+            let live: Vec<twill_ir::InstId> =
+                f.inst_ids_in_layout().into_iter().map(|(_, i)| i).collect();
+            for iid in live {
+                if let Op::Call(c, args) = &mut f.inst_mut(iid).op {
+                    if *c == fid {
+                        let old = std::mem::take(args);
+                        *args = old
+                            .into_iter()
+                            .enumerate()
+                            .filter(|(k, _)| !dead.contains(&(*k as u16)))
+                            .map(|(_, v)| v)
+                            .collect();
+                    }
+                }
+            }
+        }
+        removed += dead.len();
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twill_ir::parser::parse_module;
+    use twill_ir::printer::print_module;
+
+    fn check(src: &str, input: Vec<i32>) -> String {
+        let mut m = parse_module(src).unwrap();
+        twill_ir::layout::assign_global_addrs(&mut m);
+        let (before, rb, _) = twill_ir::interp::run_main(&m, input.clone(), 10_000_000).unwrap();
+        globals_to_args(&mut m);
+        crate::utils::assert_valid_ssa(&m);
+        assert!(check_globals_only_in_main(&m));
+        let (after, ra, _) = twill_ir::interp::run_main(&m, input, 10_000_000).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(rb, ra);
+        print_module(&m)
+    }
+
+    #[test]
+    fn threads_global_through_call() {
+        let out = check(
+            r#"
+global @counter size=4 []
+func @bump() -> void {
+bb0:
+  %0 = gaddr @counter
+  %1 = load i32 %0
+  %2 = add i32 %1, 1:i32
+  store i32 %2, %0
+  ret
+}
+func @main() -> i32 {
+bb0:
+  call void @bump()
+  call void @bump()
+  %0 = gaddr @counter
+  %1 = load i32 %0
+  out %1
+  ret %1
+}
+"#,
+            vec![],
+        );
+        // bump now takes a ptr param.
+        assert!(out.contains("func @bump(ptr)"), "{out}");
+    }
+
+    #[test]
+    fn nested_calls_propagate_transitively() {
+        let out = check(
+            r#"
+global @state size=4 []
+func @inner() -> i32 {
+bb0:
+  %0 = gaddr @state
+  %1 = load i32 %0
+  ret %1
+}
+func @outer() -> i32 {
+bb0:
+  %0 = call i32 @inner()
+  ret %0
+}
+func @main() -> i32 {
+bb0:
+  %0 = gaddr @state
+  store i32 77:i32, %0
+  %1 = call i32 @outer()
+  out %1
+  ret %1
+}
+"#,
+            vec![],
+        );
+        // outer doesn't use the global itself but must forward it.
+        assert!(out.contains("func @outer(ptr)"), "{out}");
+        assert!(out.contains("func @inner(ptr)"), "{out}");
+    }
+
+    #[test]
+    fn const_globals_left_alone() {
+        let out = check(
+            r#"
+global @table size=8 const [01 00 00 00 02 00 00 00]
+func @pick(i32) -> i32 {
+bb0:
+  %0 = gaddr @table
+  %1 = gep %0, %a0, 4
+  %2 = load i32 %1
+  ret %2
+}
+func @main() -> i32 {
+bb0:
+  %0 = call i32 @pick(1:i32)
+  out %0
+  ret %0
+}
+"#,
+            vec![],
+        );
+        assert!(out.contains("func @pick(i32)"), "{out}");
+        assert!(out.split("func @pick").nth(1).unwrap().contains("gaddr"), "{out}");
+    }
+
+    #[test]
+    fn dead_arg_elim_removes_and_fixes_sites() {
+        let src = r#"
+func @f(i32, i32, i32) -> i32 {
+bb0:
+  %0 = add i32 %a0, %a2
+  ret %0
+}
+func @main() -> i32 {
+bb0:
+  %0 = call i32 @f(1:i32, 2:i32, 3:i32)
+  out %0
+  ret %0
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        twill_ir::layout::assign_global_addrs(&mut m);
+        let (before, _, _) = twill_ir::interp::run_main(&m, vec![], 1000).unwrap();
+        assert_eq!(dead_arg_elim(&mut m), 1);
+        crate::utils::assert_valid_ssa(&m);
+        assert_eq!(m.funcs[0].params.len(), 2);
+        let (after, _, _) = twill_ir::interp::run_main(&m, vec![], 1000).unwrap();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,354 @@
+//! If-conversion: speculate small, side-effect-free branch diamonds into
+//! `select` instructions (the branch-collapsing LegUp's ILP scheduling
+//! relies on; LLVM's simplifycfg does the same hoisting).
+//!
+//! Patterns handled (M = merge block with phis):
+//! * diamond:  B → T, F;  T → M;  F → M   (T, F pure, small)
+//! * triangle: B → T, M;  T → M           (T pure, small)
+//!
+//! The speculated instructions are hoisted into B, each phi in M becomes a
+//! `select cond, v_true, v_false`, and B branches straight to M.
+
+use std::collections::HashSet;
+use twill_ir::{BlockId, Function, InstId, Op, Ty, Value};
+
+/// Maximum instructions speculated per arm.
+pub const MAX_SPECULATED: usize = 24;
+
+pub fn ifconvert(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut did = false;
+        'outer: for b in 0..f.blocks.len() {
+            let b = BlockId::new(b);
+            let Some(term) = f.block(b).terminator() else { continue };
+            let Op::CondBr(cond, t, e) = f.inst(term).op else { continue };
+            if t == e {
+                continue;
+            }
+            // Identify the shape.
+            let (arm_t, arm_f, merge) = match (diamond_arm(f, b, t), diamond_arm(f, b, e)) {
+                // Full diamond: both arms are pure pass-through blocks with
+                // the same successor.
+                (Some((mt, _)), Some((mf, _))) if mt == mf && t != mf && e != mt => {
+                    (Some(t), Some(e), mt)
+                }
+                _ => {
+                    // Triangle: one arm falls straight to the other target.
+                    if let Some((mt, _)) = diamond_arm(f, b, t) {
+                        if mt == e {
+                            (Some(t), None, e)
+                        } else {
+                            continue;
+                        }
+                    } else if let Some((mf, _)) = diamond_arm(f, b, e) {
+                        if mf == t {
+                            (None, Some(e), t)
+                        } else {
+                            continue;
+                        }
+                    } else {
+                        continue;
+                    }
+                }
+            };
+            // The merge must not have other predecessors (phis stay simple)
+            // and the arms must have exactly one predecessor (b).
+            let preds = f.predecessors();
+            let mut expected: Vec<BlockId> = vec![b];
+            if let Some(a) = arm_t {
+                expected.push(a);
+                if preds[a.index()].len() != 1 {
+                    continue;
+                }
+            }
+            if let Some(a) = arm_f {
+                expected.push(a);
+                if preds[a.index()].len() != 1 {
+                    continue;
+                }
+            }
+            let mut mp: Vec<BlockId> = preds[merge.index()].clone();
+            mp.sort();
+            let _ = &expected;
+            // For a full diamond b is not a pred of merge; for a triangle
+            // it is.
+            let mut exp_sorted = match (arm_t, arm_f) {
+                (Some(at), Some(af)) => vec![at, af],
+                (Some(at), None) => vec![b, at],
+                (None, Some(af)) => vec![b, af],
+                (None, None) => continue,
+            };
+            exp_sorted.sort();
+            if mp != exp_sorted {
+                continue;
+            }
+
+            // Hoist arms into b (before the terminator).
+            let term_pos = f.block(b).insts.len() - 1;
+            let mut insert_at = term_pos;
+            for arm in [arm_t, arm_f].into_iter().flatten() {
+                let moved: Vec<InstId> = f.block(arm).insts.clone();
+                // last is the Br; move everything before it.
+                for &iid in &moved[..moved.len() - 1] {
+                    f.block_mut(b).insts.insert(insert_at, iid);
+                    insert_at += 1;
+                }
+                let keep_br = *moved.last().unwrap();
+                f.block_mut(arm).insts = vec![keep_br];
+            }
+
+            // Convert merge phis to selects placed before the terminator.
+            let phis: Vec<InstId> = f
+                .block(merge)
+                .insts
+                .iter()
+                .copied()
+                .take_while(|&i| f.inst(i).op.is_phi())
+                .collect();
+            for phi in phis {
+                let (vt, vf, ty) = {
+                    let inst = f.inst(phi);
+                    let Op::Phi(incoming) = &inst.op else { unreachable!() };
+                    let from = |blk: BlockId| {
+                        incoming
+                            .iter()
+                            .find(|(p, _)| *p == blk)
+                            .map(|(_, v)| *v)
+                            .expect("phi missing incoming")
+                    };
+                    let vt = from(arm_t.unwrap_or(b));
+                    let vf = from(arm_f.unwrap_or(b));
+                    (vt, vf, inst.ty)
+                };
+                let sel = f.create_inst(Op::Select(cond, vt, vf), ty);
+                f.block_mut(b).insts.insert(insert_at, sel);
+                insert_at += 1;
+                // Phi becomes dead; replace its uses.
+                f.replace_all_uses(Value::Inst(phi), Value::Inst(sel));
+                let pos = f.block(merge).insts.iter().position(|&x| x == phi).unwrap();
+                f.block_mut(merge).insts.remove(pos);
+            }
+
+            // Rewrite b's terminator to jump straight to merge; arms become
+            // unreachable.
+            f.inst_mut(term).op = Op::Br(merge);
+            did = true;
+            changed = true;
+            break 'outer;
+        }
+        if !did {
+            break;
+        }
+        crate::utils::remove_unreachable_blocks(f);
+    }
+    changed
+}
+
+/// If `arm` is a pure pass-through block (only speculatable instructions,
+/// ends in an unconditional branch), return (successor, inst count).
+fn diamond_arm(f: &Function, _from: BlockId, arm: BlockId) -> Option<(BlockId, usize)> {
+    let blk = f.block(arm);
+    let term = blk.terminator()?;
+    let Op::Br(succ) = f.inst(term).op else { return None };
+    let body = &blk.insts[..blk.insts.len() - 1];
+    if body.len() > MAX_SPECULATED {
+        return None;
+    }
+    let mut seen: HashSet<InstId> = HashSet::new();
+    for &iid in body {
+        let inst = f.inst(iid);
+        if inst.op.is_phi() || inst.op.has_side_effect() || inst.op.is_terminator() {
+            return None;
+        }
+        // Loads are not speculated (could fault / order against stores).
+        if matches!(inst.op, Op::Load(_) | Op::Call(..) | Op::Intrin(..) | Op::Alloca(_)) {
+            return None;
+        }
+        if inst.ty == Ty::Void {
+            return None;
+        }
+        seen.insert(iid);
+    }
+    Some((succ, body.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twill_ir::parser::parse_module;
+    use twill_ir::printer::print_module;
+
+    fn check(src: &str, input: Vec<i32>) -> String {
+        let mut m = parse_module(src).unwrap();
+        twill_ir::layout::assign_global_addrs(&mut m);
+        let (before, _, _) = twill_ir::interp::run_main(&m, input.clone(), 1_000_000).unwrap();
+        for func in &mut m.funcs {
+            ifconvert(func);
+        }
+        crate::utils::assert_valid_ssa(&m);
+        let (after, _, _) = twill_ir::interp::run_main(&m, input, 1_000_000).unwrap();
+        assert_eq!(before, after);
+        print_module(&m)
+    }
+
+    #[test]
+    fn converts_diamond_to_select() {
+        let out = check(
+            r#"
+func @main() -> i32 {
+bb0:
+  %0 = in
+  %c = cmp sgt %0, 0:i32
+  condbr %c, bb1, bb2
+bb1:
+  %1 = mul i32 %0, 2:i32
+  br bb3
+bb2:
+  %2 = sub i32 0:i32, %0
+  br bb3
+bb3:
+  %3 = phi i32 [bb1: %1], [bb2: %2]
+  out %3
+  ret %3
+}
+"#,
+            vec![5],
+        );
+        assert!(out.contains("select"), "{out}");
+        assert!(!out.contains("condbr"), "{out}");
+    }
+
+    #[test]
+    fn converts_triangle() {
+        let out = check(
+            r#"
+func @main() -> i32 {
+bb0:
+  %0 = in
+  %c = cmp sgt %0, 100:i32
+  condbr %c, bb1, bb2
+bb1:
+  %1 = add i32 %0, -100:i32
+  br bb2
+bb2:
+  %2 = phi i32 [bb0: %0], [bb1: %1]
+  out %2
+  ret %2
+}
+"#,
+            vec![150],
+        );
+        assert!(out.contains("select"), "{out}");
+    }
+
+    #[test]
+    fn skips_side_effecting_arms() {
+        let out = check(
+            r#"
+global @g size=4 []
+func @main() -> i32 {
+bb0:
+  %0 = in
+  %p = gaddr @g
+  %c = cmp sgt %0, 0:i32
+  condbr %c, bb1, bb2
+bb1:
+  store i32 1:i32, %p
+  br bb3
+bb2:
+  br bb3
+bb3:
+  %1 = load i32 %p
+  out %1
+  ret %1
+}
+"#,
+            vec![5],
+        );
+        assert!(out.contains("condbr"), "store must not be speculated: {out}");
+    }
+
+    #[test]
+    fn skips_trapping_division() {
+        let out = check(
+            r#"
+func @main() -> i32 {
+bb0:
+  %0 = in
+  %c = cmp ne %0, 0:i32
+  condbr %c, bb1, bb2
+bb1:
+  %1 = sdiv i32 100:i32, %0
+  br bb3
+bb2:
+  br bb3
+bb3:
+  %2 = phi i32 [bb1: %1], [bb2: -1:i32]
+  out %2
+  ret %2
+}
+"#,
+            vec![0],
+        );
+        assert!(out.contains("condbr"), "div guard must survive: {out}");
+    }
+
+    #[test]
+    fn nested_diamonds_collapse_iteratively() {
+        let out = check(
+            r#"
+func @main() -> i32 {
+bb0:
+  %0 = in
+  %c1 = cmp sgt %0, 0:i32
+  condbr %c1, bb1, bb2
+bb1:
+  %1 = add i32 %0, 1:i32
+  br bb3
+bb2:
+  %2 = add i32 %0, 2:i32
+  br bb3
+bb3:
+  %3 = phi i32 [bb1: %1], [bb2: %2]
+  %c2 = cmp slt %3, 10:i32
+  condbr %c2, bb4, bb5
+bb4:
+  %4 = mul i32 %3, 3:i32
+  br bb6
+bb5:
+  br bb6
+bb6:
+  %5 = phi i32 [bb4: %4], [bb5: %3]
+  out %5
+  ret %5
+}
+"#,
+            vec![4],
+        );
+        assert_eq!(out.matches("select").count(), 2, "{out}");
+        assert!(!out.contains("condbr"), "{out}");
+    }
+
+    #[test]
+    fn loop_branches_untouched() {
+        let out = check(
+            r#"
+func @main() -> i32 {
+bb0:
+  br bb1
+bb1:
+  %i = phi i32 [bb0: 0:i32], [bb1: %ni]
+  %ni = add i32 %i, 1:i32
+  %c = cmp slt %ni, 10:i32
+  condbr %c, bb1, bb2
+bb2:
+  out %i
+  ret %i
+}
+"#,
+            vec![],
+        );
+        assert!(out.contains("condbr"), "{out}");
+    }
+}

@@ -1,0 +1,443 @@
+//! Function inlining ("inline" / "always-inline").
+//!
+//! Inlines small callees and single-call-site callees, the same policy mix
+//! the thesis gets from LLVM's `-inline -always-inline` pair. Callees are
+//! normalized with `mergereturn` first so each has a unique `ret`.
+//!
+//! Cloned allocas are hoisted to the caller's entry block (the IR requires
+//! allocas there); because allocas zero their slot when *executed*, explicit
+//! zero-stores are inserted at the original position so that re-entering the
+//! inlined body in a loop still observes fresh zeroed locals.
+
+use crate::callgraph::CallGraph;
+use std::collections::HashMap;
+use twill_ir::{BlockId, FuncId, Function, InstId, Module, Op, Ty, Value};
+
+#[derive(Clone, Copy, Debug)]
+pub struct InlineOptions {
+    /// Inline any callee with at most this many live instructions.
+    pub small_threshold: usize,
+    /// Inline single-call-site callees up to this size.
+    pub single_site_threshold: usize,
+    /// Skip callees whose total alloca bytes exceed this (zero-store cost).
+    pub max_alloca_bytes: u32,
+    /// Global budget of inline operations (explosion guard).
+    pub max_inlines: usize,
+}
+
+impl Default for InlineOptions {
+    fn default() -> Self {
+        InlineOptions {
+            small_threshold: 40,
+            single_site_threshold: 250,
+            max_alloca_bytes: 64,
+            max_inlines: 200,
+        }
+    }
+}
+
+/// Run inlining over the module. Returns the number of call sites inlined.
+pub fn inline_module(m: &mut Module, opts: InlineOptions) -> usize {
+    let mut total = 0usize;
+    loop {
+        let cg = CallGraph::new(m);
+        if cg.is_recursive() {
+            return total; // never inline recursive modules
+        }
+        let mut did = false;
+        // Walk callers in reverse-topo order so leaf bodies are final before
+        // being cloned upward.
+        let order: Vec<FuncId> = cg.reverse_topo.clone();
+        'outer: for caller in order {
+            // Find an inlinable call site in this caller.
+            let sites: Vec<(BlockId, InstId, FuncId)> = {
+                let f = m.func(caller);
+                f.inst_ids_in_layout()
+                    .into_iter()
+                    .filter_map(|(b, i)| match &f.inst(i).op {
+                        Op::Call(callee, _) => Some((b, i, *callee)),
+                        _ => None,
+                    })
+                    .collect()
+            };
+            for (block, call, callee) in sites {
+                if !should_inline(m, &cg, callee, &opts) {
+                    continue;
+                }
+                if total >= opts.max_inlines {
+                    return total;
+                }
+                // Normalize callee: single return.
+                crate::mergereturn::mergereturn(&mut m.funcs[callee.index()]);
+                let callee_clone = m.func(callee).clone();
+                inline_site(m.func_mut(caller), block, call, &callee_clone);
+                total += 1;
+                did = true;
+                break 'outer; // re-derive analyses
+            }
+        }
+        if !did {
+            break;
+        }
+    }
+    total
+}
+
+fn should_inline(m: &Module, cg: &CallGraph, callee: FuncId, opts: &InlineOptions) -> bool {
+    let f = m.func(callee);
+    if f.name == "main" {
+        return false;
+    }
+    let size = f.live_inst_count();
+    let alloca_bytes: u32 = f
+        .inst_ids_in_layout()
+        .iter()
+        .filter_map(|(_, i)| match f.inst(*i).op {
+            Op::Alloca(s) => Some(s),
+            _ => None,
+        })
+        .sum();
+    if alloca_bytes > opts.max_alloca_bytes {
+        return false;
+    }
+    // A callee that never returns (infinite loop) cannot be spliced.
+    let has_ret = f
+        .inst_ids_in_layout()
+        .iter()
+        .any(|(_, i)| matches!(f.inst(*i).op, Op::Ret(_)));
+    if !has_ret {
+        return false;
+    }
+    if size <= opts.small_threshold {
+        return true;
+    }
+    let sites = cg.call_site_count(m, callee);
+    sites == 1 && size <= opts.single_site_threshold
+}
+
+/// Inline `callee` (already mergereturn-normalized) at instruction `call`
+/// inside `block` of `caller`.
+fn inline_site(caller: &mut Function, block: BlockId, call: InstId, callee: &Function) {
+    let args: Vec<Value> = match &caller.inst(call).op {
+        Op::Call(_, a) => a.clone(),
+        _ => panic!("inline target is not a call"),
+    };
+
+    // 1. Split the caller block at the call site.
+    let call_pos = caller.block(block).insts.iter().position(|&i| i == call).unwrap();
+    let tail_insts: Vec<InstId> = caller.block(block).insts[call_pos + 1..].to_vec();
+    let tail = caller.create_block(format!("{}.tail", caller.block(block).name));
+    caller.block_mut(block).insts.truncate(call_pos);
+    caller.block_mut(tail).insts = tail_insts;
+    // Successor phis of the original terminator now come from `tail`.
+    for s in caller.successors(tail) {
+        crate::utils::retarget_phi_pred(caller, s, block, tail);
+    }
+
+    // 2. Clone callee bodies with remapping.
+    let block_off = caller.blocks.len();
+    let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
+    for (bi, cb) in callee.blocks.iter().enumerate() {
+        let nb = caller.create_block(format!("inl.{}.{}", callee.name, bi));
+        debug_assert_eq!(nb.index(), block_off + bi);
+        let _ = cb;
+    }
+    // Create instruction clones.
+    for (_, iid) in callee.inst_ids_in_layout() {
+        let data = callee.inst(iid);
+        let nid = caller.create_inst(data.op.clone(), data.ty);
+        inst_map.insert(iid, nid);
+    }
+    // Remap operands / blocks, fill block inst lists.
+    let remap_value = |v: Value, inst_map: &HashMap<InstId, InstId>| -> Value {
+        match v {
+            Value::Inst(i) => Value::Inst(*inst_map.get(&i).expect("use of dead callee inst")),
+            Value::Arg(n) => args[n as usize],
+            Value::Imm(..) => v,
+        }
+    };
+    let mut ret_info: Option<(BlockId, Option<Value>)> = None;
+    for (bi, cb) in callee.blocks.iter().enumerate() {
+        let nb = BlockId::new(block_off + bi);
+        for &iid in &cb.insts {
+            let nid = inst_map[&iid];
+            let mut op = caller.inst(nid).op.clone();
+            op.for_each_value_mut(|v| *v = remap_value(*v, &inst_map));
+            op.for_each_successor_mut(|b| *b = BlockId::new(block_off + b.index()));
+            if let Op::Phi(incoming) = &mut op {
+                for (b, _) in incoming.iter_mut() {
+                    *b = BlockId::new(block_off + b.index());
+                }
+            }
+            if let Op::Ret(v) = &op {
+                debug_assert!(ret_info.is_none(), "callee not mergereturn-normalized");
+                ret_info = Some((nb, *v));
+                op = Op::Br(tail);
+            }
+            caller.inst_mut(nid).op = op;
+            caller.block_mut(nb).insts.push(nid);
+        }
+    }
+
+    // 3. Hoist cloned allocas into the caller entry with zero-reinit at the
+    // original position.
+    let cloned_entry = BlockId::new(block_off + callee.entry.index());
+    hoist_allocas(caller, cloned_entry);
+
+    // 4. Wire control flow: block -> cloned entry; cloned ret -> tail.
+    let br = caller.create_inst(Op::Br(cloned_entry), Ty::Void);
+    caller.block_mut(block).insts.push(br);
+    let (_, ret_val) = ret_info.expect("callee has no return");
+    if let Some(rv) = ret_val {
+        caller.replace_all_uses(Value::Inst(call), rv);
+    }
+    // Remove the call from the arena use (it's already out of any block).
+}
+
+/// Move allocas found in `from_block` (a cloned callee entry) to the caller
+/// entry, leaving zero-stores behind.
+fn hoist_allocas(caller: &mut Function, from_block: BlockId) {
+    if from_block == caller.entry {
+        return;
+    }
+    let allocas: Vec<(InstId, u32)> = caller
+        .block(from_block)
+        .insts
+        .iter()
+        .filter_map(|&i| match caller.inst(i).op {
+            Op::Alloca(s) => Some((i, s)),
+            _ => None,
+        })
+        .collect();
+    if allocas.is_empty() {
+        return;
+    }
+    // Remove from the cloned block; insert zero-stores in their place.
+    let mut zero_stores: Vec<(usize, Vec<InstId>)> = Vec::new();
+    for &(a, size) in &allocas {
+        let pos = caller.block(from_block).insts.iter().position(|&i| i == a).unwrap();
+        let words = size.div_ceil(4);
+        let mut stores = Vec::new();
+        for w in 0..words {
+            let addr = if w == 0 {
+                Value::Inst(a)
+            } else {
+                let gep = caller.create_inst(
+                    Op::Gep(Value::Inst(a), Value::imm32(w as i64), 4),
+                    Ty::Ptr,
+                );
+                stores.push(gep);
+                Value::Inst(gep)
+            };
+            let st = caller.create_inst(Op::Store(Value::imm32(0), addr), Ty::I32);
+            stores.push(st);
+        }
+        zero_stores.push((pos, stores));
+    }
+    // Apply removals + insertions back-to-front to keep positions stable.
+    zero_stores.sort_by_key(|(p, _)| std::cmp::Reverse(*p));
+    for (pos, stores) in zero_stores {
+        caller.block_mut(from_block).insts.remove(pos);
+        for (k, s) in stores.into_iter().enumerate() {
+            caller.block_mut(from_block).insts.insert(pos + k, s);
+        }
+    }
+    // Prepend allocas to caller entry (after existing leading allocas).
+    let entry = caller.entry;
+    let lead = caller
+        .block(entry)
+        .insts
+        .iter()
+        .take_while(|&&i| matches!(caller.inst(i).op, Op::Alloca(_)))
+        .count();
+    for (k, &(a, _)) in allocas.iter().enumerate() {
+        caller.block_mut(entry).insts.insert(lead + k, a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twill_ir::parser::parse_module;
+    use twill_ir::printer::print_module;
+
+    fn check(src: &str, input: Vec<i32>, opts: InlineOptions) -> (String, usize) {
+        let mut m = parse_module(src).unwrap();
+        twill_ir::layout::assign_global_addrs(&mut m);
+        let (before, rb, _) = twill_ir::interp::run_main(&m, input.clone(), 10_000_000).unwrap();
+        let n = inline_module(&mut m, opts);
+        crate::utils::assert_valid_ssa(&m);
+        let (after, ra, _) = twill_ir::interp::run_main(&m, input, 10_000_000).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(rb, ra);
+        (print_module(&m), n)
+    }
+
+    #[test]
+    fn inlines_simple_leaf() {
+        let (out, n) = check(
+            r#"
+func @add3(i32) -> i32 {
+bb0:
+  %0 = add i32 %a0, 3:i32
+  ret %0
+}
+func @main() -> i32 {
+bb0:
+  %0 = in
+  %1 = call i32 @add3(%0)
+  %2 = call i32 @add3(%1)
+  out %2
+  ret %2
+}
+"#,
+            vec![10],
+            InlineOptions::default(),
+        );
+        assert_eq!(n, 2);
+        assert!(!out.split("func @main").nth(1).unwrap().contains("call"), "{out}");
+    }
+
+    #[test]
+    fn inlines_branchy_callee_with_phi_result() {
+        check(
+            r#"
+func @absdiff(i32, i32) -> i32 {
+bb0:
+  %0 = cmp sgt %a0, %a1
+  condbr %0, bb1, bb2
+bb1:
+  %1 = sub i32 %a0, %a1
+  ret %1
+bb2:
+  %2 = sub i32 %a1, %a0
+  ret %2
+}
+func @main() -> i32 {
+bb0:
+  %0 = in
+  %1 = in
+  %2 = call i32 @absdiff(%0, %1)
+  out %2
+  ret %2
+}
+"#,
+            vec![3, 9],
+            InlineOptions::default(),
+        );
+    }
+
+    #[test]
+    fn inlined_loop_callee_in_loop() {
+        // Callee with an alloca called in a loop: re-zeroing must preserve
+        // load-before-store-reads-zero semantics.
+        check(
+            r#"
+func @acc(i32) -> i32 {
+bb0:
+  %s = alloca 4
+  %0 = load i32 %s
+  %1 = add i32 %0, %a0
+  store i32 %1, %s
+  %2 = load i32 %s
+  ret %2
+}
+func @main() -> i32 {
+bb0:
+  br bb1
+bb1:
+  %0 = phi i32 [bb0: 0:i32], [bb1: %3]
+  %1 = phi i32 [bb0: 0:i32], [bb1: %2]
+  %r = call i32 @acc(%0)
+  %2 = add i32 %1, %r
+  %3 = add i32 %0, 1:i32
+  %c = cmp slt %3, 4:i32
+  condbr %c, bb1, bb2
+bb2:
+  out %2
+  ret %2
+}
+"#,
+            vec![],
+            InlineOptions::default(),
+        );
+    }
+
+    #[test]
+    fn threshold_respected() {
+        let src = r#"
+func @big(i32) -> i32 {
+bb0:
+  %0 = add i32 %a0, 1:i32
+  %1 = add i32 %0, 1:i32
+  %2 = add i32 %1, 1:i32
+  %3 = add i32 %2, 1:i32
+  %4 = add i32 %3, 1:i32
+  ret %4
+}
+func @main() -> i32 {
+bb0:
+  %0 = call i32 @big(1:i32)
+  %1 = call i32 @big(%0)
+  out %1
+  ret %1
+}
+"#;
+        let tiny = InlineOptions { small_threshold: 2, single_site_threshold: 2, ..Default::default() };
+        let (out, n) = check(src, vec![], tiny);
+        assert_eq!(n, 0);
+        assert!(out.contains("call"), "{out}");
+    }
+
+    #[test]
+    fn single_site_large_callee_inlined() {
+        let src = r#"
+func @big(i32) -> i32 {
+bb0:
+  %0 = add i32 %a0, 1:i32
+  %1 = add i32 %0, 1:i32
+  %2 = add i32 %1, 1:i32
+  %3 = add i32 %2, 1:i32
+  %4 = add i32 %3, 1:i32
+  ret %4
+}
+func @main() -> i32 {
+bb0:
+  %0 = call i32 @big(1:i32)
+  out %0
+  ret %0
+}
+"#;
+        let opts = InlineOptions { small_threshold: 2, single_site_threshold: 50, ..Default::default() };
+        let (_, n) = check(src, vec![], opts);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn nested_call_chain_fully_inlined() {
+        let (out, _) = check(
+            r#"
+func @a(i32) -> i32 {
+bb0:
+  %0 = add i32 %a0, 1:i32
+  ret %0
+}
+func @b(i32) -> i32 {
+bb0:
+  %0 = call i32 @a(%a0)
+  %1 = mul i32 %0, 2:i32
+  ret %1
+}
+func @main() -> i32 {
+bb0:
+  %0 = call i32 @b(5:i32)
+  out %0
+  ret %0
+}
+"#,
+            vec![],
+            InlineOptions::default(),
+        );
+        assert!(!out.split("func @main").nth(1).unwrap().contains("call"), "{out}");
+    }
+}

@@ -1,0 +1,418 @@
+//! Natural-loop analysis (back edges via dominance, nesting forest).
+//!
+//! Provides the loop structure queries the DSWP pass needs for its
+//! enqueue/dequeue loop-matching cases (thesis Fig 5.3): innermost loop of a
+//! block, loop preheaders, exit blocks, and the lowest loop containing two
+//! given blocks.
+
+use crate::domtree::DomTree;
+use std::collections::HashSet;
+use twill_ir::{BlockId, Function};
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    pub header: BlockId,
+    /// All blocks in the loop body (header included).
+    pub blocks: HashSet<BlockId>,
+    /// Enclosing loop, if any (index into `LoopInfo::loops`).
+    pub parent: Option<usize>,
+    pub children: Vec<usize>,
+    /// Nesting depth (outermost = 1).
+    pub depth: u32,
+    /// Latch blocks (sources of back edges to the header).
+    pub latches: Vec<BlockId>,
+}
+
+/// Loop forest for one function.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    pub loops: Vec<Loop>,
+    /// Innermost loop of each block (None = not in a loop).
+    pub block_loop: Vec<Option<usize>>,
+}
+
+impl LoopInfo {
+    pub fn new(f: &Function, dt: &DomTree) -> LoopInfo {
+        let n = f.blocks.len();
+        // Find back edges: edge (b -> h) where h dominates b.
+        let mut headers: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for b in f.block_ids() {
+            if !dt.is_reachable(b) {
+                continue;
+            }
+            for s in f.successors(b) {
+                if dt.dominates(s, b) {
+                    match headers.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, latches)) => latches.push(b),
+                        None => headers.push((s, vec![b])),
+                    }
+                }
+            }
+        }
+
+        // Collect loop bodies: reverse reachability from latches to header.
+        let preds = f.predecessors();
+        let mut loops: Vec<Loop> = Vec::new();
+        for (header, latches) in headers {
+            let mut blocks: HashSet<BlockId> = HashSet::new();
+            blocks.insert(header);
+            let mut stack: Vec<BlockId> = latches.clone();
+            while let Some(b) = stack.pop() {
+                if blocks.insert(b) {
+                    for &p in &preds[b.index()] {
+                        if dt.is_reachable(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+            loops.push(Loop { header, blocks, parent: None, children: Vec::new(), depth: 0, latches });
+        }
+
+        // Nesting: sort by size ascending; parent = smallest strictly larger
+        // loop containing the header.
+        let mut order: Vec<usize> = (0..loops.len()).collect();
+        order.sort_by_key(|&i| loops[i].blocks.len());
+        for oi in 0..order.len() {
+            let i = order[oi];
+            for &j in &order[oi + 1..] {
+                if loops[j].blocks.len() > loops[i].blocks.len()
+                    && loops[j].blocks.contains(&loops[i].header)
+                {
+                    loops[i].parent = Some(j);
+                    break;
+                }
+            }
+        }
+        for i in 0..loops.len() {
+            if let Some(p) = loops[i].parent {
+                loops[p].children.push(i);
+            }
+        }
+        // Depth: process outermost (largest) first so parents are set.
+        let mut by_size_desc = order.clone();
+        by_size_desc.sort_by_key(|&i| std::cmp::Reverse(loops[i].blocks.len()));
+        for &i in &by_size_desc {
+            loops[i].depth = match loops[i].parent {
+                Some(p) => loops[p].depth + 1,
+                None => 1,
+            };
+        }
+
+        // Innermost loop per block = smallest loop containing it.
+        let mut block_loop: Vec<Option<usize>> = vec![None; n];
+        for &i in &order {
+            for b in &loops[i].blocks {
+                if block_loop[b.index()].is_none() {
+                    block_loop[b.index()] = Some(i);
+                }
+            }
+        }
+
+        LoopInfo { loops, block_loop }
+    }
+
+    /// Innermost loop containing `b`.
+    pub fn loop_of(&self, b: BlockId) -> Option<usize> {
+        self.block_loop.get(b.index()).copied().flatten()
+    }
+
+    pub fn in_loop(&self, l: usize, b: BlockId) -> bool {
+        self.loops[l].blocks.contains(&b)
+    }
+
+    /// Chain of loops containing `b`, innermost first.
+    pub fn loop_chain(&self, b: BlockId) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = self.loop_of(b);
+        while let Some(l) = cur {
+            out.push(l);
+            cur = self.loops[l].parent;
+        }
+        out
+    }
+
+    /// The lowest (innermost) loop containing *both* blocks, if any —
+    /// the "lowest loop in the original function that contains both" of
+    /// thesis §5.2.1.
+    pub fn lowest_common_loop(&self, a: BlockId, b: BlockId) -> Option<usize> {
+        let chain_b: HashSet<usize> = self.loop_chain(b).into_iter().collect();
+        self.loop_chain(a).into_iter().find(|l| chain_b.contains(l))
+    }
+
+    /// Blocks outside the loop that have a predecessor inside (loop exits).
+    pub fn exit_blocks(&self, f: &Function, l: usize) -> Vec<BlockId> {
+        let lp = &self.loops[l];
+        let mut out = Vec::new();
+        for &b in &lp.blocks {
+            for s in f.successors(b) {
+                if !lp.blocks.contains(&s) && !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Predecessors of the header from outside the loop.
+    pub fn entry_preds(&self, f: &Function, l: usize) -> Vec<BlockId> {
+        let lp = &self.loops[l];
+        let preds = f.predecessors();
+        preds[lp.header.index()]
+            .iter()
+            .copied()
+            .filter(|p| !lp.blocks.contains(p))
+            .collect()
+    }
+
+    /// The unique preheader: a single outside predecessor of the header
+    /// whose only successor is the header. `loop-simplify` establishes this.
+    pub fn preheader(&self, f: &Function, l: usize) -> Option<BlockId> {
+        let entries = self.entry_preds(f, l);
+        if entries.len() == 1 && f.successors(entries[0]).len() == 1 {
+            Some(entries[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// `loop-simplify`: ensure every loop has a dedicated preheader, and that
+/// every exit block's predecessors are all inside the loop (dedicated
+/// exits). Mirrors LLVM's `-loop-simplify`, which the thesis runs last in
+/// its preparation pipeline.
+pub fn loop_simplify(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let dt = DomTree::new(f);
+        let li = LoopInfo::new(f, &dt);
+        let mut did = false;
+        for l in 0..li.loops.len() {
+            // Preheader.
+            if li.preheader(f, l).is_none() {
+                let entries = li.entry_preds(f, l);
+                if entries.is_empty() {
+                    continue; // unreachable loop or entry is function entry
+                }
+                let header = li.loops[l].header;
+                // Create one preheader and route all entry edges through it.
+                let ph = f.create_block(format!("preheader.{}", header.0));
+                // Collect phi rewrites: new phi in ph per header phi.
+                reroute_edges_through(f, &entries, header, ph);
+                did = true;
+                changed = true;
+                break; // recompute analyses
+            }
+            // Dedicated exits.
+            for ex in li.exit_blocks(f, l) {
+                let preds = f.predecessors();
+                let outside: Vec<BlockId> = preds[ex.index()]
+                    .iter()
+                    .copied()
+                    .filter(|p| !li.loops[l].blocks.contains(p))
+                    .collect();
+                if !outside.is_empty() {
+                    let inside: Vec<BlockId> = preds[ex.index()]
+                        .iter()
+                        .copied()
+                        .filter(|p| li.loops[l].blocks.contains(p))
+                        .collect();
+                    // Route the in-loop edges through a dedicated block.
+                    let dex = f.create_block(format!("loopexit.{}.{}", l, ex.0));
+                    reroute_edges_through(f, &inside, ex, dex);
+                    did = true;
+                    changed = true;
+                    break;
+                }
+            }
+            if did {
+                break;
+            }
+        }
+        if !did {
+            break;
+        }
+    }
+    changed
+}
+
+/// Route every edge `p -> target` (for p in `preds`) through the (fresh,
+/// empty) block `via`, building phis in `via` to merge the incoming values
+/// of `target`'s phis.
+fn reroute_edges_through(f: &mut Function, preds: &[BlockId], target: BlockId, via: BlockId) {
+    use twill_ir::{Op, Ty};
+    // For each phi in target, gather entries from `preds` and build a phi in
+    // `via`; replace those entries with one entry (via, new_phi).
+    let phis: Vec<twill_ir::InstId> = f
+        .block(target)
+        .insts
+        .iter()
+        .copied()
+        .take_while(|&i| f.inst(i).op.is_phi())
+        .collect();
+    for phi in phis {
+        let (mut moved, ty): (Vec<(BlockId, twill_ir::Value)>, Ty) = {
+            let inst = f.inst(phi);
+            let ty = inst.ty;
+            match &inst.op {
+                Op::Phi(incoming) => (
+                    incoming.iter().copied().filter(|(b, _)| preds.contains(b)).collect(),
+                    ty,
+                ),
+                _ => unreachable!(),
+            }
+        };
+        if moved.is_empty() {
+            continue;
+        }
+        let new_value = if moved.iter().all(|(_, v)| *v == moved[0].1) {
+            // All the same value: no phi needed in `via`.
+            moved[0].1
+        } else {
+            let new_phi = f.create_inst(Op::Phi(std::mem::take(&mut moved)), ty);
+            f.block_mut(via).insts.insert(0, new_phi);
+            twill_ir::Value::Inst(new_phi)
+        };
+        if let Op::Phi(incoming) = &mut f.inst_mut(phi).op {
+            incoming.retain(|(b, _)| !preds.contains(b));
+            incoming.push((via, new_value));
+        }
+    }
+    // Terminate `via` with a branch to target (append after any phis).
+    let br = f.create_inst(Op::Br(target), Ty::Void);
+    f.block_mut(via).insts.push(br);
+    // Retarget each pred's terminator edge.
+    for &p in preds {
+        let term = f.block(p).terminator().expect("pred without terminator");
+        f.inst_mut(term).op.for_each_successor_mut(|b| {
+            if *b == target {
+                *b = via;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utils::assert_valid_ssa;
+    use twill_ir::parser::parse_module;
+
+    const NESTED: &str = r#"
+func @f(i32) -> i32 {
+bb0:
+  br bb1
+bb1:
+  %0 = phi i32 [bb0: 0:i32], [bb4: %4]
+  %1 = cmp slt %0, %a0
+  condbr %1, bb2, bb5
+bb2:
+  %2 = phi i32 [bb1: 0:i32], [bb3: %3]
+  %c = cmp slt %2, 10:i32
+  condbr %c, bb3, bb4
+bb3:
+  %3 = add i32 %2, 1:i32
+  br bb2
+bb4:
+  %4 = add i32 %0, 1:i32
+  br bb1
+bb5:
+  ret %0
+}
+"#;
+
+    #[test]
+    fn finds_nested_loops() {
+        let m = parse_module(NESTED).unwrap();
+        let f = &m.funcs[0];
+        let dt = DomTree::new(f);
+        let li = LoopInfo::new(f, &dt);
+        assert_eq!(li.loops.len(), 2);
+        let outer = li.loops.iter().position(|l| l.header == BlockId(1)).unwrap();
+        let inner = li.loops.iter().position(|l| l.header == BlockId(2)).unwrap();
+        assert_eq!(li.loops[inner].parent, Some(outer));
+        assert_eq!(li.loops[outer].depth, 1);
+        assert_eq!(li.loops[inner].depth, 2);
+        assert_eq!(li.loop_of(BlockId(3)), Some(inner));
+        assert_eq!(li.loop_of(BlockId(4)), Some(outer));
+        assert_eq!(li.loop_of(BlockId(0)), None);
+        assert_eq!(li.loop_of(BlockId(5)), None);
+    }
+
+    #[test]
+    fn lowest_common_loop_queries() {
+        let m = parse_module(NESTED).unwrap();
+        let f = &m.funcs[0];
+        let dt = DomTree::new(f);
+        let li = LoopInfo::new(f, &dt);
+        let outer = li.loops.iter().position(|l| l.header == BlockId(1)).unwrap();
+        let inner = li.loops.iter().position(|l| l.header == BlockId(2)).unwrap();
+        assert_eq!(li.lowest_common_loop(BlockId(3), BlockId(3)), Some(inner));
+        assert_eq!(li.lowest_common_loop(BlockId(3), BlockId(4)), Some(outer));
+        assert_eq!(li.lowest_common_loop(BlockId(3), BlockId(0)), None);
+    }
+
+    #[test]
+    fn exit_blocks_and_preheader() {
+        let m = parse_module(NESTED).unwrap();
+        let f = &m.funcs[0];
+        let dt = DomTree::new(f);
+        let li = LoopInfo::new(f, &dt);
+        let outer = li.loops.iter().position(|l| l.header == BlockId(1)).unwrap();
+        assert_eq!(li.exit_blocks(f, outer), vec![BlockId(5)]);
+        assert_eq!(li.preheader(f, outer), Some(BlockId(0)));
+    }
+
+    #[test]
+    fn loop_simplify_creates_preheader() {
+        // Loop header with two outside predecessors: no preheader.
+        let src = r#"
+func @f(i1) -> void {
+bb0:
+  condbr %a0, bb1, bb2
+bb1:
+  br bb3
+bb2:
+  br bb3
+bb3:
+  %0 = phi i32 [bb1: 1:i32], [bb2: 2:i32], [bb3: %1]
+  %1 = add i32 %0, 1:i32
+  %c = cmp slt %1, 10:i32
+  condbr %c, bb3, bb4
+bb4:
+  ret
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        assert!(loop_simplify(&mut m.funcs[0]));
+        assert_valid_ssa(&m);
+        let f = &m.funcs[0];
+        let dt = DomTree::new(f);
+        let li = LoopInfo::new(f, &dt);
+        let l = li.loops.iter().position(|l| l.header == BlockId(3)).unwrap();
+        let ph = li.preheader(f, l);
+        assert!(ph.is_some(), "preheader should exist after loop-simplify");
+        // Loop behavior preserved: phi in header now has two entries
+        // (preheader + latch).
+        let phi = f.block(BlockId(3)).insts[0];
+        match &f.inst(phi).op {
+            twill_ir::Op::Phi(inc) => assert_eq!(inc.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn loop_simplify_idempotent_on_simple_loop() {
+        let mut m = parse_module(NESTED).unwrap();
+        let changed_first = loop_simplify(&mut m.funcs[0]);
+        let before = twill_ir::printer::print_module(&m);
+        let changed_second = loop_simplify(&mut m.funcs[0]);
+        let after = twill_ir::printer::print_module(&m);
+        let _ = changed_first;
+        assert!(!changed_second);
+        assert_eq!(before, after);
+        assert_valid_ssa(&m);
+    }
+}

@@ -1,0 +1,172 @@
+//! Lower `switch` to a chain of compare-and-branch blocks ("lowerswitch").
+//!
+//! The thesis runs LLVM's `-lowerswitch` so the PDG/DSWP machinery only ever
+//! sees two-way branches; we do the same (a simple linear chain — CHStone
+//! switches are small).
+
+use twill_ir::{CmpOp, Function, Op, Ty, Value};
+
+pub fn lowerswitch(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        // Find one switch.
+        let mut found = None;
+        'outer: for b in f.block_ids() {
+            for &iid in &f.block(b).insts {
+                if matches!(f.inst(iid).op, Op::Switch(..)) {
+                    found = Some((b, iid));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((b, iid)) = found else { break };
+        changed = true;
+        let (v, cases, default) = match f.inst(iid).op.clone() {
+            Op::Switch(v, cases, d) => (v, cases, d),
+            _ => unreachable!(),
+        };
+        let vty = f.value_ty(v);
+
+        if cases.is_empty() {
+            f.inst_mut(iid).op = Op::Br(default);
+            continue;
+        }
+
+        // Build the chain: block b tests case 0; fresh blocks test the rest.
+        let mut test_blocks = vec![b];
+        for i in 1..cases.len() {
+            test_blocks.push(f.create_block(format!("switch.{}.{}", b.0, i)));
+        }
+        for (i, (k, target)) in cases.iter().enumerate() {
+            let this = test_blocks[i];
+            let next = if i + 1 < cases.len() { test_blocks[i + 1] } else { default };
+            let cmp = f.create_inst(Op::Cmp(CmpOp::Eq, v, Value::Imm(*k, vty)), Ty::I1);
+            let br = f.create_inst(Op::CondBr(Value::Inst(cmp), *target, next), Ty::Void);
+            if i == 0 {
+                // Replace the switch in-place.
+                let pos = f.block(b).insts.iter().position(|&x| x == iid).unwrap();
+                f.block_mut(b).insts.truncate(pos);
+                f.block_mut(b).insts.push(cmp);
+                f.block_mut(b).insts.push(br);
+            } else {
+                f.block_mut(this).insts.push(cmp);
+                f.block_mut(this).insts.push(br);
+            }
+        }
+
+        // Fix phis: every former switch target had exactly one incoming
+        // entry from `b`; its new predecessors are the test blocks that can
+        // branch to it. Duplicate the saved value across those edges.
+        let mut edges: Vec<(twill_ir::BlockId, twill_ir::BlockId)> = Vec::new();
+        for (i, (_, target)) in cases.iter().enumerate() {
+            edges.push((test_blocks[i], *target));
+        }
+        edges.push((*test_blocks.last().unwrap(), default));
+        let mut targets: Vec<twill_ir::BlockId> = edges.iter().map(|(_, t)| *t).collect();
+        targets.sort();
+        targets.dedup();
+        for t in targets {
+            let phis: Vec<twill_ir::InstId> = f
+                .block(t)
+                .insts
+                .iter()
+                .copied()
+                .take_while(|&i| f.inst(i).op.is_phi())
+                .collect();
+            for phi in phis {
+                if let Op::Phi(incoming) = &mut f.inst_mut(phi).op {
+                    if let Some(pos) = incoming.iter().position(|(p, _)| *p == b) {
+                        let (_, val) = incoming[pos];
+                        incoming.retain(|(p, _)| *p != b);
+                        let mut added = std::collections::HashSet::new();
+                        for (src, tgt) in &edges {
+                            if *tgt == t && added.insert(*src) {
+                                incoming.push((*src, val));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twill_ir::parser::parse_module;
+    use twill_ir::printer::print_module;
+
+    fn check(src: &str, inputs: &[i32]) {
+        for &i in inputs {
+            let mut m = parse_module(src).unwrap();
+            twill_ir::layout::assign_global_addrs(&mut m);
+            let (before, _, _) = twill_ir::interp::run_main(&m, vec![i], 1_000_000).unwrap();
+            for func in &mut m.funcs {
+                lowerswitch(func);
+            }
+            crate::utils::assert_valid_ssa(&m);
+            let out = print_module(&m);
+            assert!(!out.contains("\n  switch"), "{out}");
+            let (after, _, _) = twill_ir::interp::run_main(&m, vec![i], 1_000_000).unwrap();
+            assert_eq!(before, after, "input {i}");
+        }
+    }
+
+    #[test]
+    fn three_way_switch() {
+        check(
+            r#"
+func @main() -> i32 {
+bb0:
+  %0 = in
+  switch %0, [1: bb1], [2: bb2], [5: bb3], default bb4
+bb1:
+  out 10:i32
+  ret 0:i32
+bb2:
+  out 20:i32
+  ret 0:i32
+bb3:
+  out 50:i32
+  ret 0:i32
+bb4:
+  out 99:i32
+  ret 0:i32
+}
+"#,
+            &[1, 2, 5, 7, -1],
+        );
+    }
+
+    #[test]
+    fn switch_with_phi_targets() {
+        check(
+            r#"
+func @main() -> i32 {
+bb0:
+  %0 = in
+  switch %0, [1: bb1], [2: bb1], default bb2
+bb1:
+  %1 = phi i32 [bb0: 111:i32]
+  out %1
+  ret 0:i32
+bb2:
+  out 222:i32
+  ret 0:i32
+}
+"#,
+            &[1, 2, 3],
+        );
+    }
+
+    #[test]
+    fn empty_switch_becomes_br() {
+        let src = "func @main() -> i32 {\nbb0:\n  %0 = in\n  switch %0, default bb1\nbb1:\n  out 5:i32\n  ret 0:i32\n}\n";
+        let mut m = parse_module(src).unwrap();
+        lowerswitch(&mut m.funcs[0]);
+        let out = print_module(&m);
+        assert!(out.contains("br bb1"), "{out}");
+    }
+}

@@ -1,0 +1,453 @@
+//! Promote memory slots to SSA registers ("mem2reg").
+//!
+//! The mini-C frontend lowers every local variable to an entry-block
+//! `alloca` with explicit loads/stores (exactly like Clang at -O0); this
+//! pass rebuilds SSA form with phi insertion at iterated dominance
+//! frontiers and a dominator-tree renaming walk (Cytron et al.), mirroring
+//! LLVM's `-mem2reg` which the thesis runs first.
+//!
+//! A slot is promotable when it is a scalar (≤ 4 bytes), never escapes, is
+//! only accessed through whole-slot loads/stores of one consistent type,
+//! and is never itself stored as a value. Loads before any store read 0
+//! (allocas are zero-initialized by the interpreter, so semantics are
+//! preserved exactly).
+
+use crate::alias::alloca_escapes;
+use crate::domtree::DomTree;
+use std::collections::{HashMap, HashSet};
+use twill_ir::{BlockId, Function, InstId, Op, Ty, Value};
+
+pub fn mem2reg(f: &mut Function) -> bool {
+    crate::utils::remove_unreachable_blocks(f);
+    let candidates = find_promotable(f);
+    if candidates.is_empty() {
+        return false;
+    }
+    let dt = DomTree::new(f);
+    let preds = f.predecessors();
+
+    // slot index per alloca
+    let slot_of: HashMap<InstId, usize> =
+        candidates.iter().enumerate().map(|(i, (a, _))| (*a, i)).collect();
+    let slot_ty: Vec<Ty> = candidates.iter().map(|(_, t)| *t).collect();
+
+    // 1. Phi insertion at iterated dominance frontiers of def blocks.
+    let owner = f.inst_blocks();
+    let mut phi_for: HashMap<(BlockId, usize), InstId> = HashMap::new();
+    for (slot, (alloca, ty)) in candidates.iter().enumerate() {
+        let mut def_blocks: Vec<BlockId> = Vec::new();
+        for (_, iid) in f.inst_ids_in_layout() {
+            if let Op::Store(_, addr) = &f.inst(iid).op {
+                if *addr == Value::Inst(*alloca) {
+                    def_blocks.push(owner[iid.index()].unwrap());
+                }
+            }
+        }
+        let mut has_phi: HashSet<BlockId> = HashSet::new();
+        let mut work: Vec<BlockId> = def_blocks.clone();
+        while let Some(b) = work.pop() {
+            for &frontier_block in &dt.frontier[b.index()] {
+                if has_phi.insert(frontier_block) {
+                    // Placeholder phi; incoming filled during renaming.
+                    let phi = f.create_inst(Op::Phi(Vec::new()), *ty);
+                    f.block_mut(frontier_block).insts.insert(0, phi);
+                    phi_for.insert((frontier_block, slot), phi);
+                    work.push(frontier_block);
+                }
+            }
+        }
+    }
+
+    // 2. Renaming walk over the dominator tree.
+    let nslots = candidates.len();
+    let mut stacks: Vec<Vec<Value>> = (0..nslots)
+        .map(|s| vec![Value::Imm(0, slot_ty[s])])
+        .collect();
+    let mut replace: Vec<(Value, Value)> = Vec::new(); // (load result, value)
+    let mut dead: HashSet<InstId> = HashSet::new();
+    let mut phi_incoming: HashMap<InstId, Vec<(BlockId, Value)>> = HashMap::new();
+
+    // Recursive walk via explicit stack: (block, pushed counts per slot).
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        f: &Function,
+        dt: &DomTree,
+        preds: &[Vec<BlockId>],
+        b: BlockId,
+        slot_of: &HashMap<InstId, usize>,
+        phi_for: &HashMap<(BlockId, usize), InstId>,
+        stacks: &mut Vec<Vec<Value>>,
+        replace: &mut Vec<(Value, Value)>,
+        dead: &mut HashSet<InstId>,
+        phi_incoming: &mut HashMap<InstId, Vec<(BlockId, Value)>>,
+    ) {
+        let mut pushed: Vec<usize> = vec![0; stacks.len()];
+        for &iid in &f.block(b).insts {
+            match &f.inst(iid).op {
+                Op::Phi(_) => {
+                    // Is this one of our inserted phis?
+                    for (key, phi) in phi_for.iter() {
+                        if *phi == iid && key.0 == b {
+                            stacks[key.1].push(Value::Inst(iid));
+                            pushed[key.1] += 1;
+                        }
+                    }
+                }
+                Op::Load(addr) => {
+                    if let Value::Inst(a) = addr {
+                        if let Some(&slot) = slot_of.get(a) {
+                            let cur = *stacks[slot].last().unwrap();
+                            replace.push((Value::Inst(iid), cur));
+                            dead.insert(iid);
+                        }
+                    }
+                }
+                Op::Store(v, addr) => {
+                    if let Value::Inst(a) = addr {
+                        if let Some(&slot) = slot_of.get(a) {
+                            stacks[slot].push(*v);
+                            pushed[slot] += 1;
+                            dead.insert(iid);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Fill successor phi incomings.
+        for s in f.successors(b) {
+            for (key, phi) in phi_for.iter() {
+                if key.0 == s {
+                    let cur = *stacks[key.1].last().unwrap();
+                    let entry = phi_incoming.entry(*phi).or_default();
+                    if !entry.iter().any(|(p, _)| *p == b) {
+                        entry.push((b, cur));
+                    }
+                }
+            }
+        }
+        let _ = preds;
+        for &c in &dt.children[b.index()] {
+            walk(f, dt, preds, c, slot_of, phi_for, stacks, replace, dead, phi_incoming);
+        }
+        for (slot, n) in pushed.iter().enumerate() {
+            for _ in 0..*n {
+                stacks[slot].pop();
+            }
+        }
+    }
+
+    walk(
+        f,
+        &dt,
+        &preds,
+        f.entry,
+        &slot_of,
+        &phi_for,
+        &mut stacks,
+        &mut replace,
+        &mut dead,
+        &mut phi_incoming,
+    );
+
+    // 3. Commit: phi operands, load replacements (transitively resolving
+    // loads replaced by other loads), drop allocas/loads/stores.
+    for (phi, incoming) in phi_incoming {
+        if let Op::Phi(inc) = &mut f.inst_mut(phi).op {
+            *inc = incoming;
+        }
+    }
+    // Resolve replacement chains (a load's replacement may itself be a
+    // removed load).
+    let map: HashMap<Value, Value> = replace.iter().copied().collect();
+    let resolve = |mut v: Value| {
+        let mut fuel = map.len() + 1;
+        while let Some(&next) = map.get(&v) {
+            v = next;
+            fuel -= 1;
+            if fuel == 0 {
+                break;
+            }
+        }
+        v
+    };
+    for inst in &mut f.insts {
+        inst.op.for_each_value_mut(|v| {
+            let r = resolve(*v);
+            if r != *v {
+                *v = r;
+            }
+        });
+    }
+    for (alloca, _) in &candidates {
+        dead.insert(*alloca);
+    }
+    crate::utils::remove_insts(f, &dead);
+    true
+}
+
+/// Find promotable allocas and the consistent access type of each.
+fn find_promotable(f: &Function) -> Vec<(InstId, Ty)> {
+    let mut out = Vec::new();
+    for &iid in &f.block(f.entry).insts {
+        let Op::Alloca(size) = &f.inst(iid).op else { continue };
+        if *size > 4 {
+            continue;
+        }
+        if alloca_escapes(f, iid) {
+            continue;
+        }
+        // All uses must be direct Load(a) / Store(_, a); collect the type.
+        let mut ty: Option<Ty> = None;
+        let mut ok = true;
+        for (_, uid) in f.inst_ids_in_layout() {
+            let inst = f.inst(uid);
+            let mut uses_it = false;
+            inst.op.for_each_value(|v| {
+                if v == Value::Inst(iid) {
+                    uses_it = true;
+                }
+            });
+            if !uses_it {
+                continue;
+            }
+            match &inst.op {
+                Op::Load(addr) if *addr == Value::Inst(iid) => {
+                    let t = inst.ty;
+                    if *ty.get_or_insert(t) != t {
+                        ok = false;
+                    }
+                }
+                Op::Store(v, addr) if *addr == Value::Inst(iid) && *v != Value::Inst(iid) => {
+                    let t = inst.ty;
+                    if *ty.get_or_insert(t) != t {
+                        ok = false;
+                    }
+                }
+                _ => {
+                    ok = false;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let ty = ty.unwrap_or(Ty::I32);
+        if ty.bytes() > *size {
+            continue;
+        }
+        out.push((iid, ty));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twill_ir::parser::parse_module;
+    use twill_ir::printer::print_module;
+
+    fn check_equiv(src: &str, input: Vec<i32>) -> String {
+        let mut m = parse_module(src).unwrap();
+        twill_ir::layout::assign_global_addrs(&mut m);
+        let (before, rb, _) = twill_ir::interp::run_main(&m, input.clone(), 1_000_000).unwrap();
+        for func in &mut m.funcs {
+            mem2reg(func);
+        }
+        crate::utils::assert_valid_ssa(&m);
+        let (after, ra, _) = twill_ir::interp::run_main(&m, input, 1_000_000).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(rb, ra);
+        print_module(&m)
+    }
+
+    #[test]
+    fn straight_line_promotion() {
+        let out = check_equiv(
+            r#"
+func @main() -> i32 {
+bb0:
+  %0 = alloca 4
+  store i32 5:i32, %0
+  %1 = load i32 %0
+  %2 = add i32 %1, 1:i32
+  store i32 %2, %0
+  %3 = load i32 %0
+  out %3
+  ret %3
+}
+"#,
+            vec![],
+        );
+        assert!(!out.contains("alloca"), "{out}");
+        assert!(!out.contains("load"), "{out}");
+    }
+
+    #[test]
+    fn diamond_inserts_phi() {
+        let out = check_equiv(
+            r#"
+func @main() -> i32 {
+bb0:
+  %0 = alloca 4
+  %1 = in
+  %2 = cmp sgt %1, 0:i32
+  condbr %2, bb1, bb2
+bb1:
+  store i32 10:i32, %0
+  br bb3
+bb2:
+  store i32 20:i32, %0
+  br bb3
+bb3:
+  %3 = load i32 %0
+  out %3
+  ret %3
+}
+"#,
+            vec![5],
+        );
+        assert!(out.contains("phi i32"), "{out}");
+        assert!(!out.contains("alloca"), "{out}");
+    }
+
+    #[test]
+    fn loop_counter_promotes_to_phi_cycle() {
+        let out = check_equiv(
+            r#"
+func @main() -> i32 {
+bb0:
+  %0 = alloca 4
+  %s = alloca 4
+  store i32 0:i32, %0
+  store i32 0:i32, %s
+  br bb1
+bb1:
+  %1 = load i32 %0
+  %2 = cmp slt %1, 10:i32
+  condbr %2, bb2, bb3
+bb2:
+  %3 = load i32 %s
+  %4 = add i32 %3, %1
+  store i32 %4, %s
+  %5 = add i32 %1, 1:i32
+  store i32 %5, %0
+  br bb1
+bb3:
+  %6 = load i32 %s
+  out %6
+  ret %6
+}
+"#,
+            vec![],
+        );
+        assert!(!out.contains("alloca"), "{out}");
+        assert_eq!(out.matches("phi").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn load_before_store_reads_zero() {
+        let out = check_equiv(
+            r#"
+func @main() -> i32 {
+bb0:
+  %0 = alloca 4
+  %1 = load i32 %0
+  out %1
+  ret %1
+}
+"#,
+            vec![],
+        );
+        assert!(out.contains("out 0:i32"), "{out}");
+    }
+
+    #[test]
+    fn escaping_alloca_not_promoted() {
+        let out = check_equiv(
+            r#"
+func @take(ptr) -> i32 {
+bb0:
+  %0 = load i32 %a0
+  ret %0
+}
+func @main() -> i32 {
+bb0:
+  %0 = alloca 4
+  store i32 9:i32, %0
+  %1 = call i32 @take(%0)
+  out %1
+  ret %1
+}
+"#,
+            vec![],
+        );
+        assert!(out.contains("alloca"), "{out}");
+    }
+
+    #[test]
+    fn array_alloca_not_promoted() {
+        let out = check_equiv(
+            r#"
+func @main() -> i32 {
+bb0:
+  %0 = alloca 16
+  %1 = gep %0, 2:i32, 4
+  store i32 7:i32, %1
+  %2 = load i32 %1
+  out %2
+  ret %2
+}
+"#,
+            vec![],
+        );
+        assert!(out.contains("alloca 16"), "{out}");
+    }
+
+    #[test]
+    fn nested_loops_promote_correctly() {
+        check_equiv(
+            r#"
+func @main() -> i32 {
+bb0:
+  %i = alloca 4
+  %acc = alloca 4
+  %j = alloca 4
+  store i32 0:i32, %i
+  store i32 0:i32, %acc
+  br bb1
+bb1:
+  %0 = load i32 %i
+  %1 = cmp slt %0, 3:i32
+  condbr %1, bb2, bb6
+bb2:
+  store i32 0:i32, %j
+  br bb3
+bb3:
+  %2 = load i32 %j
+  %3 = cmp slt %2, 4:i32
+  condbr %3, bb4, bb5
+bb4:
+  %4 = load i32 %acc
+  %5 = mul i32 %0, 10:i32
+  %6 = add i32 %5, %2
+  %7 = add i32 %4, %6
+  store i32 %7, %acc
+  %8 = add i32 %2, 1:i32
+  store i32 %8, %j
+  br bb3
+bb5:
+  %9 = load i32 %i
+  %10 = add i32 %9, 1:i32
+  store i32 %10, %i
+  br bb1
+bb6:
+  %11 = load i32 %acc
+  out %11
+  ret %11
+}
+"#,
+            vec![],
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Merge multiple `ret` instructions into one exit block ("mergereturn").
+//!
+//! The thesis runs LLVM's `-mergereturn` so that each function has a unique
+//! exit, which both the DSWP extractor and the HLS FSM generator rely on.
+
+use twill_ir::{Function, Op, Ty, Value};
+
+pub fn mergereturn(f: &mut Function) -> bool {
+    let mut ret_blocks: Vec<twill_ir::BlockId> = Vec::new();
+    for b in f.block_ids() {
+        if let Some(t) = f.block(b).terminator() {
+            if matches!(f.inst(t).op, Op::Ret(_)) {
+                ret_blocks.push(b);
+            }
+        }
+    }
+    if ret_blocks.len() <= 1 {
+        return false;
+    }
+
+    let exit = f.create_block("unified.exit");
+    if f.ret == Ty::Void {
+        for &b in &ret_blocks {
+            let t = f.block(b).terminator().unwrap();
+            f.inst_mut(t).op = Op::Br(exit);
+        }
+        let ret = f.create_inst(Op::Ret(None), Ty::Void);
+        f.block_mut(exit).insts.push(ret);
+    } else {
+        let mut incoming: Vec<(twill_ir::BlockId, Value)> = Vec::new();
+        for &b in &ret_blocks {
+            let t = f.block(b).terminator().unwrap();
+            let v = match f.inst(t).op {
+                Op::Ret(Some(v)) => v,
+                _ => unreachable!("non-void function with bare ret"),
+            };
+            incoming.push((b, v));
+            f.inst_mut(t).op = Op::Br(exit);
+        }
+        let phi = f.create_inst(Op::Phi(incoming), f.ret);
+        let ret = f.create_inst(Op::Ret(Some(Value::Inst(phi))), Ty::Void);
+        f.block_mut(exit).insts.push(phi);
+        f.block_mut(exit).insts.push(ret);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twill_ir::parser::parse_module;
+
+    #[test]
+    fn merges_value_returns_with_phi() {
+        let src = r#"
+func @main() -> i32 {
+bb0:
+  %0 = in
+  %1 = cmp sgt %0, 0:i32
+  condbr %1, bb1, bb2
+bb1:
+  ret 1:i32
+bb2:
+  ret 2:i32
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        twill_ir::layout::assign_global_addrs(&mut m);
+        let (o1, r1, _) = twill_ir::interp::run_main(&m, vec![5], 1000).unwrap();
+        assert!(mergereturn(&mut m.funcs[0]));
+        crate::utils::assert_valid_ssa(&m);
+        // Exactly one ret now.
+        let rets = m.funcs[0]
+            .inst_ids_in_layout()
+            .iter()
+            .filter(|(_, i)| matches!(m.funcs[0].inst(*i).op, Op::Ret(_)))
+            .count();
+        assert_eq!(rets, 1);
+        let (o2, r2, _) = twill_ir::interp::run_main(&m, vec![5], 1000).unwrap();
+        assert_eq!((o1, r1), (o2.clone(), r2));
+        let (_, r3, _) = twill_ir::interp::run_main(&m, vec![-5], 1000).unwrap();
+        assert_eq!(r3, Some(2));
+        let _ = o2;
+    }
+
+    #[test]
+    fn merges_void_returns() {
+        let src = r#"
+func @f(i1) -> void {
+bb0:
+  condbr %a0, bb1, bb2
+bb1:
+  out 1:i32
+  ret
+bb2:
+  out 2:i32
+  ret
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        assert!(mergereturn(&mut m.funcs[0]));
+        crate::utils::assert_valid_ssa(&m);
+        assert_eq!(m.funcs[0].blocks.len(), 4);
+    }
+
+    #[test]
+    fn single_return_untouched() {
+        let src = "func @f() -> void {\nbb0:\n  ret\n}\n";
+        let mut m = parse_module(src).unwrap();
+        assert!(!mergereturn(&mut m.funcs[0]));
+    }
+}

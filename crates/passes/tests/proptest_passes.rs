@@ -1,0 +1,124 @@
+//! Property tests: every optimization pass preserves the observable
+//! behaviour of randomly generated straight-line + branchy IR programs.
+
+use proptest::prelude::*;
+use twill_ir::{FuncBuilder, BinOp, CmpOp, Module, Ty, Value};
+
+/// Build a random module: a main that computes over two inputs with a
+/// diamond and a bounded loop, parameterized by generated op codes.
+fn build_module(ops: &[(usize, i8)], loop_iters: u8) -> Module {
+    let mut b = FuncBuilder::new("main", vec![], Ty::I32);
+    let entry = b.create_block("entry");
+    let header = b.create_block("header");
+    let body = b.create_block("body");
+    let exit = b.create_block("exit");
+    b.func.entry = entry;
+
+    b.switch_to(entry);
+    let x0 = b.input();
+    let y0 = b.input();
+    b.br(header);
+
+    b.switch_to(header);
+    let i = b.phi(Ty::I32, vec![]);
+    let acc = b.phi(Ty::I32, vec![]);
+    let c = b.cmp(CmpOp::Slt, i, Value::imm32(loop_iters as i64 % 17 + 1));
+    b.cond_br(c, body, exit);
+
+    b.switch_to(body);
+    let mut cur = acc;
+    for &(code, imm) in ops {
+        let op = BinOp::ALL[code % BinOp::ALL.len()];
+        let rhs = if op.can_trap() {
+            Value::imm32((imm as i64).unsigned_abs().max(1) as i64)
+        } else if matches!(op, BinOp::Shl | BinOp::AShr | BinOp::LShr) {
+            Value::imm32((imm as i64) & 7)
+        } else {
+            Value::imm32(imm as i64)
+        };
+        cur = b.bin(op, cur, rhs);
+    }
+    let mixed = b.xor(cur, x0);
+    let ni = b.add(i, Value::imm32(1));
+    b.br(header);
+
+    b.switch_to(exit);
+    let res = b.add(acc, y0);
+    b.out(res);
+    b.ret(Some(res));
+
+    // Patch the phis now that we know the values.
+    let f = &mut b.func;
+    if let twill_ir::Op::Phi(inc) = &mut f.inst_mut(i.as_inst().unwrap()).op {
+        *inc = vec![(entry, Value::imm32(0)), (body, ni)];
+    }
+    if let twill_ir::Op::Phi(inc) = &mut f.inst_mut(acc.as_inst().unwrap()).op {
+        *inc = vec![(entry, Value::imm32(1)), (body, mixed)];
+    }
+    let mut m = Module::new("gen");
+    m.add_func(b.finish());
+    twill_ir::layout::assign_global_addrs(&mut m);
+    twill_ir::verifier::assert_valid(&m);
+    m
+}
+
+fn run(m: &Module, input: Vec<i32>) -> Vec<i32> {
+    twill_ir::interp::run_main(m, input, 10_000_000).expect("run").0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn constfold_preserves(ops in proptest::collection::vec((any::<usize>(), any::<i8>()), 1..12),
+                           iters in any::<u8>(), a in any::<i16>(), b in any::<i16>()) {
+        let mut m = build_module(&ops, iters);
+        let before = run(&m, vec![a as i32, b as i32]);
+        twill_passes::constfold::constfold(&mut m.funcs[0]);
+        twill_passes::utils::assert_valid_ssa(&m);
+        prop_assert_eq!(before, run(&m, vec![a as i32, b as i32]));
+    }
+
+    #[test]
+    fn gvn_preserves(ops in proptest::collection::vec((any::<usize>(), any::<i8>()), 1..12),
+                     iters in any::<u8>(), a in any::<i16>(), b in any::<i16>()) {
+        let mut m = build_module(&ops, iters);
+        let before = run(&m, vec![a as i32, b as i32]);
+        twill_passes::gvn::gvn(&mut m.funcs[0]);
+        twill_passes::utils::assert_valid_ssa(&m);
+        prop_assert_eq!(before, run(&m, vec![a as i32, b as i32]));
+    }
+
+    #[test]
+    fn dce_preserves(ops in proptest::collection::vec((any::<usize>(), any::<i8>()), 1..12),
+                     iters in any::<u8>(), a in any::<i16>(), b in any::<i16>()) {
+        let mut m = build_module(&ops, iters);
+        let before = run(&m, vec![a as i32, b as i32]);
+        twill_passes::dce::dce_module(&mut m);
+        twill_passes::utils::assert_valid_ssa(&m);
+        prop_assert_eq!(before, run(&m, vec![a as i32, b as i32]));
+    }
+
+    #[test]
+    fn simplifycfg_and_ifconvert_preserve(
+        ops in proptest::collection::vec((any::<usize>(), any::<i8>()), 1..12),
+        iters in any::<u8>(), a in any::<i16>(), b in any::<i16>()) {
+        let mut m = build_module(&ops, iters);
+        let before = run(&m, vec![a as i32, b as i32]);
+        twill_passes::simplifycfg::simplifycfg(&mut m.funcs[0]);
+        twill_passes::ifconvert::ifconvert(&mut m.funcs[0]);
+        twill_passes::utils::assert_valid_ssa(&m);
+        prop_assert_eq!(before, run(&m, vec![a as i32, b as i32]));
+    }
+
+    #[test]
+    fn whole_pipeline_preserves(
+        ops in proptest::collection::vec((any::<usize>(), any::<i8>()), 1..12),
+        iters in any::<u8>(), a in any::<i16>(), b in any::<i16>()) {
+        let mut m = build_module(&ops, iters);
+        let before = run(&m, vec![a as i32, b as i32]);
+        twill_passes::run_standard_pipeline(&mut m, &Default::default());
+        twill_passes::utils::assert_valid_ssa(&m);
+        prop_assert_eq!(before, run(&m, vec![a as i32, b as i32]));
+    }
+}

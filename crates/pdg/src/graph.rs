@@ -1,0 +1,623 @@
+//! PDG construction.
+
+use twill_ir::{BlockId, Function, InstId, Intr, Module, Op, Value};
+use twill_passes::alias::AliasInfo;
+use twill_passes::callgraph::Effects;
+use twill_passes::domtree::{DomTree, PostDomTree};
+use twill_passes::loops::LoopInfo;
+
+/// Kind of a dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Head uses the SSA value produced by tail.
+    Data,
+    /// Memory/IO ordering: tail must execute before head.
+    Memory,
+    /// Tail is a branch deciding whether head executes.
+    Control,
+    /// Thesis Fig 5.2 fake dependence tying a constant-PHI to its branch.
+    PhiConst,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct PdgOptions {
+    /// Insert the PHI-constant fake dependence pairs (thesis default: on).
+    pub phi_const_pairs: bool,
+}
+
+impl Default for PdgOptions {
+    fn default() -> Self {
+        PdgOptions { phi_const_pairs: true }
+    }
+}
+
+/// The PDG of one function. Nodes are the function's live instructions.
+pub struct Pdg {
+    /// Dense node list (live instructions in layout order).
+    pub nodes: Vec<InstId>,
+    /// node index per InstId arena slot (usize::MAX = not a node).
+    pub node_of: Vec<usize>,
+    /// Adjacency: `edges[a] = (b, kind)` meaning a must execute before b
+    /// (tail = a, head = b).
+    pub edges: Vec<Vec<(usize, DepKind)>>,
+    /// Owning block per node.
+    pub block_of: Vec<BlockId>,
+}
+
+impl Pdg {
+    /// Build the PDG for `f` (a function of `m` with effect table `fx`).
+    pub fn build(m: &Module, f: &Function, fx: &[Effects], opts: &PdgOptions) -> Pdg {
+        let layout = f.inst_ids_in_layout();
+        let nodes: Vec<InstId> = layout.iter().map(|(_, i)| *i).collect();
+        let block_of: Vec<BlockId> = layout.iter().map(|(b, _)| *b).collect();
+        let mut node_of = vec![usize::MAX; f.insts.len()];
+        for (k, &iid) in nodes.iter().enumerate() {
+            node_of[iid.index()] = k;
+        }
+        let mut pdg = Pdg { nodes, node_of, edges: Vec::new(), block_of };
+        pdg.edges = vec![Vec::new(); pdg.nodes.len()];
+
+        pdg.add_data_edges(f);
+        pdg.add_memory_edges(m, f, fx);
+        pdg.reduce_memory_edges();
+        pdg.add_control_edges(f);
+        if opts.phi_const_pairs {
+            pdg.add_phi_const_pairs(f);
+        }
+        pdg.dedup();
+        pdg
+    }
+
+    fn add_edge(&mut self, tail: usize, head: usize, kind: DepKind) {
+        self.edges[tail].push((head, kind));
+    }
+
+    fn dedup(&mut self) {
+        for e in &mut self.edges {
+            e.sort_by_key(|(h, k)| (*h, *k as u8));
+            e.dedup();
+        }
+    }
+
+    /// SSA use-def edges (def → use).
+    fn add_data_edges(&mut self, f: &Function) {
+        for (head, &iid) in self.nodes.clone().iter().enumerate() {
+            f.inst(iid).op.for_each_value(|v| {
+                if let Value::Inst(def) = v {
+                    let tail = self.node_of[def.index()];
+                    if tail != usize::MAX {
+                        self.add_edge(tail, head, DepKind::Data);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Conservative memory/IO ordering edges.
+    ///
+    /// For each pair of "effectful" instructions that may conflict:
+    /// * if the two share a loop, the dependence may be loop-carried in
+    ///   either direction → add both edges (forcing one SCC);
+    /// * otherwise direction follows dominance; incomparable blocks get
+    ///   both edges.
+    fn add_memory_edges(&mut self, m: &Module, f: &Function, fx: &[Effects]) {
+        #[derive(Clone, Copy, PartialEq)]
+        enum MemKind {
+            Load(Value),
+            Store(Value),
+            CallRead,
+            CallWrite,
+            Io,
+            RtComm,
+        }
+        let aa = AliasInfo::new(f);
+        let dt = DomTree::new(f);
+        let li = LoopInfo::new(f, &dt);
+        // Block-to-block CFG reachability (small graphs; O(V·E) BFS).
+        let nb = f.blocks.len();
+        let mut reach: Vec<Vec<bool>> = vec![vec![false; nb]; nb];
+        for start in 0..nb {
+            let mut stack = vec![twill_ir::BlockId::new(start)];
+            while let Some(b) = stack.pop() {
+                for s in f.successors(b) {
+                    if !reach[start][s.index()] {
+                        reach[start][s.index()] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+
+        let mut ops: Vec<(usize, MemKind)> = Vec::new();
+        for (k, &iid) in self.nodes.iter().enumerate() {
+            let kind = match &f.inst(iid).op {
+                Op::Load(a) => Some(MemKind::Load(*a)),
+                Op::Store(_, a) => Some(MemKind::Store(*a)),
+                Op::Call(c, _) => {
+                    let e = fx[c.index()];
+                    if e.has_io {
+                        Some(MemKind::Io)
+                    } else if e.writes_mem {
+                        Some(MemKind::CallWrite)
+                    } else if e.reads_mem {
+                        Some(MemKind::CallRead)
+                    } else {
+                        None
+                    }
+                }
+                // Unknown target: totally ordered like IO.
+                Op::CallIndirect(..) => Some(MemKind::Io),
+                Op::Intrin(i, _) => match i {
+                    Intr::Out | Intr::In => Some(MemKind::Io),
+                    _ => Some(MemKind::RtComm),
+                },
+                _ => None,
+            };
+            if let Some(kd) = kind {
+                ops.push((k, kd));
+            }
+        }
+        let _ = m;
+
+        let conflicts = |a: MemKind, b: MemKind| -> bool {
+            use MemKind::*;
+            match (a, b) {
+                // Two reads never conflict.
+                (Load(_), Load(_)) | (CallRead, CallRead) | (Load(_), CallRead)
+                | (CallRead, Load(_)) => false,
+                // IO is a totally ordered stream.
+                (Io, Io) => true,
+                // Runtime comm ops: ordered among themselves (queue ops on
+                // the same queue must not reorder) — conservative: ordered.
+                (RtComm, RtComm) => true,
+                (RtComm, Io) | (Io, RtComm) => true,
+                // IO doesn't touch program memory.
+                (Io, _) | (_, Io) => false,
+                (RtComm, _) | (_, RtComm) => false,
+                (Load(x), Store(y)) | (Store(x), Load(y)) | (Store(x), Store(y)) => {
+                    aa.may_alias(x, y)
+                }
+                (Load(x), CallWrite) | (CallWrite, Load(x)) => aa.may_conflict_with_calls(f, x),
+                (Store(x), CallWrite) | (CallWrite, Store(x)) => aa.may_conflict_with_calls(f, x),
+                (Store(x), CallRead) | (CallRead, Store(x)) => aa.may_conflict_with_calls(f, x),
+                (CallWrite, CallWrite) | (CallWrite, CallRead) | (CallRead, CallWrite) => true,
+            }
+        };
+
+        for i in 0..ops.len() {
+            for j in (i + 1)..ops.len() {
+                let (na, ka) = ops[i];
+                let (nb, kb) = ops[j];
+                if !conflicts(ka, kb) {
+                    continue;
+                }
+                let ba = self.block_of[na];
+                let bb = self.block_of[nb];
+                let carried = li.lowest_common_loop(ba, bb).is_some();
+                if carried {
+                    // A loop may carry the dependence either way: tie the
+                    // pair into one SCC (one thread).
+                    self.add_edge(na, nb, DepKind::Memory);
+                    self.add_edge(nb, na, DepKind::Memory);
+                } else if ba == bb {
+                    // Same block: program order (nodes are in layout order).
+                    self.add_edge(na, nb, DepKind::Memory);
+                } else if reach[ba.index()][bb.index()] {
+                    // Every execution of `a` precedes any of `b` (without a
+                    // common loop, reachability is one-directional).
+                    self.add_edge(na, nb, DepKind::Memory);
+                } else if reach[bb.index()][ba.index()] {
+                    self.add_edge(nb, na, DepKind::Memory);
+                } else {
+                    // Mutually unreachable and loop-free: no single run
+                    // executes both — no ordering constraint.
+                }
+            }
+        }
+    }
+
+    /// Transitive reduction of the *acyclic* part of the memory-edge
+    /// graph: ordering is transitive, so an edge a→c implied by a→b→c is
+    /// redundant and would only inflate DSWP token-queue counts
+    /// (quadratically for straight-line call chains). Edges participating
+    /// in 2-cycles (loop-carried conservatism) are left untouched.
+    fn reduce_memory_edges(&mut self) {
+        use std::collections::HashSet;
+        let n = self.len();
+        // Collect memory edges; identify bidirectional pairs.
+        let mut mem_edges: HashSet<(usize, usize)> = HashSet::new();
+        for (t, es) in self.edges.iter().enumerate() {
+            for &(h, k) in es {
+                if k == DepKind::Memory {
+                    mem_edges.insert((t, h));
+                }
+            }
+        }
+        let acyclic: Vec<(usize, usize)> = mem_edges
+            .iter()
+            .copied()
+            .filter(|&(t, h)| !mem_edges.contains(&(h, t)))
+            .collect();
+        if acyclic.is_empty() {
+            return;
+        }
+        // Successor lists of the acyclic subgraph.
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(t, h) in &acyclic {
+            succ[t].push(h);
+        }
+        // An edge (t,h) is redundant if h is reachable from t via a path
+        // of ≥2 acyclic memory edges.
+        let mut drop: HashSet<(usize, usize)> = HashSet::new();
+        for &(t, h) in &acyclic {
+            // BFS from t's other successors.
+            let mut seen = vec![false; n];
+            let mut stack: Vec<usize> = succ[t].iter().copied().filter(|&x| x != h).collect();
+            let mut found = false;
+            while let Some(x) = stack.pop() {
+                if x == h {
+                    found = true;
+                    break;
+                }
+                if seen[x] {
+                    continue;
+                }
+                seen[x] = true;
+                for &nx in &succ[x] {
+                    if !seen[nx] {
+                        stack.push(nx);
+                    }
+                }
+            }
+            if found {
+                drop.insert((t, h));
+            }
+        }
+        if drop.is_empty() {
+            return;
+        }
+        for (t, es) in self.edges.iter_mut().enumerate() {
+            es.retain(|&(h, k)| k != DepKind::Memory || !drop.contains(&(t, h)));
+        }
+    }
+
+    /// Classic control dependence: block B is control dependent on the
+    /// terminator of A iff A ∈ PDF(B). Every instruction of B gets an edge
+    /// from A's terminator.
+    fn add_control_edges(&mut self, f: &Function) {
+        let pdt = PostDomTree::new(f);
+        for b in f.block_ids() {
+            for &ctrl_block in &pdt.frontier[b.index()] {
+                let Some(term) = f.block(ctrl_block).terminator() else { continue };
+                let tail = self.node_of[term.index()];
+                if tail == usize::MAX {
+                    continue;
+                }
+                for &iid in &f.block(b).insts {
+                    let head = self.node_of[iid.index()];
+                    if head != usize::MAX && head != tail {
+                        self.add_edge(tail, head, DepKind::Control);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Thesis Fig 5.2: a PHI with a constant incoming value from block P is
+    /// tied (both directions) to the *decision-carrying* branch of P,
+    /// forcing them into the same partition. Only conditional branches are
+    /// paired (Fig 5.2's dotted edges target the conditional branches whose
+    /// outcome selects the constant); tying to unconditional preheader
+    /// branches would spuriously merge every loop phi into one SCC.
+    fn add_phi_const_pairs(&mut self, f: &Function) {
+        let pdt = PostDomTree::new(f);
+        for (head, &iid) in self.nodes.clone().iter().enumerate() {
+            if let Op::Phi(incoming) = &f.inst(iid).op {
+                for (pred, v) in incoming {
+                    if !matches!(v, Value::Imm(..)) {
+                        continue;
+                    }
+                    // The decision-carrying branch: the pred's own
+                    // terminator when conditional, else the branches the
+                    // pred is control-dependent on (its PDF).
+                    let mut branches: Vec<InstId> = Vec::new();
+                    if let Some(term) = f.block(*pred).terminator() {
+                        if matches!(f.inst(term).op, Op::CondBr(..) | Op::Switch(..)) {
+                            branches.push(term);
+                        } else {
+                            for &cb in &pdt.frontier[pred.index()] {
+                                if let Some(t) = f.block(cb).terminator() {
+                                    branches.push(t);
+                                }
+                            }
+                        }
+                    }
+                    for term in branches {
+                        let t = self.node_of[term.index()];
+                        if t != usize::MAX && t != head {
+                            self.add_edge(t, head, DepKind::PhiConst);
+                            self.add_edge(head, t, DepKind::PhiConst);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All edges as (tail, head, kind) triples.
+    pub fn all_edges(&self) -> Vec<(usize, usize, DepKind)> {
+        let mut out = Vec::new();
+        for (t, es) in self.edges.iter().enumerate() {
+            for (h, k) in es {
+                out.push((t, *h, *k));
+            }
+        }
+        out
+    }
+
+    /// Successor node indices irrespective of kind.
+    pub fn succs(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges[n].iter().map(|(h, _)| *h)
+    }
+}
+
+/// Convenience: reverse adjacency.
+pub fn predecessors(pdg: &Pdg) -> Vec<Vec<usize>> {
+    let mut preds = vec![Vec::new(); pdg.len()];
+    for (t, h, _) in pdg.all_edges() {
+        if !preds[h].contains(&t) {
+            preds[h].push(t);
+        }
+    }
+    preds
+}
+
+/// Map from node index to a short debug string.
+pub fn describe_node(m: &Module, f: &Function, pdg: &Pdg, n: usize) -> String {
+    let iid = pdg.nodes[n];
+    let inst = f.inst(iid);
+    format!(
+        "{}[{}]: {}",
+        pdg.block_of[n],
+        iid,
+        twill_ir::printer::print_inst(m, &inst.op, inst.ty, iid.0)
+    )
+}
+
+#[derive(Debug, Default)]
+pub struct PdgStats {
+    pub nodes: usize,
+    pub data_edges: usize,
+    pub memory_edges: usize,
+    pub control_edges: usize,
+    pub phi_const_edges: usize,
+}
+
+pub fn stats(pdg: &Pdg) -> PdgStats {
+    let mut s = PdgStats { nodes: pdg.len(), ..Default::default() };
+    for (_, _, k) in pdg.all_edges() {
+        match k {
+            DepKind::Data => s.data_edges += 1,
+            DepKind::Memory => s.memory_edges += 1,
+            DepKind::Control => s.control_edges += 1,
+            DepKind::PhiConst => s.phi_const_edges += 1,
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twill_passes::callgraph::function_effects;
+
+    fn build(src: &str) -> (Module, Pdg) {
+        let m = twill_ir::parser::parse_module(src).unwrap();
+        let fx = function_effects(&m);
+        let f = &m.funcs[m.funcs.len() - 1];
+        let pdg = Pdg::build(&m, f, &fx, &Default::default());
+        let m2 = m.clone();
+        (m2, pdg)
+    }
+
+    fn has_edge(pdg: &Pdg, f: &Function, tail: InstId, head: InstId, kind: DepKind) -> bool {
+        let t = pdg.node_of[tail.index()];
+        let h = pdg.node_of[head.index()];
+        let _ = f;
+        pdg.edges[t].iter().any(|(x, k)| *x == h && *k == kind)
+    }
+
+    #[test]
+    fn data_edges_follow_use_def() {
+        let (m, pdg) = build(
+            "func @f(i32) -> i32 {\nbb0:\n  %0 = add i32 %a0, 1:i32\n  %1 = mul i32 %0, %0\n  ret %1\n}\n",
+        );
+        let f = &m.funcs[0];
+        assert!(has_edge(&pdg, f, InstId(0), InstId(1), DepKind::Data));
+        assert!(has_edge(&pdg, f, InstId(1), InstId(2), DepKind::Data));
+        assert!(!has_edge(&pdg, f, InstId(1), InstId(0), DepKind::Data));
+    }
+
+    #[test]
+    fn memory_edges_in_straightline() {
+        let (m, pdg) = build(
+            "global @g size=4 []\nfunc @f() -> i32 {\nbb0:\n  %0 = gaddr @g\n  store i32 1:i32, %0\n  %1 = load i32 %0\n  ret %1\n}\n",
+        );
+        let f = &m.funcs[0];
+        // store (inst 1) before load (inst 2).
+        assert!(has_edge(&pdg, f, InstId(1), InstId(2), DepKind::Memory));
+        assert!(!has_edge(&pdg, f, InstId(2), InstId(1), DepKind::Memory));
+    }
+
+    #[test]
+    fn disjoint_objects_no_memory_edge() {
+        let (m, pdg) = build(
+            "global @a size=4 []\nglobal @b size=4 []\nfunc @f() -> void {\nbb0:\n  %0 = gaddr @a\n  %1 = gaddr @b\n  store i32 1:i32, %0\n  store i32 2:i32, %1\n  ret\n}\n",
+        );
+        let f = &m.funcs[0];
+        assert!(!has_edge(&pdg, f, InstId(2), InstId(3), DepKind::Memory));
+        assert!(!has_edge(&pdg, f, InstId(3), InstId(2), DepKind::Memory));
+    }
+
+    #[test]
+    fn loop_carried_memory_is_bidirectional() {
+        let (m, pdg) = build(
+            r#"
+global @g size=4 []
+func @f(i32) -> void {
+bb0:
+  %p = gaddr @g
+  br bb1
+bb1:
+  %i = phi i32 [bb0: 0:i32], [bb1: %ni]
+  %v = load i32 %p
+  %nv = add i32 %v, 1:i32
+  store i32 %nv, %p
+  %ni = add i32 %i, 1:i32
+  %c = cmp slt %ni, %a0
+  condbr %c, bb1, bb2
+bb2:
+  ret
+}
+"#,
+        );
+        let f = &m.funcs[0];
+        let load = f.block(BlockId(1)).insts[1];
+        let store = f.block(BlockId(1)).insts[3];
+        assert!(has_edge(&pdg, f, load, store, DepKind::Memory));
+        assert!(has_edge(&pdg, f, store, load, DepKind::Memory));
+    }
+
+    #[test]
+    fn io_stream_is_ordered() {
+        let (m, pdg) = build(
+            "func @f() -> void {\nbb0:\n  out 1:i32\n  out 2:i32\n  ret\n}\n",
+        );
+        let f = &m.funcs[0];
+        assert!(has_edge(&pdg, f, InstId(0), InstId(1), DepKind::Memory));
+    }
+
+    #[test]
+    fn control_edges_from_branch() {
+        let (m, pdg) = build(
+            r#"
+func @f(i1) -> i32 {
+bb0:
+  condbr %a0, bb1, bb2
+bb1:
+  %x = add i32 1:i32, 2:i32
+  br bb3
+bb2:
+  br bb3
+bb3:
+  %r = phi i32 [bb1: %x], [bb2: 0:i32]
+  ret %r
+}
+"#,
+        );
+        let f = &m.funcs[0];
+        let condbr = f.block(BlockId(0)).insts[0];
+        let add = f.block(BlockId(1)).insts[0];
+        assert!(has_edge(&pdg, f, condbr, add, DepKind::Control));
+        // bb3 post-dominates bb0: no control dep on its instructions.
+        let ret = f.block(BlockId(3)).insts[1];
+        assert!(!has_edge(&pdg, f, condbr, ret, DepKind::Control));
+    }
+
+    #[test]
+    fn phi_const_pair_forces_cycle() {
+        let (m, pdg) = build(
+            r#"
+func @f(i1) -> i32 {
+bb0:
+  condbr %a0, bb1, bb2
+bb1:
+  br bb3
+bb2:
+  br bb3
+bb3:
+  %r = phi i32 [bb1: 1:i32], [bb2: 2:i32]
+  ret %r
+}
+"#,
+        );
+        let f = &m.funcs[0];
+        let phi = f.block(BlockId(3)).insts[0];
+        // bb1/bb2 end in unconditional branches; the decision carrier is
+        // the condbr in bb0 (their control dependence), as in Fig 5.2.
+        let cbr = f.block(BlockId(0)).insts[0];
+        assert!(has_edge(&pdg, f, cbr, phi, DepKind::PhiConst));
+        assert!(has_edge(&pdg, f, phi, cbr, DepKind::PhiConst));
+    }
+
+    #[test]
+    fn phi_const_pairs_can_be_disabled() {
+        let m = twill_ir::parser::parse_module(
+            r#"
+func @f(i1) -> i32 {
+bb0:
+  condbr %a0, bb1, bb2
+bb1:
+  br bb3
+bb2:
+  br bb3
+bb3:
+  %r = phi i32 [bb1: 1:i32], [bb2: 2:i32]
+  ret %r
+}
+"#,
+        )
+        .unwrap();
+        let fx = function_effects(&m);
+        let pdg = Pdg::build(&m, &m.funcs[0], &fx, &PdgOptions { phi_const_pairs: false });
+        assert_eq!(stats(&pdg).phi_const_edges, 0);
+    }
+
+    #[test]
+    fn loop_body_control_dep_on_loop_branch() {
+        let (m, pdg) = build(
+            r#"
+func @f(i32) -> i32 {
+bb0:
+  br bb1
+bb1:
+  %i = phi i32 [bb0: 0:i32], [bb2: %ni]
+  %c = cmp slt %i, %a0
+  condbr %c, bb2, bb3
+bb2:
+  %ni = add i32 %i, 1:i32
+  br bb1
+bb3:
+  ret %i
+}
+"#,
+        );
+        let f = &m.funcs[0];
+        let condbr = f.block(BlockId(1)).insts[2];
+        let add = f.block(BlockId(2)).insts[0];
+        assert!(has_edge(&pdg, f, condbr, add, DepKind::Control));
+        // Header is control dependent on its own branch (self loop region).
+        let phi = f.block(BlockId(1)).insts[0];
+        assert!(has_edge(&pdg, f, condbr, phi, DepKind::Control));
+    }
+
+    #[test]
+    fn stats_count_kinds() {
+        let (_, pdg) = build(
+            "func @f() -> i32 {\nbb0:\n  %0 = add i32 1:i32, 2:i32\n  ret %0\n}\n",
+        );
+        let s = stats(&pdg);
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.data_edges, 1);
+        assert_eq!(s.control_edges, 0);
+    }
+}

@@ -1,0 +1,417 @@
+//! System assembly and the three experiment configurations.
+
+use crate::cpu::Cpu;
+use crate::hwthread::{HwThread, Progress};
+use crate::shared::Shared;
+use twill_dswp::DswpResult;
+use twill_hls::schedule::{schedule_module, HlsOptions, ModuleSchedule};
+use twill_ir::{layout, Module};
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Total base latency of a queue operation (thesis baseline: 2; the
+    /// Fig 6.5 sweep raises this to 128).
+    pub queue_latency: u32,
+    /// Queue depth override for all queues (Fig 6.6 sweeps 2..32).
+    pub queue_depth: Option<u32>,
+    pub mem_size: u32,
+    pub max_cycles: u64,
+    pub hls: HlsOptions,
+    /// Record up to this many runtime events (0 = tracing off).
+    pub trace_events: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            queue_latency: twill_ir::cost::HW_QUEUE_LATENCY,
+            queue_depth: None,
+            mem_size: layout::DEFAULT_MEM_SIZE,
+            max_cycles: 3_000_000_000,
+            hls: HlsOptions::default(),
+            trace_events: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    fn queue_extra(&self) -> u32 {
+        self.queue_latency.saturating_sub(twill_ir::cost::HW_QUEUE_LATENCY)
+    }
+}
+
+/// Result of one simulation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    pub cycles: u64,
+    pub output: Vec<i32>,
+    pub stats: crate::shared::SimStats,
+    /// Fraction of total cycles the CPU was busy (for the power model).
+    pub cpu_busy_fraction: f64,
+    pub hw_threads: usize,
+    /// Runtime event trace (when `SimConfig::trace_events > 0`).
+    pub trace: Vec<crate::shared::TraceEvent>,
+}
+
+#[derive(Debug)]
+pub enum SimError {
+    /// No agent made progress for a long window.
+    Deadlock { cycle: u64, detail: String },
+    /// `max_cycles` exceeded.
+    Timeout(u64),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, detail } => {
+                write!(f, "deadlock at cycle {cycle}: {detail}")
+            }
+            SimError::Timeout(c) => write!(f, "simulation exceeded {c} cycles"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Carve per-thread stack regions out of the memory above the globals.
+fn stack_regions(m: &Module, mem_size: u32, n: usize) -> Vec<(u32, u32)> {
+    let globals_end = m
+        .globals
+        .iter()
+        .map(|g| g.addr + g.size)
+        .max()
+        .unwrap_or(layout::GLOBAL_BASE);
+    let base = (globals_end + 63) & !63;
+    let region = ((mem_size - base) / (n as u32).max(1)) & !63;
+    (0..n)
+        .map(|i| {
+            let lo = base + region * i as u32;
+            (lo, lo + region - 64)
+        })
+        .collect()
+}
+
+/// Pure-software configuration: the whole program runs on the Microblaze.
+pub fn simulate_pure_sw(
+    m: &Module,
+    input: Vec<i32>,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    let main = m.find_func("main").expect("needs @main");
+    let stacks = stack_regions(m, cfg.mem_size, 1);
+    let mut shared = Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, 1);
+    if cfg.trace_events > 0 {
+        shared.enable_trace(cfg.trace_events);
+    }
+    let mut cpu = Cpu::new(0, m, &[main], &stacks);
+    run_loop(m, None, &mut shared, Some(&mut cpu), &mut [], cfg)?;
+    let cycles = shared.cycle;
+    Ok(SimReport {
+        cycles,
+        output: shared.output.clone(),
+        cpu_busy_fraction: cpu.busy_cycles as f64 / cycles.max(1) as f64,
+        trace: shared.trace.take().unwrap_or_default(),
+        stats: shared.stats,
+        hw_threads: 0,
+    })
+}
+
+/// Pure-hardware configuration: the LegUp translation of the whole program
+/// as a single hardware thread (the thesis' pure-HW baseline).
+pub fn simulate_pure_hw(
+    m: &Module,
+    input: Vec<i32>,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    let main = m.find_func("main").expect("needs @main");
+    let sched = schedule_module(m, &cfg.hls);
+    let stacks = stack_regions(m, cfg.mem_size, 1);
+    let mut shared = Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, 1);
+    if cfg.trace_events > 0 {
+        shared.enable_trace(cfg.trace_events);
+    }
+    let mut hw = vec![HwThread::new(0, m, main, stacks[0])];
+    run_loop(m, Some(&sched), &mut shared, None, &mut hw, cfg)?;
+    let cycles = shared.cycle;
+    Ok(SimReport {
+        cycles,
+        output: shared.output.clone(),
+        cpu_busy_fraction: 0.0,
+        trace: shared.trace.take().unwrap_or_default(),
+        stats: shared.stats,
+        hw_threads: 1,
+    })
+}
+
+/// The Twill hybrid: partition 0 on the CPU, the rest as HW threads.
+pub fn simulate_hybrid(
+    dswp: &DswpResult,
+    input: Vec<i32>,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    let m = &dswp.module;
+    let sched = schedule_module(m, &cfg.hls);
+    let sw_entries: Vec<twill_ir::FuncId> = dswp
+        .threads
+        .iter()
+        .filter(|t| !t.is_hw)
+        .map(|t| t.entry)
+        .collect();
+    let hw_specs: Vec<&twill_dswp::ThreadSpec> =
+        dswp.threads.iter().filter(|t| t.is_hw).collect();
+    let total = sw_entries.len() + hw_specs.len();
+    let stacks = stack_regions(m, cfg.mem_size, total);
+    let mut shared =
+        Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, total);
+    if cfg.trace_events > 0 {
+        shared.enable_trace(cfg.trace_events);
+    }
+    let mut cpu = Cpu::new(0, m, &sw_entries, &stacks[..sw_entries.len()]);
+    // Startup protocol (§4.4/§4.5): the software master StartThread()s each
+    // hardware thread through the stream interface (5 cycles apiece); a
+    // hardware thread begins executing once its start message arrives.
+    cpu.add_startup_charge(hw_specs.len() as u32 * twill_ir::cost::SW_RUNTIME_OP as u32);
+    let mut hw: Vec<HwThread> = hw_specs
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut h = HwThread::new(1 + i, m, t.entry, stacks[sw_entries.len() + i]);
+            h.set_start_delay((i as u32 + 1) * twill_ir::cost::SW_RUNTIME_OP as u32);
+            h
+        })
+        .collect();
+    run_loop(m, Some(&sched), &mut shared, Some(&mut cpu), &mut hw, cfg)?;
+    let cycles = shared.cycle;
+    Ok(SimReport {
+        cycles,
+        output: shared.output.clone(),
+        cpu_busy_fraction: cpu.busy_cycles as f64 / cycles.max(1) as f64,
+        trace: shared.trace.take().unwrap_or_default(),
+        stats: shared.stats,
+        hw_threads: hw.len(),
+    })
+}
+
+/// The global cycle loop: CPU ticks first (module-bus priority, §4.1),
+/// then the hardware threads in rotating order (longest-waiting fairness).
+fn run_loop(
+    m: &Module,
+    sched: Option<&ModuleSchedule>,
+    shared: &mut Shared,
+    mut cpu: Option<&mut Cpu>,
+    hw: &mut [HwThread],
+    cfg: &SimConfig,
+) -> Result<(), SimError> {
+    let mut rotation = 0usize;
+    let mut last_progress_cycle = 0u64;
+    loop {
+        let cpu_done = cpu.as_ref().map(|c| c.is_finished()).unwrap_or(true);
+        let hw_done = hw.iter().all(|h| h.is_finished());
+        if cpu_done && hw_done {
+            return Ok(());
+        }
+        if shared.cycle >= cfg.max_cycles {
+            return Err(SimError::Timeout(cfg.max_cycles));
+        }
+        shared.begin_cycle();
+        let mut progressed = false;
+        if let Some(c) = cpu.as_deref_mut() {
+            match c.tick(m, shared) {
+                Progress::Busy => {
+                    progressed = true;
+                    shared.stats.agent_busy[c.agent_id] += 1;
+                }
+                Progress::Blocked => shared.stats.agent_blocked[c.agent_id] += 1,
+                Progress::Finished => {}
+            }
+        }
+        let n = hw.len();
+        if n > 0 {
+            let sched = sched.expect("HW threads need a schedule");
+            for i in 0..n {
+                let idx = (rotation + i) % n;
+                let aid = hw[idx].agent_id;
+                match hw[idx].tick(m, sched, shared) {
+                    Progress::Busy => {
+                        progressed = true;
+                        shared.stats.agent_busy[aid] += 1;
+                    }
+                    Progress::Blocked => shared.stats.agent_blocked[aid] += 1,
+                    Progress::Finished => {}
+                }
+            }
+            rotation = (rotation + 1) % n;
+        }
+        if progressed {
+            last_progress_cycle = shared.cycle;
+        } else if shared.cycle - last_progress_cycle > 1_000_000 {
+            let detail = format!(
+                "cpu_done={cpu_done} hw_done={hw_done} queues_empty={}",
+                shared.all_queues_empty()
+            );
+            return Err(SimError::Deadlock { cycle: shared.cycle, detail });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twill_dswp::{run_dswp, DswpOptions};
+
+    fn prepare(src: &str) -> Module {
+        let mut m = twill_frontend::compile("t", src).unwrap();
+        twill_passes::run_standard_pipeline(&mut m, &Default::default());
+        m
+    }
+
+    const PROGRAM: &str = r#"
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 64; i++) {
+    int x = (i * 7 + 3) ^ (i << 2);
+    int y = x % 11;
+    acc += y * y;
+  }
+  out(acc);
+  return acc;
+}
+"#;
+
+    #[test]
+    fn pure_sw_matches_reference_output() {
+        let m = prepare(PROGRAM);
+        let (expect, _, _) = twill_ir::interp::run_main(&m, vec![], 1_000_000_000).unwrap();
+        let rep = simulate_pure_sw(&m, vec![], &SimConfig::default()).unwrap();
+        assert_eq!(rep.output, expect);
+        assert!(rep.cycles > 0);
+    }
+
+    #[test]
+    fn pure_hw_matches_and_is_faster_than_sw() {
+        let m = prepare(PROGRAM);
+        let (expect, _, _) = twill_ir::interp::run_main(&m, vec![], 1_000_000_000).unwrap();
+        let sw = simulate_pure_sw(&m, vec![], &SimConfig::default()).unwrap();
+        let hw = simulate_pure_hw(&m, vec![], &SimConfig::default()).unwrap();
+        assert_eq!(hw.output, expect);
+        assert!(
+            hw.cycles < sw.cycles,
+            "HW ({}) should beat SW ({})",
+            hw.cycles,
+            sw.cycles
+        );
+    }
+
+    #[test]
+    fn hybrid_matches_reference() {
+        let m = prepare(PROGRAM);
+        let (expect, _, _) = twill_ir::interp::run_main(&m, vec![], 1_000_000_000).unwrap();
+        let d = run_dswp(&m, &DswpOptions { num_partitions: 2, ..Default::default() });
+        let rep = simulate_hybrid(&d, vec![], &SimConfig::default()).unwrap();
+        assert_eq!(rep.output, expect);
+        assert!(rep.hw_threads >= 1);
+        assert!(rep.cpu_busy_fraction > 0.0 && rep.cpu_busy_fraction <= 1.0);
+    }
+
+    #[test]
+    fn queue_latency_slows_hybrid() {
+        let m = prepare(PROGRAM);
+        // Force a 2-way split (explicit split points bypass the cost-model
+        // merge) so queue traffic actually exists.
+        let d = run_dswp(
+            &m,
+            &DswpOptions {
+                num_partitions: 2,
+                split_points: Some(vec![0.5, 0.5]),
+                ..Default::default()
+            },
+        );
+        assert!(d.stats.queues > 0, "expected queue traffic");
+        let fast = simulate_hybrid(&d, vec![], &SimConfig::default()).unwrap();
+        let slow = simulate_hybrid(
+            &d,
+            vec![],
+            &SimConfig { queue_latency: 128, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(fast.output, slow.output);
+        assert!(slow.cycles > fast.cycles, "{} !> {}", slow.cycles, fast.cycles);
+    }
+
+    #[test]
+    fn small_queues_still_correct() {
+        let m = prepare(PROGRAM);
+        let d = run_dswp(&m, &DswpOptions { num_partitions: 3, ..Default::default() });
+        let base = simulate_hybrid(&d, vec![], &SimConfig::default()).unwrap();
+        let tiny = simulate_hybrid(
+            &d,
+            vec![],
+            &SimConfig { queue_depth: Some(2), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(base.output, tiny.output);
+        assert!(tiny.cycles >= base.cycles);
+    }
+
+    #[test]
+    fn io_program_roundtrip() {
+        let m = prepare("int main() { int a = in(); int b = in(); out(a * b + 1); return 0; }");
+        let rep = simulate_pure_sw(&m, vec![6, 7], &SimConfig::default()).unwrap();
+        assert_eq!(rep.output, vec![43]);
+        let rep = simulate_pure_hw(&m, vec![6, 7], &SimConfig::default()).unwrap();
+        assert_eq!(rep.output, vec![43]);
+    }
+
+    #[test]
+    fn memory_program_all_three_configs() {
+        let src = r#"
+int buf[32];
+int main() {
+  for (int i = 0; i < 32; i++) buf[i] = i * i;
+  int s = 0;
+  for (int i = 0; i < 32; i++) s += buf[i];
+  out(s);
+  return 0;
+}
+"#;
+        let m = prepare(src);
+        let (expect, _, _) = twill_ir::interp::run_main(&m, vec![], 1_000_000_000).unwrap();
+        assert_eq!(simulate_pure_sw(&m, vec![], &SimConfig::default()).unwrap().output, expect);
+        assert_eq!(simulate_pure_hw(&m, vec![], &SimConfig::default()).unwrap().output, expect);
+        let d = run_dswp(&m, &DswpOptions { num_partitions: 2, ..Default::default() });
+        assert_eq!(simulate_hybrid(&d, vec![], &SimConfig::default()).unwrap().output, expect);
+    }
+
+    #[test]
+    fn function_calls_simulate_in_all_configs() {
+        let src = r#"
+int square(int x) { return x * x; }
+int step(int a, int b) { return square(a) + b % 13; }
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 20; i++) acc = step(i, acc);
+  out(acc);
+  return 0;
+}
+"#;
+        // Disable inlining so calls survive to the simulator.
+        let mut m = twill_frontend::compile("t", src).unwrap();
+        let opts = twill_passes::PipelineOptions {
+            inline: twill_passes::inline::InlineOptions {
+                small_threshold: 0,
+                single_site_threshold: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        twill_passes::run_standard_pipeline(&mut m, &opts);
+        assert!(m.funcs.len() > 1, "calls should survive");
+        let (expect, _, _) = twill_ir::interp::run_main(&m, vec![], 1_000_000_000).unwrap();
+        assert_eq!(simulate_pure_sw(&m, vec![], &SimConfig::default()).unwrap().output, expect);
+        assert_eq!(simulate_pure_hw(&m, vec![], &SimConfig::default()).unwrap().output, expect);
+        let d = run_dswp(&m, &DswpOptions { num_partitions: 2, ..Default::default() });
+        assert_eq!(simulate_hybrid(&d, vec![], &SimConfig::default()).unwrap().output, expect);
+    }
+}

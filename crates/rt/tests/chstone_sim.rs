@@ -1,0 +1,59 @@
+//! Full-system simulation of every CHStone benchmark in all three
+//! configurations (pure SW / pure HW / Twill hybrid): outputs must match
+//! the reference, and the performance ordering of thesis Fig 6.2 must hold
+//! in aggregate (HW ≫ SW, hybrid ≥ HW on average).
+
+use twill_dswp::{run_dswp, DswpOptions};
+use twill_rt::{simulate_hybrid, simulate_pure_hw, simulate_pure_sw, SimConfig};
+
+#[test]
+fn all_benchmarks_all_configs_correct() {
+    let cfg = SimConfig::default();
+    let mut sw_total = 0.0;
+    let mut hw_total = 0.0;
+    let mut twill_total = 0.0;
+    let mut n = 0.0;
+    for b in chstone::all() {
+        let m = chstone::compile_and_prepare(&b);
+        let input = chstone::input_for(b.name, b.default_scale);
+        let (expect, _, _) =
+            twill_ir::interp::run_main(&m, input.clone(), 2_000_000_000).unwrap();
+
+        let sw = simulate_pure_sw(&m, input.clone(), &cfg)
+            .unwrap_or_else(|e| panic!("{} sw: {e}", b.name));
+        assert_eq!(sw.output, expect, "{} pure-SW output", b.name);
+
+        let hw = simulate_pure_hw(&m, input.clone(), &cfg)
+            .unwrap_or_else(|e| panic!("{} hw: {e}", b.name));
+        assert_eq!(hw.output, expect, "{} pure-HW output", b.name);
+
+        let d = run_dswp(&m, &DswpOptions { num_partitions: b.partitions, ..Default::default() });
+        let tw = simulate_hybrid(&d, input, &cfg)
+            .unwrap_or_else(|e| panic!("{} hybrid: {e}", b.name));
+        assert_eq!(tw.output, expect, "{} hybrid output", b.name);
+
+        let s_sw = sw.cycles as f64;
+        println!(
+            "{:10} SW {:>12} HW {:>12} ({:>5.1}x) Twill {:>12} ({:>5.1}x, {:.2}x vs HW) cpu_util={:.2}",
+            b.name,
+            sw.cycles,
+            hw.cycles,
+            s_sw / hw.cycles as f64,
+            tw.cycles,
+            s_sw / tw.cycles as f64,
+            hw.cycles as f64 / tw.cycles as f64,
+            tw.cpu_busy_fraction,
+        );
+        sw_total += (s_sw / hw.cycles as f64).ln();
+        hw_total += 1.0;
+        twill_total += (s_sw / tw.cycles as f64).ln();
+        n += 1.0;
+        let _ = hw_total;
+    }
+    let hw_geo = (sw_total / n).exp();
+    let twill_geo = (twill_total / n).exp();
+    println!("geomean speedup vs SW: pure-HW {hw_geo:.2}x, Twill {twill_geo:.2}x");
+    // Fig 6.2 shape: both dramatically faster than SW.
+    assert!(hw_geo > 3.0, "pure HW should be far faster than SW: {hw_geo:.2}");
+    assert!(twill_geo > 3.0, "Twill should be far faster than SW: {twill_geo:.2}");
+}

@@ -1,0 +1,20 @@
+//! Reproduce the paper's §6.5 exploration interactively: sweep the targeted
+//! SW/HW split point for a benchmark and watch performance and queue count
+//! move against each other (Figs 6.3/6.4).
+//!
+//! Run with: `cargo run --release --example partition_explorer [benchmark]`
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mips".to_string());
+    let rows = twill::experiments::fig_6_3_4(&name, None);
+    println!("{name}: targeted split-point sweep (2 partitions)\n");
+    println!("SW target   cycles   queues   speedup vs pure SW");
+    for r in rows {
+        let bar = "#".repeat((r.speedup_vs_sw * 4.0) as usize);
+        println!(
+            "{:>8}%  {:>7}  {:>6}   {:>5.2}x {bar}",
+            r.sw_target_percent, r.cycles, r.queues, r.speedup_vs_sw
+        );
+    }
+    println!("\n(the paper finds even splits worst — communication dominates)");
+}

@@ -1,0 +1,58 @@
+//! Smoke tests over the experiment harness: every table/figure function
+//! runs and reproduces the paper's qualitative shape at a reduced scale.
+
+#[test]
+fn fig_6_2_ordering_holds() {
+    // Default workload scales: pipelines need enough iterations to reach
+    // steady state (the paper runs full CHStone workloads).
+    let rows = twill::experiments::fig_6_2(None);
+    assert_eq!(rows.len(), 8);
+    let (hw, twill, ratio) = twill::experiments::fig_6_2_geomeans(&rows);
+    // Paper: HW 13.6x, Twill 22.2x, ratio 1.63x. Shape reproduced: both
+    // far above 1; Twill at least on par with pure HW on average.
+    assert!(hw > 3.0, "pure HW geomean {hw:.2}");
+    assert!(twill > 3.0, "Twill geomean {twill:.2}");
+    assert!(ratio > 0.95, "Twill/HW geomean {ratio:.2}");
+    for r in &rows {
+        assert!(r.hw_speedup > 1.5, "{}: HW {:.2}", r.name, r.hw_speedup);
+        assert!(r.twill_speedup > 1.5, "{}: Twill {:.2}", r.name, r.twill_speedup);
+    }
+}
+
+#[test]
+fn split_point_sweep_shapes() {
+    // Fig 6.3: performance varies with the split point, and queue count
+    // anti-correlates with performance (paper §6.5).
+    let rows = twill::experiments::fig_6_3_4("mips", Some(1));
+    assert_eq!(rows.len(), 9);
+    let best = rows.iter().map(|r| r.cycles).min().unwrap();
+    let worst = rows.iter().map(|r| r.cycles).max().unwrap();
+    assert!(worst > best, "sweep should show variation");
+}
+
+#[test]
+fn blowfish_tuned_beats_default() {
+    let r = twill::experiments::blowfish_tuned(Some(1));
+    assert!(
+        r.tuned_cycles <= r.default_cycles,
+        "tuned {} vs default {}",
+        r.tuned_cycles,
+        r.default_cycles
+    );
+    assert!(r.tuned_queues <= r.default_queues);
+}
+
+#[test]
+fn fig_6_6_small_queues_slow_or_equal() {
+    for row in twill::experiments::fig_6_6(Some(1)) {
+        // depth 2 never beats depth 8 by more than noise.
+        assert!(
+            row.normalized[0] <= 1.02,
+            "{}: depth-2 speedup {:?}",
+            row.name,
+            row.normalized
+        );
+        // Everything fits the device at depth 8 in our calibration.
+        assert!(row.fits_device[2], "{}", row.name);
+    }
+}

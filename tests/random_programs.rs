@@ -1,0 +1,301 @@
+//! Differential fuzzing: generate random (but terminating, well-defined)
+//! mini-C programs and require that the interpreter reference, the
+//! optimization pipeline, the DSWP functional co-execution and the
+//! cycle-level simulation of all three configurations agree bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Structured random program generator.
+struct Gen {
+    rng: StdRng,
+    depth: u32,
+    var_count: u32,
+    loop_count: u32,
+    /// Names of in-scope pure helper functions (all arity 2).
+    helpers: Vec<String>,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            depth: 0,
+            var_count: 0,
+            loop_count: 0,
+            helpers: Vec::new(),
+        }
+    }
+
+    fn fresh_var(&mut self) -> String {
+        self.var_count += 1;
+        format!("v{}", self.var_count)
+    }
+
+    /// An expression over the in-scope variables (always defined behavior:
+    /// divisors forced non-zero, shifts masked).
+    fn expr(&mut self, vars: &[String], depth: u32) -> String {
+        if depth == 0 || vars.is_empty() || self.rng.gen_bool(0.3) {
+            if !vars.is_empty() && self.rng.gen_bool(0.7) {
+                return vars[self.rng.gen_range(0..vars.len())].clone();
+            }
+            return format!("{}", self.rng.gen_range(-100..100));
+        }
+        let a = self.expr(vars, depth - 1);
+        let b = self.expr(vars, depth - 1);
+        if !self.helpers.is_empty() && self.rng.gen_bool(0.15) {
+            let h = self.helpers[self.rng.gen_range(0..self.helpers.len())].clone();
+            return format!("{h}({a}, {b})");
+        }
+        match self.rng.gen_range(0..10) {
+            0 => format!("({a} + {b})"),
+            1 => format!("({a} - {b})"),
+            2 => format!("({a} * {b})"),
+            3 => format!("({a} / (({b} & 7) + 1))"),
+            4 => format!("({a} % (({b} & 15) + 1))"),
+            5 => format!("({a} ^ {b})"),
+            6 => format!("({a} & {b})"),
+            7 => format!("({a} | {b})"),
+            8 => format!("({a} << ({b} & 7))"),
+            _ => format!("({a} >> ({b} & 7))"),
+        }
+    }
+
+    fn cond(&mut self, vars: &[String]) -> String {
+        let a = self.expr(vars, 1);
+        let b = self.expr(vars, 1);
+        let op = ["<", ">", "<=", ">=", "==", "!="][self.rng.gen_range(0..6)];
+        format!("{a} {op} {b}")
+    }
+
+    /// A statement block writing only to `vars` and the global array.
+    fn stmts(&mut self, vars: &mut Vec<String>, budget: &mut u32) -> String {
+        let mut out = String::new();
+        let n = self.rng.gen_range(1..4);
+        for _ in 0..n {
+            if *budget == 0 {
+                break;
+            }
+            *budget -= 1;
+            match self.rng.gen_range(0..8) {
+                // new local
+                0 | 1 => {
+                    let e = self.expr(vars, 2);
+                    let v = self.fresh_var();
+                    out.push_str(&format!("int {v} = {e};\n"));
+                    vars.push(v);
+                }
+                // assignment (never to a loop induction variable)
+                2 | 3 => {
+                    let targets: Vec<String> =
+                        vars.iter().filter(|v| !v.starts_with("it")).cloned().collect();
+                    if let Some(v) = self.pick(&targets) {
+                        let e = self.expr(vars, 2);
+                        out.push_str(&format!("{v} = {e};\n"));
+                    }
+                }
+                // array store + load
+                4 => {
+                    let idx = self.expr(vars, 1);
+                    let e = self.expr(vars, 2);
+                    out.push_str(&format!("buf[({idx}) & 31] = {e};\n"));
+                    let targets: Vec<String> =
+                        vars.iter().filter(|v| !v.starts_with("it")).cloned().collect();
+                    if let Some(v) = self.pick(&targets) {
+                        let idx2 = self.expr(vars, 1);
+                        out.push_str(&format!("{v} = {v} + buf[({idx2}) & 31];\n"));
+                    }
+                }
+                // if/else
+                5 => {
+                    if self.depth < 2 {
+                        self.depth += 1;
+                        let c = self.cond(vars);
+                        let mut tv = vars.clone();
+                        let t = self.stmts(&mut tv, budget);
+                        let mut ev = vars.clone();
+                        let e = self.stmts(&mut ev, budget);
+                        out.push_str(&format!("if ({c}) {{\n{t}}} else {{\n{e}}}\n"));
+                        self.depth -= 1;
+                    }
+                }
+                // bounded for loop
+                6 => {
+                    if self.depth < 2 && self.loop_count < 4 {
+                        self.depth += 1;
+                        self.loop_count += 1;
+                        let iters = self.rng.gen_range(2..12);
+                        self.var_count += 1;
+                        let i = format!("it{}", self.var_count);
+                        let mut bv = vars.clone();
+                        bv.push(i.clone());
+                        let body = self.stmts(&mut bv, budget);
+                        out.push_str(&format!(
+                            "for (int {i} = 0; {i} < {iters}; {i}++) {{\n{body}}}\n"
+                        ));
+                        self.depth -= 1;
+                    }
+                }
+                // input read
+                _ => {
+                    let v = self.fresh_var();
+                    out.push_str(&format!("int {v} = in();\n"));
+                    vars.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    fn pick(&mut self, vars: &[String]) -> Option<String> {
+        if vars.is_empty() {
+            None
+        } else {
+            Some(vars[self.rng.gen_range(0..vars.len())].clone())
+        }
+    }
+
+    fn program(&mut self) -> String {
+        let mut vars = vec!["seed".to_string()];
+        let mut budget = 28u32;
+        let body = self.stmts(&mut vars, &mut budget);
+        let sink = self.expr(&vars, 2);
+        format!(
+            "int buf[32];\nint main() {{\nint seed = in();\n{body}out({sink});\nfor (int k = 0; k < 32; k++) out(buf[k]);\nreturn 0;\n}}\n"
+        )
+    }
+
+    /// A pure two-argument helper: straight-line math over its params,
+    /// optionally folded through a short bounded loop. Defined behavior by
+    /// the same masking rules as `expr`.
+    fn helper(&mut self, name: &str) -> String {
+        let params = vec!["a".to_string(), "b".to_string()];
+        let e1 = self.expr(&params, 2);
+        if self.rng.gen_bool(0.5) {
+            let iters = self.rng.gen_range(2..6);
+            let step = self.expr(&["a".to_string(), "b".to_string(), "r".to_string()], 1);
+            format!(
+                "int {name}(int a, int b) {{\nint r = {e1};\nfor (int k = 0; k < {iters}; k++) r = r ^ ({step});\nreturn r;\n}}\n"
+            )
+        } else {
+            let e2 = self.expr(&params, 2);
+            format!("int {name}(int a, int b) {{\nreturn ({e1}) + ({e2});\n}}\n")
+        }
+    }
+
+    /// Like `program`, but first defines 1–3 helpers that expressions may
+    /// call — exercises per-partition function versioning and call-result
+    /// forwarding in DSWP on random shapes.
+    fn program_with_helpers(&mut self) -> String {
+        let n = self.rng.gen_range(1..=3);
+        let mut defs = String::new();
+        for i in 0..n {
+            let name = format!("h{i}");
+            defs.push_str(&self.helper(&name));
+            self.helpers.push(name);
+        }
+        let mut vars = vec!["seed".to_string()];
+        let mut budget = 24u32;
+        let body = self.stmts(&mut vars, &mut budget);
+        let sink = self.expr(&vars, 2);
+        format!(
+            "int buf[32];\n{defs}int main() {{\nint seed = in();\n{body}out({sink});\nfor (int k = 0; k < 32; k++) out(buf[k]);\nreturn 0;\n}}\n"
+        )
+    }
+}
+
+fn check_program(seed: u64) {
+    check_source(seed, Gen::new(seed).program());
+}
+
+fn check_source(seed: u64, src: String) {
+    let build = twill::Compiler::new()
+        .partitions(2 + (seed % 3) as usize)
+        .compile("fuzz", &src)
+        .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}\n{src}"));
+
+    // Unoptimized reference (frontend output before the pass pipeline).
+    let raw = twill_frontend::compile("fuzz", &src).unwrap();
+    let input = vec![seed as i32, 7, -3, 100, 5, 0, 1, 2, 3, 4, 5, 6, 7, 8];
+    let (golden, _, _) = twill_ir::interp::run_main(&raw, input.clone(), 500_000_000)
+        .unwrap_or_else(|e| panic!("seed {seed}: raw run: {e}\n{src}"));
+
+    // Pipeline preserved semantics.
+    let opt = build
+        .run_reference(input.clone())
+        .unwrap_or_else(|e| panic!("seed {seed}: optimized run: {e}\n{src}"));
+    assert_eq!(golden, opt, "seed {seed}: pipeline diverged\n{src}");
+
+    // DSWP functional co-execution.
+    let (part_out, _, _) = twill_dswp::run_partitioned(&build.dswp, input.clone(), 500_000_000)
+        .unwrap_or_else(|e| panic!("seed {seed}: partitioned: {e}\n{src}"));
+    assert_eq!(golden, part_out, "seed {seed}: DSWP diverged\n{src}");
+
+    // Cycle-accurate configurations.
+    let sw = build
+        .simulate_pure_sw(input.clone())
+        .unwrap_or_else(|e| panic!("seed {seed}: sw sim: {e}\n{src}"));
+    assert_eq!(golden, sw.output, "seed {seed}: SW sim diverged\n{src}");
+    let hw = build
+        .simulate_pure_hw(input.clone())
+        .unwrap_or_else(|e| panic!("seed {seed}: hw sim: {e}\n{src}"));
+    assert_eq!(golden, hw.output, "seed {seed}: HW sim diverged\n{src}");
+    let tw = build
+        .simulate_hybrid(input)
+        .unwrap_or_else(|e| panic!("seed {seed}: hybrid sim: {e}\n{src}"));
+    assert_eq!(golden, tw.output, "seed {seed}: hybrid sim diverged\n{src}");
+}
+
+#[test]
+fn fuzz_batch_a() {
+    for seed in 0..12 {
+        check_program(seed);
+    }
+}
+
+#[test]
+fn fuzz_batch_b() {
+    for seed in 100..112 {
+        check_program(seed);
+    }
+}
+
+#[test]
+fn fuzz_batch_helpers() {
+    // Programs whose expressions call randomly generated pure helpers:
+    // exercises per-partition function versioning, ret-owner forwarding
+    // and call memory-token fan-out on random shapes.
+    let mut with_calls = 0;
+    for seed in 300..310 {
+        let src = Gen::new(seed).program_with_helpers();
+        if src.contains("h0(") || src.contains("h1(") || src.contains("h2(") {
+            with_calls += 1;
+        }
+        check_source(seed, src);
+    }
+    assert!(with_calls >= 5, "generator must actually emit helper calls: {with_calls}/10");
+}
+
+#[test]
+fn fuzz_batch_c_forced_splits() {
+    // Force aggressive splitting (bypasses the cost-model merge) so queue
+    // machinery gets exercised even on small programs.
+    for seed in 200..208 {
+        let src = Gen::new(seed).program();
+        let build = twill::Compiler::new()
+            .partitions(3)
+            .split_points(vec![0.2, 0.4, 0.4])
+            .compile("fuzz", &src)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        let input = vec![seed as i32, 1, 2, 3, 4, 5, 6, 7, 8, 9];
+        let golden = build.run_reference(input.clone()).unwrap();
+        let (part_out, _, _) =
+            twill_dswp::run_partitioned(&build.dswp, input.clone(), 500_000_000)
+                .unwrap_or_else(|e| panic!("seed {seed}: partitioned: {e}\n{src}"));
+        assert_eq!(golden, part_out, "seed {seed}\n{src}");
+        let tw = build
+            .simulate_hybrid(input)
+            .unwrap_or_else(|e| panic!("seed {seed}: hybrid: {e}\n{src}"));
+        assert_eq!(golden, tw.output, "seed {seed}\n{src}");
+    }
+}
