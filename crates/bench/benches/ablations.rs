@@ -31,7 +31,10 @@ fn ablation_tables() {
 
     println!("\n=== ablation: DSWP options (hybrid cycles, aes) ===");
     for (name, opts) in [
-        ("baseline", twill_dswp::DswpOptions { num_partitions: b.partitions, ..Default::default() }),
+        (
+            "baseline",
+            twill_dswp::DswpOptions { num_partitions: b.partitions, ..Default::default() },
+        ),
         (
             "no-pruning",
             twill_dswp::DswpOptions {

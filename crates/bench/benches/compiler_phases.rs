@@ -46,10 +46,7 @@ fn bench_pdg_and_dswp(c: &mut Criterion) {
             bench.iter(|| {
                 twill_dswp::run_dswp(
                     &prepared,
-                    &twill_dswp::DswpOptions {
-                        num_partitions: b.partitions,
-                        ..Default::default()
-                    },
+                    &twill_dswp::DswpOptions { num_partitions: b.partitions, ..Default::default() },
                 )
             })
         });
@@ -62,17 +59,75 @@ fn bench_hls(c: &mut Criterion) {
     for b in [chstone::AES, chstone::JPEG] {
         let prepared = chstone::compile_and_prepare(&b);
         g.bench_function(b.name, |bench| {
-            bench.iter(|| {
-                twill_hls::schedule::schedule_module(&prepared, &Default::default())
-            })
+            bench.iter(|| twill_hls::schedule::schedule_module(&prepared, &Default::default()))
         });
     }
     g.finish();
 }
 
+/// Cold-vs-warm Fig 6.5-style sweep (7 queue-latency points on MIPS).
+/// Cold rebuilds every compile artifact per point — the pre-`BuildGraph`
+/// behaviour. Warm forks all points off one shared artifact graph, so
+/// frontend/passes/DSWP/HLS are served from the memoized stages and only
+/// the simulation runs per point.
+fn bench_cold_vs_warm_sweep(c: &mut Criterion) {
+    const LATENCIES: [u32; 7] = [2, 4, 8, 16, 32, 64, 128];
+    // AES: compilation (passes + DSWP + HLS) dominates a sweep point, so
+    // the cache benefit is visible; tiny benchmarks are simulation-bound.
+    let b = chstone::by_name("aes").unwrap();
+    let inp = chstone::input_for(b.name, 1);
+
+    let sweep = |build: &twill::TwillBuild| -> u64 {
+        let mut total = 0;
+        for lat in LATENCIES {
+            let cfg = twill::SimulationConfig { queue_latency: lat, ..build.sim_config() };
+            total += build.simulate_hybrid_with(inp.clone(), &cfg).expect("sim").cycles;
+        }
+        total
+    };
+    let cold_sweep = || {
+        let mut total = 0;
+        for lat in LATENCIES {
+            // One fresh compile per point: nothing is shared.
+            let build = twill::Compiler::new()
+                .partitions(b.partitions)
+                .build_from_module(chstone::compile_and_prepare(&b));
+            let cfg = twill::SimulationConfig { queue_latency: lat, ..build.sim_config() };
+            total += build.simulate_hybrid_with(inp.clone(), &cfg).expect("sim").cycles;
+        }
+        total
+    };
+    let graph = std::sync::Arc::new(twill::artifacts::BuildGraph::from_prepared(
+        b.name,
+        chstone::compile_and_prepare(&b),
+    ));
+    let warm_sweep = || sweep(&twill::Compiler::new().partitions(b.partitions).build_on(&graph));
+    // Prime the graph so the warm benchmark measures steady-state reuse.
+    assert_eq!(cold_sweep(), warm_sweep(), "cold and warm sweeps must agree");
+
+    let mut g = c.benchmark_group("artifact_cache");
+    g.bench_function("cold_sweep_7pt", |bench| bench.iter(cold_sweep));
+    g.bench_function("warm_sweep_7pt", |bench| bench.iter(warm_sweep));
+    g.finish();
+
+    // One explicit ratio line: the staged pipeline's acceptance criterion
+    // is warm ≥ 5× faster than cold on this sweep.
+    let t = std::time::Instant::now();
+    let _ = cold_sweep();
+    let cold = t.elapsed();
+    let t = std::time::Instant::now();
+    let _ = warm_sweep();
+    let warm = t.elapsed();
+    println!(
+        "artifact_cache: cold sweep {cold:?} vs warm sweep {warm:?} ({:.1}x)",
+        cold.as_secs_f64() / warm.as_secs_f64().max(1e-9)
+    );
+}
+
 criterion_group! {
     name = phases;
     config = Criterion::default().sample_size(20);
-    targets = bench_frontend, bench_pipeline, bench_pdg_and_dswp, bench_hls
+    targets = bench_frontend, bench_pipeline, bench_pdg_and_dswp, bench_hls,
+        bench_cold_vs_warm_sweep
 }
 criterion_main!(phases);

@@ -4,10 +4,9 @@ use std::process::Command;
 
 fn main() {
     // Run in-process for the tables to avoid rebuild churn.
-    for bin in [
-        "table_6_1", "table_6_2", "fig_6_1", "fig_6_2", "fig_6_3", "fig_6_4", "fig_6_5",
-        "fig_6_6",
-    ] {
+    for bin in
+        ["table_6_1", "table_6_2", "fig_6_1", "fig_6_2", "fig_6_3", "fig_6_4", "fig_6_5", "fig_6_6"]
+    {
         println!("\n=== {bin} ===\n");
         let status = Command::new(std::env::current_exe().unwrap().with_file_name(bin))
             .status()

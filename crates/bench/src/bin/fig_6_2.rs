@@ -31,10 +31,7 @@ fn main() {
     if std::env::args().any(|a| a == "--blowfish-tuned") {
         let t = twill::experiments::blowfish_tuned(None);
         println!("\n§6.4 Blowfish heuristic experiment:");
-        println!(
-            "  default-heuristic: {} cycles, {} queues",
-            t.default_cycles, t.default_queues
-        );
+        println!("  default-heuristic: {} cycles, {} queues", t.default_cycles, t.default_queues);
         println!(
             "  tuned-heuristic:   {} cycles, {} queues ({:.2}x vs pure HW; paper: 1.89x, queues 92 -> 34)",
             t.tuned_cycles, t.tuned_queues, t.tuned_vs_hw

@@ -21,10 +21,7 @@ pub fn print_split_sweep(name: &str) {
     println!("{name} — performance vs targeted SW split point (2 partitions)\n");
     print!(
         "{}",
-        twill::report::format_table(
-            &["SW target", "cycles", "queues", "speedup vs SW"],
-            &table
-        )
+        twill::report::format_table(&["SW target", "cycles", "queues", "speedup vs SW"], &table)
     );
     println!("\npaper shape: even splits worst; queue count anti-correlates with speed");
 }

@@ -163,7 +163,7 @@ pub fn input_for(name: &str, scale: u32) -> Vec<i32> {
                     // JPEG-like: large DC, sparse decaying AC.
                     if i == 0 {
                         v.push((r.next() % 128) as i32 - 64);
-                    } else if r.next() % 4 == 0 && i < 24 {
+                    } else if r.next().is_multiple_of(4) && i < 24 {
                         v.push((r.next() % 31) as i32 - 15);
                     } else {
                         v.push(0);
@@ -182,8 +182,8 @@ pub fn input_for(name: &str, scale: u32) -> Vec<i32> {
 
 /// Compile a benchmark and run the thesis' preparation pipeline.
 pub fn compile_and_prepare(b: &Benchmark) -> Module {
-    let mut m = twill_frontend::compile(b.name, b.source)
-        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let mut m =
+        twill_frontend::compile(b.name, b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
     // HLS flows inline aggressively (LegUp flattens everything it
     // synthesizes); a higher threshold than the generic default exposes
     // the per-round pipeline structure to DSWP.

@@ -51,10 +51,7 @@ fn two_partitions_always_work() {
 #[test]
 fn pruning_off_matches_too() {
     for b in [chstone::SHA, chstone::AES, chstone::GSM] {
-        check_benchmark(
-            &b,
-            &DswpOptions { num_partitions: 3, prune: false, ..Default::default() },
-        );
+        check_benchmark(&b, &DswpOptions { num_partitions: 3, prune: false, ..Default::default() });
     }
 }
 

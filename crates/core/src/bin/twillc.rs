@@ -97,9 +97,8 @@ fn main() -> ExitCode {
         .unwrap_or("program")
         .to_string();
 
-    let mut compiler = Compiler::new()
-        .partitions(args.partitions)
-        .allow_recursion(args.allow_recursion);
+    let mut compiler =
+        Compiler::new().partitions(args.partitions).allow_recursion(args.allow_recursion);
     if let Some(f) = args.sw_fraction {
         compiler = compiler.sw_fraction(f);
     }
@@ -131,7 +130,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(f) = &args.emit_ir {
-        let text = twill_ir::printer::print_module(&build.dswp.module);
+        let text = twill_ir::printer::print_module(&build.dswp().module);
         if let Err(e) = std::fs::write(f, text) {
             eprintln!("twillc: cannot write {f}: {e}");
             return ExitCode::FAILURE;
@@ -140,7 +139,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(f) = &args.emit_verilog {
-        if let Err(e) = std::fs::write(f, build.verilog()) {
+        if let Err(e) = std::fs::write(f, build.verilog().as_bytes()) {
             eprintln!("twillc: cannot write {f}: {e}");
             return ExitCode::FAILURE;
         }

@@ -15,13 +15,30 @@
 //! | Fig 6.6 (queue-size sweep)                  | [`fig_6_6`] |
 //! | §6.4 Blowfish tuned heuristic               | [`blowfish_tuned`] |
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::artifacts::BuildGraph;
 use crate::report::{power_breakdown, PowerBreakdown};
 use crate::{Compiler, TwillBuild};
 use chstone::Benchmark;
 
+/// Process-wide artifact graph per benchmark: every table/figure in one
+/// `twill-bench` run (and every sweep point within a figure) shares the
+/// same memoized frontend/passes/DSWP/HLS artifacts, so each CHStone
+/// program is compiled exactly once per process.
+pub fn benchmark_graph(b: &Benchmark) -> Arc<BuildGraph> {
+    static GRAPHS: OnceLock<Mutex<HashMap<String, Arc<BuildGraph>>>> = OnceLock::new();
+    let mut map = GRAPHS.get_or_init(Default::default).lock().unwrap();
+    map.entry(b.name.to_string())
+        .or_insert_with(|| {
+            Arc::new(BuildGraph::from_prepared(b.name, chstone::compile_and_prepare(b)))
+        })
+        .clone()
+}
+
 fn build_benchmark(b: &Benchmark) -> TwillBuild {
-    let prepared = chstone::compile_and_prepare(b);
-    Compiler::new().partitions(b.partitions).build_from_module(prepared)
+    Compiler::new().partitions(b.partitions).build_on(&benchmark_graph(b))
 }
 
 fn input(b: &Benchmark, scale: Option<u32>) -> Vec<i32> {
@@ -66,16 +83,14 @@ pub fn table_6_1() -> Vec<Table61Row> {
     chstone::all()
         .iter()
         .map(|b| {
-            let prepared = chstone::compile_and_prepare(b);
-            let build =
-                Compiler::new().partitions(b.partitions).build_from_module(prepared.clone());
+            let graph = benchmark_graph(b);
+            let build = Compiler::new().partitions(b.partitions).build_on(&graph);
             let s = build.stats();
-            // Forced split at the paper's partition count.
+            // Forced split at the paper's partition count (same graph: the
+            // prepared module is shared, only the DSWP stage differs).
             let even = vec![1.0 / b.partitions as f64; b.partitions];
-            let forced = Compiler::new()
-                .partitions(b.partitions)
-                .split_points(even)
-                .build_from_module(prepared);
+            let forced =
+                Compiler::new().partitions(b.partitions).split_points(even).build_on(&graph);
             let fs = forced.stats();
             let paper = PAPER_TABLE_6_1.iter().find(|(n, ..)| *n == b.name).unwrap();
             Table61Row {
@@ -155,10 +170,8 @@ pub fn fig_6_1(scale: Option<u32>) -> Vec<Fig61Row> {
         .iter()
         .map(|b| {
             let build = build_benchmark(b);
-            let util = build
-                .simulate_hybrid(input(b, scale))
-                .map(|r| r.cpu_busy_fraction)
-                .unwrap_or(0.25);
+            let util =
+                build.simulate_hybrid(input(b, scale)).map(|r| r.cpu_busy_fraction).unwrap_or(0.25);
             let power = power_breakdown(&build, util);
             Fig61Row { name: b.name.into(), normalized: power.normalized(), power }
         })
@@ -230,18 +243,16 @@ pub struct SplitSweepRow {
 /// (Fig 6.3: mips, Fig 6.4: blowfish).
 pub fn fig_6_3_4(bench_name: &str, scale: Option<u32>) -> Vec<SplitSweepRow> {
     let b = chstone::by_name(bench_name).expect("unknown benchmark");
-    let prepared = chstone::compile_and_prepare(&b);
+    let graph = benchmark_graph(&b);
     let inp = input(&b, scale);
-    let sw_cycles = twill_rt::simulate_pure_sw(&prepared, inp.clone(), &Default::default())
+    let sw_cycles = twill_rt::simulate_pure_sw(graph.prepared(), inp.clone(), &Default::default())
         .expect("pure SW sim")
         .cycles;
     let mut rows = Vec::new();
     for pct in [10u32, 20, 30, 40, 50, 60, 70, 80, 90] {
         let frac = pct as f64 / 100.0;
-        let build = Compiler::new()
-            .partitions(2)
-            .split_points(vec![frac, 1.0 - frac])
-            .build_from_module(prepared.clone());
+        let build =
+            Compiler::new().partitions(2).split_points(vec![frac, 1.0 - frac]).build_on(&graph);
         let rep = build.simulate_hybrid(inp.clone()).expect("hybrid sim");
         rows.push(SplitSweepRow {
             sw_target_percent: pct,
@@ -314,11 +325,11 @@ pub fn fig_6_6(scale: Option<u32>) -> Vec<SizeSweepRow> {
                 let cfg = twill_rt::SimConfig { queue_depth: Some(depth), ..build.sim_config() };
                 cycles.push(build.simulate_hybrid_with(inp.clone(), &cfg).expect("sim").cycles);
                 // Area with this queue depth.
-                let mut m2 = build.dswp.module.clone();
+                let mut m2 = build.dswp().module.clone();
                 for q in &mut m2.queues {
                     q.depth = depth;
                 }
-                let hw_threads = build.dswp.threads.iter().filter(|t| t.is_hw).count() as u32;
+                let hw_threads = build.dswp().threads.iter().filter(|t| t.is_hw).count() as u32;
                 let mut area = build.area().twill_hw_threads;
                 area.add(twill_hls::area::runtime_area(&m2, hw_threads, 1));
                 area.add(twill_hls::area::microblaze_area());
@@ -357,25 +368,28 @@ pub struct BlowfishTuned {
 /// counts while the "default" run disables the cost-model merge.
 pub fn blowfish_tuned(scale: Option<u32>) -> BlowfishTuned {
     let b = chstone::by_name("blowfish").unwrap();
-    let prepared = chstone::compile_and_prepare(&b);
+    let graph = benchmark_graph(&b);
     let inp = input(&b, scale);
-    let hw = twill_rt::simulate_pure_hw(&prepared, inp.clone(), &Default::default())
-        .expect("pure HW sim");
+    let cfg = twill_rt::SimConfig::default();
+    let hw = twill_rt::simulate_pure_hw_scheduled(
+        graph.prepared(),
+        &graph.pure_schedule(&cfg.hls),
+        inp.clone(),
+        &cfg,
+    )
+    .expect("pure HW sim");
 
     // "Default" heuristic: fixed even split across the paper's partition
     // count (no cost model) — the configuration the thesis describes as
     // choosing poor partitions.
     let even = vec![1.0 / b.partitions as f64; b.partitions];
-    let default_build = Compiler::new()
-        .partitions(b.partitions)
-        .split_points(even)
-        .build_from_module(prepared.clone());
+    let default_build =
+        Compiler::new().partitions(b.partitions).split_points(even).build_on(&graph);
     let default_rep = default_build.simulate_hybrid(inp.clone()).expect("sim");
 
     // "Tuned": the full heuristic (loop-guarded SW + cost-model stage
     // selection).
-    let tuned_build =
-        Compiler::new().partitions(b.partitions).build_from_module(prepared);
+    let tuned_build = Compiler::new().partitions(b.partitions).build_on(&graph);
     let tuned_rep = tuned_build.simulate_hybrid(inp).expect("sim");
 
     BlowfishTuned {

@@ -41,15 +41,20 @@
 //! [`experiments`] regenerates every table and figure of the paper's
 //! Chapter 6.
 
+pub mod artifacts;
 pub mod experiments;
 pub mod report;
 
-use twill_dswp::{run_dswp, DswpResult};
+use std::sync::{Arc, OnceLock};
+
+use artifacts::{BuildGraph, DswpArtifact};
+use twill_dswp::DswpResult;
 use twill_frontend::CError;
-use twill_hls::schedule::{schedule_module, HlsOptions, ModuleSchedule};
+use twill_hls::schedule::{HlsOptions, ModuleSchedule};
 use twill_ir::Module;
 use twill_rt::{SimConfig, SimError, SimReport};
 
+pub use artifacts::StageCounts;
 pub use twill_dswp::DswpOptions;
 pub use twill_hls::area::AreaReport;
 pub use twill_rt::SimConfig as SimulationConfig;
@@ -122,41 +127,93 @@ impl Compiler {
         self
     }
 
-    /// Compile mini-C source through the full Twill flow.
+    /// Compile mini-C source through the full Twill flow. The frontend runs
+    /// eagerly (so errors surface here); every later stage — passes, DSWP,
+    /// HLS, Verilog — is computed lazily on first demand and memoized in
+    /// the build's [`BuildGraph`].
     pub fn compile(&self, name: &str, source: &str) -> Result<TwillBuild, CError> {
-        let mut prepared = twill_frontend::compile_with(name, source, self.allow_recursion)?;
-        twill_passes::run_standard_pipeline(&mut prepared, &self.pipeline);
-        Ok(self.build_from_module(prepared))
+        let graph =
+            Arc::new(BuildGraph::from_source(name, source, self.allow_recursion, self.pipeline));
+        graph.ensure_frontend()?;
+        Ok(self.build_on(&graph))
     }
 
-    /// Run the Twill flow on an already-prepared IR module.
+    /// Run the Twill flow on an already-prepared IR module (the module is
+    /// used as-is; the preparation pipeline is not re-run).
     pub fn build_from_module(&self, prepared: Module) -> TwillBuild {
-        let dswp = run_dswp(&prepared, &self.dswp);
-        let hybrid_schedule = schedule_module(&dswp.module, &self.hls);
-        let pure_schedule = schedule_module(&prepared, &self.hls);
-        TwillBuild { prepared, dswp, hybrid_schedule, pure_schedule, hls: self.hls }
+        let graph = Arc::new(BuildGraph::from_prepared("module", prepared));
+        self.build_on(&graph)
+    }
+
+    /// Fork a build off an existing artifact graph with this compiler's
+    /// DSWP/HLS knobs. This is the sweep API: every [`TwillBuild`] on the
+    /// same graph shares its memoized stages, so varying only split points
+    /// or simulation parameters reuses the frontend/passes (and, where the
+    /// keys match, DSWP and HLS) artifacts.
+    pub fn build_on(&self, graph: &Arc<BuildGraph>) -> TwillBuild {
+        TwillBuild {
+            graph: graph.clone(),
+            dswp_opts: self.dswp.clone(),
+            hls: self.hls,
+            dswp: OnceLock::new(),
+            hybrid_schedule: OnceLock::new(),
+            pure_schedule: OnceLock::new(),
+        }
     }
 }
 
-/// A fully-compiled program: prepared IR, DSWP partitions and hardware
-/// schedules, ready to simulate or inspect.
+/// One configuration's view of a compiled program: a [`BuildGraph`] plus
+/// the DSWP/HLS options to build with. Artifacts (partitions, schedules,
+/// Verilog, area) are computed on first access and cached in the graph;
+/// accessors therefore take `&self` and return references/`Arc`s.
 pub struct TwillBuild {
-    /// The optimized single-threaded module (input to DSWP; also the
-    /// pure-SW / pure-HW baselines).
-    pub prepared: Module,
-    /// The partitioned program + thread table + Table 6.1 statistics.
-    pub dswp: DswpResult,
-    /// HLS schedules for the partitioned module.
-    pub hybrid_schedule: ModuleSchedule,
-    /// HLS schedule of the whole program (the LegUp pure-HW baseline).
-    pub pure_schedule: ModuleSchedule,
+    graph: Arc<BuildGraph>,
+    dswp_opts: DswpOptions,
     hls: HlsOptions,
+    dswp: OnceLock<Arc<DswpArtifact>>,
+    hybrid_schedule: OnceLock<Arc<ModuleSchedule>>,
+    pure_schedule: OnceLock<Arc<ModuleSchedule>>,
 }
 
 impl TwillBuild {
+    /// The shared artifact graph (pass to [`Compiler::build_on`] to fork
+    /// further configurations that reuse this build's artifacts).
+    pub fn graph(&self) -> &Arc<BuildGraph> {
+        &self.graph
+    }
+
+    /// The optimized single-threaded module (input to DSWP; also the
+    /// pure-SW / pure-HW baselines).
+    pub fn prepared(&self) -> &Module {
+        self.graph.prepared()
+    }
+
+    fn dswp_artifact(&self) -> &Arc<DswpArtifact> {
+        self.dswp.get_or_init(|| self.graph.dswp(&self.dswp_opts))
+    }
+
+    /// The partitioned program + thread table + Table 6.1 statistics.
+    pub fn dswp(&self) -> &DswpResult {
+        &self.dswp_artifact().result
+    }
+
+    /// HLS schedule of the partitioned module.
+    pub fn hybrid_schedule(&self) -> &ModuleSchedule {
+        self.hybrid_schedule.get_or_init(|| {
+            let art = self.dswp_artifact().clone();
+            self.graph.schedule_for(&art.result.module, art.module_hash, &self.hls)
+        })
+    }
+
+    /// HLS schedule of the whole program (the LegUp pure-HW baseline).
+    /// Lazy: simulating only hybrid / pure-SW never computes it.
+    pub fn pure_schedule(&self) -> &ModuleSchedule {
+        self.pure_schedule.get_or_init(|| self.graph.pure_schedule(&self.hls))
+    }
+
     /// Golden reference: the interpreter, no timing.
     pub fn run_reference(&self, input: Vec<i32>) -> Result<Vec<i32>, twill_ir::ExecError> {
-        twill_ir::interp::run_main(&self.prepared, input, 4_000_000_000).map(|(o, _, _)| o)
+        twill_ir::interp::run_main(self.prepared(), input, 4_000_000_000).map(|(o, _, _)| o)
     }
 
     pub fn sim_config(&self) -> SimConfig {
@@ -164,28 +221,43 @@ impl TwillBuild {
     }
 
     pub fn simulate_pure_sw(&self, input: Vec<i32>) -> Result<SimReport, SimError> {
-        twill_rt::simulate_pure_sw(&self.prepared, input, &self.sim_config())
+        twill_rt::simulate_pure_sw(self.prepared(), input, &self.sim_config())
     }
 
     pub fn simulate_pure_hw(&self, input: Vec<i32>) -> Result<SimReport, SimError> {
-        twill_rt::simulate_pure_hw(&self.prepared, input, &self.sim_config())
+        twill_rt::simulate_pure_hw_scheduled(
+            self.prepared(),
+            self.pure_schedule(),
+            input,
+            &self.sim_config(),
+        )
     }
 
     pub fn simulate_hybrid(&self, input: Vec<i32>) -> Result<SimReport, SimError> {
-        twill_rt::simulate_hybrid(&self.dswp, input, &self.sim_config())
+        twill_rt::simulate_hybrid_scheduled(
+            self.dswp(),
+            self.hybrid_schedule(),
+            input,
+            &self.sim_config(),
+        )
     }
 
+    /// Simulate the hybrid under a custom [`SimConfig`] (the Fig 6.5/6.6
+    /// sweeps). The schedule is looked up in the graph cache keyed by
+    /// `cfg.hls`, so sweeping queue latency/depth schedules exactly once.
     pub fn simulate_hybrid_with(
         &self,
         input: Vec<i32>,
         cfg: &SimConfig,
     ) -> Result<SimReport, SimError> {
-        twill_rt::simulate_hybrid(&self.dswp, input, cfg)
+        let art = self.dswp_artifact().clone();
+        let sched = self.graph.schedule_for(&art.result.module, art.module_hash, &cfg.hls);
+        twill_rt::simulate_hybrid_scheduled(&art.result, &sched, input, cfg)
     }
 
     /// DSWP statistics (queues/semaphores/HW threads — Table 6.1).
     pub fn stats(&self) -> &twill_dswp::extract::DswpStats {
-        &self.dswp.stats
+        &self.dswp().stats
     }
 
     /// Area breakdown in the four columns of Table 6.2.
@@ -194,13 +266,15 @@ impl TwillBuild {
     }
 
     /// Verilog for the hardware threads (thesis §5.4 output artifact).
-    pub fn verilog(&self) -> String {
-        twill_hls::verilog::emit_module(&self.dswp.module, &self.hybrid_schedule)
+    pub fn verilog(&self) -> Arc<String> {
+        let art = self.dswp_artifact().clone();
+        self.graph.verilog_for(&art.result.module, art.module_hash, &self.hls)
     }
 
     /// Verilog for the pure-HW (LegUp-style) translation.
-    pub fn verilog_pure_hw(&self) -> String {
-        twill_hls::verilog::emit_module(&self.prepared, &self.pure_schedule)
+    pub fn verilog_pure_hw(&self) -> Arc<String> {
+        let h = self.graph.prepared_hash();
+        self.graph.verilog_for(self.prepared(), h, &self.hls)
     }
 }
 
@@ -266,11 +340,8 @@ int main() {
 
     #[test]
     fn split_points_force_multiple_busy_partitions() {
-        let b = Compiler::new()
-            .partitions(2)
-            .split_points(vec![0.5, 0.5])
-            .compile("t", SRC)
-            .unwrap();
+        let b =
+            Compiler::new().partitions(2).split_points(vec![0.5, 0.5]).compile("t", SRC).unwrap();
         let s = b.stats();
         assert_eq!(s.partitions, 2);
         assert!(s.insts_per_partition.iter().all(|&n| n > 0), "{s:?}");
@@ -298,8 +369,8 @@ int main() {
             .queue_depth(4)
             .compile("t", SRC)
             .unwrap();
-        assert!(!b.dswp.module.queues.is_empty());
-        assert!(b.dswp.module.queues.iter().all(|q| q.depth == 4));
+        assert!(!b.dswp().module.queues.is_empty());
+        assert!(b.dswp().module.queues.iter().all(|q| q.depth == 4));
         // The simulator override stays unset: declared depths rule.
         assert_eq!(b.sim_config().queue_depth, None);
     }

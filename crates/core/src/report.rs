@@ -20,7 +20,7 @@ pub struct AreaBreakdown {
 }
 
 pub fn area_breakdown(b: &TwillBuild) -> AreaBreakdown {
-    let legup = estimate_module_area(&b.prepared, &b.pure_schedule);
+    let legup = estimate_module_area(b.prepared(), b.pure_schedule());
 
     // Twill HW threads: only functions that actually run in hardware
     // (nonempty hardware-partition versions reachable from the HW entry
@@ -28,12 +28,13 @@ pub fn area_breakdown(b: &TwillBuild) -> AreaBreakdown {
     let hw_funcs = hw_reachable_functions(b);
     let mut twill_hw = AreaReport::default();
     for fid in &hw_funcs {
-        twill_hw.add(estimate_function_area(b.hybrid_schedule.for_func(*fid)));
+        twill_hw.add(estimate_function_area(b.hybrid_schedule().for_func(*fid)));
     }
 
-    let hw_threads = b.dswp.threads.iter().filter(|t| t.is_hw).count() as u32;
+    let dswp = b.dswp();
+    let hw_threads = dswp.threads.iter().filter(|t| t.is_hw).count() as u32;
     let mut twill_total = twill_hw;
-    twill_total.add(runtime_area(&b.dswp.module, hw_threads, 1));
+    twill_total.add(runtime_area(&dswp.module, hw_threads, 1));
 
     let mut twill_mb = twill_total;
     twill_mb.add(microblaze_area());
@@ -48,15 +49,11 @@ pub fn area_breakdown(b: &TwillBuild) -> AreaBreakdown {
 
 /// Functions reachable from the hardware threads' entry points.
 fn hw_reachable_functions(b: &TwillBuild) -> Vec<twill_ir::FuncId> {
-    let m = &b.dswp.module;
+    let dswp = b.dswp();
+    let m = &dswp.module;
     let mut keep = vec![false; m.funcs.len()];
-    let mut stack: Vec<twill_ir::FuncId> = b
-        .dswp
-        .threads
-        .iter()
-        .filter(|t| t.is_hw)
-        .map(|t| t.entry)
-        .collect();
+    let mut stack: Vec<twill_ir::FuncId> =
+        dswp.threads.iter().filter(|t| t.is_hw).map(|t| t.entry).collect();
     for f in &stack {
         keep[f.index()] = true;
     }
@@ -71,10 +68,7 @@ fn hw_reachable_functions(b: &TwillBuild) -> Vec<twill_ir::FuncId> {
             }
         }
     }
-    (0..m.funcs.len())
-        .filter(|&i| keep[i])
-        .map(twill_ir::FuncId::new)
-        .collect()
+    (0..m.funcs.len()).filter(|&i| keep[i]).map(twill_ir::FuncId::new).collect()
 }
 
 /// Fig 6.1's three power numbers (mW): pure SW, pure HW, Twill hybrid.
@@ -142,10 +136,7 @@ mod tests {
     fn table_formatting_aligns() {
         let t = format_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer".into(), "123456".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "123456".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -54,13 +54,7 @@ fn run_with_input_feeds_the_stream() {
         "echoish.c",
         "int main() { int a = in(); int b = in(); out(a * 10 + b); return 0; }",
     );
-    let out = twillc()
-        .arg(&p)
-        .arg("--run")
-        .arg("--input")
-        .arg("7,3")
-        .output()
-        .unwrap();
+    let out = twillc().arg(&p).arg("--run").arg("--input").arg("7,3").output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
     assert!(stdout.contains("output: [73]"), "{stdout}");
@@ -71,14 +65,8 @@ fn emits_verilog_and_ir_artifacts() {
     let p = write_temp("emit.c", SRC);
     let v = p.with_file_name("emit.v");
     let ir = p.with_file_name("emit.ir");
-    let out = twillc()
-        .arg(&p)
-        .arg("--emit-verilog")
-        .arg(&v)
-        .arg("--emit-ir")
-        .arg(&ir)
-        .output()
-        .unwrap();
+    let out =
+        twillc().arg(&p).arg("--emit-verilog").arg(&v).arg("--emit-ir").arg(&ir).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let vtext = std::fs::read_to_string(&v).unwrap();
     assert!(vtext.contains("module"), "{vtext}");
@@ -106,7 +94,8 @@ fn missing_file_fails_cleanly() {
 
 #[test]
 fn recursion_needs_explicit_flag() {
-    let rec = "int f(int n) { return n < 2 ? 1 : n * f(n - 1); }\nint main() { out(f(5)); return 0; }";
+    let rec =
+        "int f(int n) { return n < 2 ? 1 : n * f(n - 1); }\nint main() { out(f(5)); return 0; }";
     let p = write_temp("rec.c", rec);
     let denied = twillc().arg(&p).output().unwrap();
     assert!(!denied.status.success());

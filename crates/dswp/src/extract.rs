@@ -95,11 +95,8 @@ pub fn run_dswp(m: &Module, opts: &DswpOptions) -> DswpResult {
     // they invoke are pinned whole to the software master — "the master
     // function call always being in software" — so no hardware thread ever
     // needs a stack and no queue crosses a recursive region.
-    let mut pinned: Vec<bool> = if cg.is_recursive() {
-        cg.software_pinned_set(m)
-    } else {
-        vec![false; m.funcs.len()]
-    };
+    let mut pinned: Vec<bool> =
+        if cg.is_recursive() { cg.software_pinned_set(m) } else { vec![false; m.funcs.len()] };
     // Function pointers (thesis §7 extension): address-taken functions can
     // be invoked from anywhere through an indirect call — which DSWP pins
     // to the software master — so they (and their callees) are
@@ -144,15 +141,13 @@ pub fn run_dswp(m: &Module, opts: &DswpOptions) -> DswpResult {
         // (§5.2); we implement that as a static steady-state cost model:
         // try every stage count up to the requested one and keep the
         // cheapest (max over stages of loop-resident work + queue traffic).
-        let mut placement =
-            Placement::compute_for(f, &pdg, &dag, &w, opts, !fn_hot[fid.index()]);
+        let mut placement = Placement::compute_for(f, &pdg, &dag, &w, opts, !fn_hot[fid.index()]);
         if opts.split_points.is_none() && opts.num_partitions > 2 {
             let mut best_cost = placement_cost(&pdg, &w, &placement, k);
             for k_eff in 2..opts.num_partitions {
                 let mut o2 = opts.clone();
                 o2.num_partitions = k_eff;
-                let cand =
-                    Placement::compute_for(f, &pdg, &dag, &w, &o2, !fn_hot[fid.index()]);
+                let cand = Placement::compute_for(f, &pdg, &dag, &w, &o2, !fn_hot[fid.index()]);
                 // Re-express in k partitions (unused tail stays empty).
                 let mut of_scc = cand.of_scc.clone();
                 let mut weight = cand.weight.clone();
@@ -199,11 +194,8 @@ pub fn run_dswp(m: &Module, opts: &DswpOptions) -> DswpResult {
         for (n, &iid) in pdg.nodes.iter().enumerate() {
             scc_of_inst[iid.index()] = dag.scc_of[n].index();
         }
-        let scc_members: Vec<Vec<InstId>> = dag
-            .members
-            .iter()
-            .map(|ms| ms.iter().map(|&n| pdg.nodes[n]).collect())
-            .collect();
+        let scc_members: Vec<Vec<InstId>> =
+            dag.members.iter().map(|ms| ms.iter().map(|&n| pdg.nodes[n]).collect()).collect();
         let dt = twill_passes::domtree::DomTree::new(f);
         let li = twill_passes::loops::LoopInfo::new(f, &dt);
         let inst_block = f.inst_blocks();
@@ -232,10 +224,8 @@ pub fn run_dswp(m: &Module, opts: &DswpOptions) -> DswpResult {
                 }
                 // The SCC's loop: external operands must come from outside
                 // it (forwarded once per entry, not per iteration).
-                let blocks: Vec<twill_ir::BlockId> = ms
-                    .iter()
-                    .filter_map(|&iid| inst_block[iid.index()])
-                    .collect();
+                let blocks: Vec<twill_ir::BlockId> =
+                    ms.iter().filter_map(|&iid| inst_block[iid.index()]).collect();
                 let Some(&first) = blocks.first() else { return false };
                 let mut common: Option<usize> = li.loop_of(first);
                 for &b in &blocks[1..] {
@@ -319,25 +309,22 @@ pub fn run_dswp(m: &Module, opts: &DswpOptions) -> DswpResult {
         let f = m.func(fid);
         let plan = &plans[fid.index()];
         // Which partitions of this function touch memory/IO directly or
-        // through a relevant callee?
+        // through a relevant callee? `p` indexes both the callee rows of
+        // `g_mem` (which may alias this function's row under recursion)
+        // and the row being written, so a range loop is the honest shape.
+        #[allow(clippy::needless_range_loop)]
         for p in 0..k {
             let mut touches = false;
             for (_, iid) in f.inst_ids_in_layout() {
                 match &f.inst(iid).op {
-                    Op::Load(_) | Op::Store(..) => {
-                        if plan.owner_of_inst[iid.index()] == p {
-                            touches = true;
-                        }
+                    Op::Load(_) | Op::Store(..) if plan.owner_of_inst[iid.index()] == p => {
+                        touches = true;
                     }
-                    Op::Intrin(Intr::Out | Intr::In, _) => {
-                        if plan.owner_of_inst[iid.index()] == p {
-                            touches = true;
-                        }
+                    Op::Intrin(Intr::Out | Intr::In, _) if plan.owner_of_inst[iid.index()] == p => {
+                        touches = true;
                     }
-                    Op::Call(c, _) => {
-                        if g_mem[c.index()][p] {
-                            touches = true;
-                        }
+                    Op::Call(c, _) if g_mem[c.index()][p] => {
+                        touches = true;
                     }
                     _ => {}
                 }
@@ -349,7 +336,16 @@ pub fn run_dswp(m: &Module, opts: &DswpOptions) -> DswpResult {
         let mut parts = Vec::with_capacity(k);
         for p in 0..k {
             let part = plan_partition(
-                m, f, fid, plan, p, opts, &g_nonempty, &g_needed_args, &g_mem, &ret_owners,
+                m,
+                f,
+                fid,
+                plan,
+                p,
+                opts,
+                &g_nonempty,
+                &g_needed_args,
+                &g_mem,
+                &ret_owners,
             );
             parts.push(part);
         }
@@ -419,11 +415,8 @@ pub fn run_dswp(m: &Module, opts: &DswpOptions) -> DswpResult {
         let mut v = Vec::with_capacity(k);
         for p in 0..k {
             let plan = &plans[fid.index()];
-            let params: Vec<Ty> = plan.parts[p]
-                .needed_args
-                .iter()
-                .map(|&a| f.params[a as usize])
-                .collect();
+            let params: Vec<Ty> =
+                plan.parts[p].needed_args.iter().map(|&a| f.params[a as usize]).collect();
             let ret = if p == plan.ret_owner && plan.has_ret_value { f.ret } else { Ty::Void };
             let nf = Function::new(format!("{}_dswp_{}", f.name, p), params, ret);
             v.push(out.add_func(nf));
@@ -554,8 +547,8 @@ fn placement_cost(pdg: &Pdg, w: &NodeWeights, placement: &Placement, k: usize) -
         // Rough HW throughput: ~3 chained ops per cycle; SW is the table.
         work[p] += if p == 0 { w.sw[n] * 2 } else { 1 };
     }
-    for p in 1..k {
-        work[p] = work[p].div_ceil(3);
+    for w in work.iter_mut().skip(1) {
+        *w = w.div_ceil(3);
     }
     // Queue traffic per iteration: distinct (def, consumer) pairs for
     // loop-resident cross-partition data/memory edges.
@@ -642,10 +635,7 @@ fn value_owner(
 }
 
 fn count_real_insts(f: &Function) -> usize {
-    f.inst_ids_in_layout()
-        .iter()
-        .filter(|(_, i)| !matches!(f.inst(*i).op, Op::Br(_)))
-        .count()
+    f.inst_ids_in_layout().iter().filter(|(_, i)| !matches!(f.inst(*i).op, Op::Br(_))).count()
 }
 
 /// Compute the extraction plan for one (function, partition).
@@ -677,9 +667,7 @@ fn plan_partition(
     let expand = |node: usize| -> Vec<usize> {
         let iid = pdg.nodes[node];
         match &f.inst(iid).op {
-            Op::Call(c, _) => {
-                (0..k).filter(|&q| g_mem[c.index()][q]).collect()
-            }
+            Op::Call(c, _) => (0..k).filter(|&q| g_mem[c.index()][q]).collect(),
             _ => vec![plan.placement.of_node[node]],
         }
     };
@@ -722,30 +710,24 @@ fn plan_partition(
         let inst = f.inst(iid);
         match &inst.op {
             Op::Br(_) | Op::CondBr(..) | Op::Switch(..) => {}
-            Op::Ret(v) => {
-                if owned(iid) && p == plan.ret_owner {
-                    if let Some(v) = v {
-                        base_uses.push(*v);
-                    }
-                }
+            Op::Ret(Some(v)) if owned(iid) && p == plan.ret_owner => {
+                base_uses.push(*v);
             }
-            Op::Call(c, args) => {
+            Op::Call(c, args)
                 // p passes exactly the args its callee's p-version needs;
                 // callees are planned before callers (reverse topo), so the
                 // exact list is available.
-                if call_relevant(iid) {
+                if call_relevant(iid) => {
                     for &a in &g_needed_args[c.index()][p] {
                         base_uses.push(args[a as usize]);
                     }
                 }
-            }
             _ if owned(iid) => {
                 inst.op.for_each_value(|v| base_uses.push(v));
             }
             _ => {}
         }
     }
-
 
     // Classify a set of root uses into queue-forwarded defs, argument
     // needs and locally re-materialized defs (single pure ops and whole
@@ -822,10 +804,8 @@ fn plan_partition(
                 relevant[b.index()] = true;
             }
         }
-        for d in needed_defs
-            .iter()
-            .chain(remat_defs.iter())
-            .chain(token_defs.iter().map(|(d, _)| d))
+        for d in
+            needed_defs.iter().chain(remat_defs.iter()).chain(token_defs.iter().map(|(d, _)| d))
         {
             if let Some(b) = inst_block[d.index()] {
                 relevant[b.index()] = true;
@@ -993,12 +973,8 @@ fn build_partition_function(
     }
     nf.entry = block_map[f.entry.index()].expect("entry always kept");
 
-    let arg_map: HashMap<u16, u16> = part
-        .needed_args
-        .iter()
-        .enumerate()
-        .map(|(i, &a)| (a, i as u16))
-        .collect();
+    let arg_map: HashMap<u16, u16> =
+        part.needed_args.iter().enumerate().map(|(i, &a)| (a, i as u16)).collect();
 
     // Consumers per def (for enqueue emission): consumer partitions that
     // listed `def` in needed_defs / token_defs.
@@ -1033,12 +1009,14 @@ fn build_partition_function(
     // point.
     let remap = |v: Value, vmap: &HashMap<InstId, Value>| -> Value {
         match v {
-            Value::Inst(d) => *vmap
-                .get(&d)
-                .unwrap_or_else(|| panic!("@{}[p{}]: unmapped value {}", f.name, p, d)),
-            Value::Arg(n) => Value::Arg(*arg_map
-                .get(&n)
-                .unwrap_or_else(|| panic!("@{}[p{}]: unmapped arg {}", f.name, p, n))),
+            Value::Inst(d) => {
+                *vmap.get(&d).unwrap_or_else(|| panic!("@{}[p{}]: unmapped value {}", f.name, p, d))
+            }
+            Value::Arg(n) => Value::Arg(
+                *arg_map
+                    .get(&n)
+                    .unwrap_or_else(|| panic!("@{}[p{}]: unmapped arg {}", f.name, p, n)),
+            ),
             imm => imm,
         }
     };
@@ -1089,8 +1067,16 @@ fn build_partition_function(
                         vmap.insert(iid, Value::Inst(nid));
                         // Producer side.
                         emit_queue_ops_after_def(
-                            &mut nf, nb, iid, Value::Inst(nid), fid, p, qmap,
-                            &data_consumers, &token_consumers, f,
+                            &mut nf,
+                            nb,
+                            iid,
+                            Value::Inst(nid),
+                            fid,
+                            p,
+                            qmap,
+                            &data_consumers,
+                            &token_consumers,
+                            f,
                         );
                     } else if part.remat_defs.contains(&iid) {
                         // Replicated recurrence phi: clone with original
@@ -1120,15 +1106,15 @@ fn build_partition_function(
                         vmap.insert(iid, Value::Inst(nid));
                     } else if needed.contains(&iid) {
                         let q = qmap[&QKey::Data(fid.0, iid, p)];
-                        let nid = nf.create_inst(Op::Intrin(Intr::Dequeue(q), vec![]), dq_ty(inst.ty));
+                        let nid =
+                            nf.create_inst(Op::Intrin(Intr::Dequeue(q), vec![]), dq_ty(inst.ty));
                         cursor.push(nid);
                         vmap.insert(iid, Value::Inst(nid));
                     }
                     if let Some(prods) = tokens.get(&iid) {
                         for &prod in prods {
                             let q = qmap[&QKey::Token(fid.0, iid, prod, p)];
-                            let nid =
-                                nf.create_inst(Op::Intrin(Intr::Dequeue(q), vec![]), Ty::I1);
+                            let nid = nf.create_inst(Op::Intrin(Intr::Dequeue(q), vec![]), Ty::I1);
                             cursor.push(nid);
                         }
                     }
@@ -1156,13 +1142,27 @@ fn build_partition_function(
                             vmap.insert(iid, Value::Inst(nid));
                             // p produced the call's value: forward it.
                             emit_enqueues(
-                                &mut cursor, &mut nf, iid, Value::Inst(nid), fid, p, qmap,
-                                &data_consumers, &token_consumers, f,
+                                &mut cursor,
+                                &mut nf,
+                                iid,
+                                Value::Inst(nid),
+                                fid,
+                                p,
+                                qmap,
+                                &data_consumers,
+                                &token_consumers,
+                                f,
                             );
                         } else {
                             // Token producers still signal completion.
                             emit_token_enqueues(
-                                &mut cursor, &mut nf, iid, fid, p, qmap, &token_consumers,
+                                &mut cursor,
+                                &mut nf,
+                                iid,
+                                fid,
+                                p,
+                                qmap,
+                                &token_consumers,
                             );
                         }
                     }
@@ -1178,8 +1178,7 @@ fn build_partition_function(
                     if let Some(prods) = tokens.get(&iid) {
                         for &prod in prods {
                             let q = qmap[&QKey::Token(fid.0, iid, prod, p)];
-                            let nid =
-                                nf.create_inst(Op::Intrin(Intr::Dequeue(q), vec![]), Ty::I1);
+                            let nid = nf.create_inst(Op::Intrin(Intr::Dequeue(q), vec![]), Ty::I1);
                             cursor.push(nid);
                         }
                     }
@@ -1199,8 +1198,16 @@ fn build_partition_function(
                             vmap.insert(iid, Value::Inst(nid));
                         }
                         emit_enqueues(
-                            &mut cursor, &mut nf, iid, Value::Inst(nid), fid, p, qmap,
-                            &data_consumers, &token_consumers, f,
+                            &mut cursor,
+                            &mut nf,
+                            iid,
+                            Value::Inst(nid),
+                            fid,
+                            p,
+                            qmap,
+                            &data_consumers,
+                            &token_consumers,
+                            f,
                         );
                     } else {
                         if part.remat_defs.contains(&iid) {
@@ -1317,10 +1324,7 @@ fn emit_enqueues(
     if let Some(cs) = token_consumers.get(&def) {
         for &c in cs {
             let q = qmap[&QKey::Token(fid.0, def, p, c)];
-            let e = nf.create_inst(
-                Op::Intrin(Intr::Enqueue(q), vec![Value::imm1(true)]),
-                Ty::Void,
-            );
+            let e = nf.create_inst(Op::Intrin(Intr::Enqueue(q), vec![Value::imm1(true)]), Ty::Void);
             cursor.push(e);
         }
     }
@@ -1339,10 +1343,7 @@ fn emit_token_enqueues(
     if let Some(cs) = token_consumers.get(&def) {
         for &c in cs {
             let q = qmap[&QKey::Token(fid.0, def, p, c)];
-            let e = nf.create_inst(
-                Op::Intrin(Intr::Enqueue(q), vec![Value::imm1(true)]),
-                Ty::Void,
-            );
+            let e = nf.create_inst(Op::Intrin(Intr::Enqueue(q), vec![Value::imm1(true)]), Ty::Void);
             cursor.push(e);
         }
     }
@@ -1373,21 +1374,15 @@ fn emit_queue_ops_after_def(
     if let Some(cs) = token_consumers.get(&def) {
         for &c in cs {
             let q = qmap[&QKey::Token(fid.0, def, p, c)];
-            pending.push(nf.create_inst(
-                Op::Intrin(Intr::Enqueue(q), vec![Value::imm1(true)]),
-                Ty::Void,
-            ));
+            pending.push(
+                nf.create_inst(Op::Intrin(Intr::Enqueue(q), vec![Value::imm1(true)]), Ty::Void),
+            );
         }
     }
     if pending.is_empty() {
         return;
     }
-    let nphis = nf
-        .block(nb)
-        .insts
-        .iter()
-        .take_while(|&&i| nf.inst(i).op.is_phi())
-        .count();
+    let nphis = nf.block(nb).insts.iter().take_while(|&&i| nf.inst(i).op.is_phi()).count();
     for (k, e) in pending.into_iter().enumerate() {
         nf.block_mut(nb).insts.insert(nphis + k, e);
     }
@@ -1433,10 +1428,7 @@ fn reuse_queues(out: &mut Module, orig: &Module, cg: &CallGraph) -> usize {
         let (pbase, ppart) = part_of(&out.funcs[*pf].name);
         let (_, cpart) = part_of(&out.funcs[*cf].name);
         let _ = pbase;
-        groups
-            .entry((ppart, cpart, width.bits()))
-            .or_default()
-            .push(*q);
+        groups.entry((ppart, cpart, width.bits())).or_default().push(*q);
     }
     // Within each group, queues from different base functions can share one
     // physical queue. Build remap: representative per (group, base func) —
@@ -1472,14 +1464,9 @@ fn reuse_queues(out: &mut Module, orig: &Module, cg: &CallGraph) -> usize {
     for f in &mut out.funcs {
         let live: Vec<InstId> = f.inst_ids_in_layout().into_iter().map(|(_, i)| i).collect();
         for iid in live {
-            if let Op::Intrin(intr, _) = &mut f.inst_mut(iid).op {
-                match intr {
-                    Intr::Enqueue(q) | Intr::Dequeue(q) => {
-                        if let Some(nq) = remap.get(q) {
-                            *q = *nq;
-                        }
-                    }
-                    _ => {}
+            if let Op::Intrin(Intr::Enqueue(q) | Intr::Dequeue(q), _) = &mut f.inst_mut(iid).op {
+                if let Some(nq) = remap.get(q) {
+                    *q = *nq;
                 }
             }
         }

@@ -66,7 +66,7 @@ impl DswpOptions {
         }
         let hw = (1.0 - self.sw_fraction) / (k - 1) as f64;
         let mut v = vec![self.sw_fraction];
-        v.extend(std::iter::repeat(hw).take(k - 1));
+        v.extend(std::iter::repeat_n(hw, k - 1));
         v
     }
 }
@@ -140,10 +140,8 @@ impl Placement {
         let nscc = dag.len();
         let mut of_scc = vec![usize::MAX; nscc];
         let mut unplaced_preds: Vec<usize> = dag.preds.iter().map(|p| p.len()).collect();
-        let mut avail: Vec<SccId> = (0..nscc)
-            .filter(|&s| unplaced_preds[s] == 0)
-            .map(|s| SccId(s as u32))
-            .collect();
+        let mut avail: Vec<SccId> =
+            (0..nscc).filter(|&s| unplaced_preds[s] == 0).map(|s| SccId(s as u32)).collect();
         let mut weight = vec![0u64; k];
         let mut placed = 0usize;
 
@@ -178,11 +176,8 @@ impl Placement {
                         (0, 0, dag.members[s.index()][0])
                     }
                 };
-                let (ai, &best) = avail
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, s)| key(**s))
-                    .expect("avail nonempty");
+                let (ai, &best) =
+                    avail.iter().enumerate().min_by_key(|(_, s)| key(**s)).expect("avail nonempty");
                 // The software stage never *splits* a loop: a processor
                 // participating in a pipelined loop pays the 5-cycle stream
                 // cost per value per iteration and becomes the bottleneck
@@ -285,8 +280,7 @@ impl Placement {
             }
         }
 
-        let of_node: Vec<usize> =
-            (0..pdg.len()).map(|n| of_scc[dag.scc_of[n].index()]).collect();
+        let of_node: Vec<usize> = (0..pdg.len()).map(|n| of_scc[dag.scc_of[n].index()]).collect();
         Placement { of_scc, of_node, weight }
     }
 
@@ -313,12 +307,8 @@ mod tests {
     fn place(src: &str, opts: &DswpOptions) -> (Placement, Pdg, SccDag) {
         let m = twill_ir::parser::parse_module(src).unwrap();
         let fx = function_effects(&m);
-        let pdg = Pdg::build(
-            &m,
-            &m.funcs[0],
-            &fx,
-            &PdgOptions { phi_const_pairs: opts.phi_const_pairs },
-        );
+        let pdg =
+            Pdg::build(&m, &m.funcs[0], &fx, &PdgOptions { phi_const_pairs: opts.phi_const_pairs });
         let dag = SccDag::new(&pdg);
         let w = NodeWeights::compute(&m.funcs[0], &pdg);
         let p = Placement::compute(&m.funcs[0], &pdg, &dag, &w, opts);

@@ -32,25 +32,18 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
-/// Run all threads to completion, returning (output stream, master return
-/// value, per-thread step counts).
-pub fn run_partitioned(
-    r: &DswpResult,
-    input: Vec<i32>,
-    fuel: u64,
-) -> Result<(Vec<i32>, Option<i64>, Vec<u64>), RunError> {
+/// (output stream, master return value, per-thread step counts).
+pub type RunOutput = (Vec<i32>, Option<i64>, Vec<u64>);
+
+/// Run all threads to completion.
+pub fn run_partitioned(r: &DswpResult, input: Vec<i32>, fuel: u64) -> Result<RunOutput, RunError> {
     let m = &r.module;
     let mut machine = Machine::new(m, layout::DEFAULT_MEM_SIZE, input);
 
     // Stack layout: globals end, then one region per thread.
-    let globals_end = m
-        .globals
-        .iter()
-        .map(|g| g.addr + g.size)
-        .max()
-        .unwrap_or(layout::GLOBAL_BASE);
-    let region = ((layout::DEFAULT_MEM_SIZE - globals_end) / (r.threads.len() as u32 + 1))
-        & !63;
+    let globals_end =
+        m.globals.iter().map(|g| g.addr + g.size).max().unwrap_or(layout::GLOBAL_BASE);
+    let region = ((layout::DEFAULT_MEM_SIZE - globals_end) / (r.threads.len() as u32 + 1)) & !63;
     let mut threads: Vec<Interp> = r
         .threads
         .iter()
@@ -88,8 +81,7 @@ pub fn run_partitioned(
                         progressed = true;
                     }
                     Ok(StepEvent::Blocked(fid, iid)) => {
-                        blocked_info
-                            .push(format!("thread{} @{}:{}", i, m.func(fid).name, iid));
+                        blocked_info.push(format!("thread{} @{}:{}", i, m.func(fid).name, iid));
                         break;
                     }
                     Ok(StepEvent::Finished(v)) => {

@@ -50,10 +50,7 @@ fn check_invariants(r: &DswpResult) {
     assert_eq!(r.stats.queues, r.stats.data_queues + r.stats.token_queues);
     assert_eq!(r.stats.queues, r.module.queues.len());
     assert_eq!(r.stats.semaphores, r.module.sems.len());
-    assert_eq!(
-        r.stats.hw_threads,
-        r.threads.iter().filter(|t| t.is_hw).count()
-    );
+    assert_eq!(r.stats.hw_threads, r.threads.iter().filter(|t| t.is_hw).count());
     assert!(r.stats.insts_per_partition.iter().sum::<usize>() > 0);
 }
 

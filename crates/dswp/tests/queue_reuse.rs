@@ -45,11 +45,8 @@ int main() {
 #[test]
 fn reuse_reduces_queues_and_preserves_semantics() {
     let m = prepared();
-    let base_opts = DswpOptions {
-        num_partitions: 2,
-        split_points: Some(vec![0.5, 0.5]),
-        ..Default::default()
-    };
+    let base_opts =
+        DswpOptions { num_partitions: 2, split_points: Some(vec![0.5, 0.5]), ..Default::default() };
     let plain = run_dswp(&m, &base_opts);
     let reuse = run_dswp(&m, &DswpOptions { reuse_queues: true, ..base_opts.clone() });
 

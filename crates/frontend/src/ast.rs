@@ -5,7 +5,10 @@
 pub enum CTy {
     Void,
     /// Integer with width in bits (8/16/32) and signedness.
-    Int { bits: u8, signed: bool },
+    Int {
+        bits: u8,
+        signed: bool,
+    },
     Ptr(Box<CTy>),
     Array(Box<CTy>, u32),
 }

@@ -207,8 +207,7 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     let mut any = false;
                     while self.peek().is_ascii_hexdigit() {
-                        v = v.wrapping_mul(16)
-                            + (self.bump() as char).to_digit(16).unwrap() as i64;
+                        v = v.wrapping_mul(16) + (self.bump() as char).to_digit(16).unwrap() as i64;
                         any = true;
                     }
                     if !any {
@@ -235,7 +234,9 @@ impl<'a> Lexer<'a> {
                         b'0' => 0,
                         b'\\' => b'\\' as i64,
                         b'\'' => b'\'' as i64,
-                        other => return cerr(line, col, format!("bad escape '\\{}'", other as char)),
+                        other => {
+                            return cerr(line, col, format!("bad escape '\\{}'", other as char))
+                        }
                     },
                     other => other as i64,
                 };

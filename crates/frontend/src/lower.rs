@@ -235,10 +235,7 @@ impl Lower<'_> {
             let pty = pty.decayed();
             let slot = self.b.alloca(pty.size().max(4));
             self.b.store(Value::Arg(i as u16), slot);
-            self.scopes
-                .last_mut()
-                .unwrap()
-                .insert(pname.clone(), Var { addr: slot, ty: pty });
+            self.scopes.last_mut().unwrap().insert(pname.clone(), Var { addr: slot, ty: pty });
         }
 
         self.lower_stmts(&f.body)?;
@@ -440,16 +437,18 @@ impl Lower<'_> {
         } else {
             // Insert the alloca at the end of entry's leading alloca run.
             let id = self.b.func.create_inst(Op::Alloca(size), Ty::Ptr);
-            let lead = self.b.func.block(entry).insts.iter()
+            let lead = self
+                .b
+                .func
+                .block(entry)
+                .insts
+                .iter()
                 .take_while(|&&i| matches!(self.b.func.inst(i).op, Op::Alloca(_)))
                 .count();
             self.b.func.block_mut(entry).insts.insert(lead, id);
             Value::Inst(id)
         };
-        self.scopes
-            .last_mut()
-            .unwrap()
-            .insert(name.to_string(), Var { addr, ty: ty.clone() });
+        self.scopes.last_mut().unwrap().insert(name.to_string(), Var { addr, ty: ty.clone() });
         match (init, ty) {
             (None, _) => {}
             (Some(Init::Scalar(e)), _) => {
@@ -473,7 +472,12 @@ impl Lower<'_> {
         Ok(())
     }
 
-    fn lower_switch(&mut self, scrut: &Expr, arms: &[SwitchArm], _line: usize) -> Result<(), CError> {
+    fn lower_switch(
+        &mut self,
+        scrut: &Expr,
+        arms: &[SwitchArm],
+        _line: usize,
+    ) -> Result<(), CError> {
         let sv = self.rvalue(scrut)?;
         let sv = self.promote(sv);
         let end_b = self.b.create_block("switch.end");
@@ -577,15 +581,11 @@ impl Lower<'_> {
             }
             Expr::Index(base, idx, _) => {
                 let base_rv = self.rvalue(base)?;
-                let elem = base_rv
-                    .ty
-                    .pointee()
-                    .cloned()
-                    .ok_or_else(|| CError {
-                        line: e.line(),
-                        col: 0,
-                        msg: "indexing a non-pointer".into(),
-                    })?;
+                let elem = base_rv.ty.pointee().cloned().ok_or_else(|| CError {
+                    line: e.line(),
+                    col: 0,
+                    msg: "indexing a non-pointer".into(),
+                })?;
                 let idx_rv = self.rvalue(idx)?;
                 let idx_rv = self.promote(idx_rv);
                 let addr = self.b.gep(base_rv.v, idx_rv.v, elem.size());
@@ -620,9 +620,10 @@ impl Lower<'_> {
     fn rvalue(&mut self, e: &Expr) -> Result<RV, CError> {
         match e {
             Expr::IntLit(v, _) => Ok(RV { v: Value::imm32(*v), ty: CTy::INT }),
-            Expr::Ident(name, _) if self.find_var(name).is_none()
-                && !self.globals.contains_key(name)
-                && self.sigs.contains_key(name) =>
+            Expr::Ident(name, _)
+                if self.find_var(name).is_none()
+                    && !self.globals.contains_key(name)
+                    && self.sigs.contains_key(name) =>
             {
                 // A function name in value position decays to its address
                 // (thesis §7 extension: function pointers).
@@ -776,11 +777,7 @@ impl Lower<'_> {
             }
             let elem = ptr.ty.pointee().cloned().unwrap();
             let int = self.promote(int);
-            let idx = if kind == Sub {
-                self.b.sub(Value::imm32(0), int.v)
-            } else {
-                int.v
-            };
+            let idx = if kind == Sub { self.b.sub(Value::imm32(0), int.v) } else { int.v };
             let v = self.b.gep(ptr.v, idx, elem.size().max(1));
             return Ok(RV { v, ty: CTy::Ptr(Box::new(elem)) });
         }
@@ -1130,14 +1127,16 @@ int main() {
 
     #[test]
     fn recursion_rejected() {
-        let err = compile("t", "int f(int n) { return n ? f(n-1) : 0; } int main() { return f(3); }")
-            .unwrap_err();
+        let err =
+            compile("t", "int f(int n) { return n ? f(n-1) : 0; } int main() { return f(3); }")
+                .unwrap_err();
         assert!(err.msg.contains("recursion"), "{err}");
     }
 
     #[test]
     fn io_builtins() {
-        let out = run("int main() { int a = in(); int b = in(); out(a + b); return 0; }", vec![30, 12]);
+        let out =
+            run("int main() { int a = in(); int b = in(); out(a + b); return 0; }", vec![30, 12]);
         assert_eq!(out, vec![42]);
     }
 

@@ -21,7 +21,7 @@ impl Parser {
     }
 
     fn peek2(&self) -> &TokenKind {
-        &self.toks.get(self.pos + 1).map(|t| &t.kind).unwrap_or(&TokenKind::Eof)
+        self.toks.get(self.pos + 1).map(|t| &t.kind).unwrap_or(&TokenKind::Eof)
     }
 
     fn loc(&self) -> (usize, usize) {
@@ -189,8 +189,11 @@ impl Parser {
             } else {
                 let (l, c) = self.loc();
                 let e = self.parse_assignment()?;
-                let n = eval_const(&e)
-                    .ok_or_else(|| CError { line: l, col: c, msg: "array size must be a constant".into() })?;
+                let n = eval_const(&e).ok_or_else(|| CError {
+                    line: l,
+                    col: c,
+                    msg: "array size must be a constant".into(),
+                })?;
                 self.expect(TokenKind::RBracket, "']'")?;
                 dims.push(Some(n as u32));
             }
@@ -321,14 +324,14 @@ impl Parser {
                 let init = if self.eat(&TokenKind::Semi) {
                     vec![]
                 } else if self.at_type_start() {
-                    let s = self.parse_decl_stmt()?;
-                    s
+                    self.parse_decl_stmt()?
                 } else {
                     let e = self.parse_expr()?;
                     self.expect(TokenKind::Semi, "';'")?;
                     vec![Stmt::Expr(e)]
                 };
-                let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.parse_expr()?) };
+                let cond =
+                    if self.peek() == &TokenKind::Semi { None } else { Some(self.parse_expr()?) };
                 self.expect(TokenKind::Semi, "';'")?;
                 let step =
                     if self.peek() == &TokenKind::RParen { None } else { Some(self.parse_expr()?) };
@@ -383,7 +386,8 @@ impl Parser {
             }
             TokenKind::KwReturn => {
                 self.bump();
-                let v = if self.peek() == &TokenKind::Semi { None } else { Some(self.parse_expr()?) };
+                let v =
+                    if self.peek() == &TokenKind::Semi { None } else { Some(self.parse_expr()?) };
                 self.expect(TokenKind::Semi, "';'")?;
                 Ok(Stmt::Return(v, line))
             }
@@ -769,7 +773,8 @@ int f(int n) {
 
     #[test]
     fn parses_pointers_and_arrays() {
-        let p = parse("int f(int *p, int a[], unsigned char buf[16]) { return p[0] + a[1] + buf[2]; }");
+        let p =
+            parse("int f(int *p, int a[], unsigned char buf[16]) { return p[0] + a[1] + buf[2]; }");
         assert_eq!(p.funcs[0].params[0].0, CTy::Ptr(Box::new(CTy::INT)));
         assert_eq!(p.funcs[0].params[1].0, CTy::Ptr(Box::new(CTy::INT)));
         assert_eq!(p.funcs[0].params[2].0, CTy::Ptr(Box::new(CTy::UCHAR)));

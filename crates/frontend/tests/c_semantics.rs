@@ -173,11 +173,7 @@ int main() {
 
 #[test]
 fn empty_statements_and_blocks() {
-    check(
-        "int main() { ;;; { } int x = 1; { out(x); } ; return 0; }",
-        vec![],
-        &[1],
-    );
+    check("int main() { ;;; { } int x = 1; { out(x); } ; return 0; }", vec![], &[1]);
 }
 
 #[test]

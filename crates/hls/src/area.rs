@@ -149,8 +149,7 @@ bb0:
 "#;
         let ms = twill_ir::parser::parse_module(src_small).unwrap();
         let mb = twill_ir::parser::parse_module(src_big).unwrap();
-        let a_small =
-            estimate_module_area(&ms, &schedule_module(&ms, &HlsOptions::default()));
+        let a_small = estimate_module_area(&ms, &schedule_module(&ms, &HlsOptions::default()));
         let a_big = estimate_module_area(&mb, &schedule_module(&mb, &HlsOptions::default()));
         assert!(a_big.luts > a_small.luts);
         assert!(a_big.dsps >= 1);

@@ -23,4 +23,7 @@ pub mod verilog;
 
 pub use area::{estimate_module_area, AreaReport};
 pub use power::{power_mw, PowerConfig};
-pub use schedule::{schedule_function, schedule_module, BlockSchedule, FuncSchedule, HlsOptions, ModuleSchedule};
+pub use schedule::{
+    schedule_function, schedule_module, schedule_module_threads, BlockSchedule, FuncSchedule,
+    HlsOptions, ModuleSchedule,
+};

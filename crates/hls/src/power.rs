@@ -122,10 +122,7 @@ mod tests {
             cpu_utilization: 0.3,
             logic_activity: 0.2,
         };
-        let more_area = PowerConfig {
-            area: AreaReport { luts: 9000, dsps: 2, brams: 0 },
-            ..base
-        };
+        let more_area = PowerConfig { area: AreaReport { luts: 9000, dsps: 2, brams: 0 }, ..base };
         let more_util = PowerConfig { cpu_utilization: 0.9, ..base };
         assert!(power_mw(&more_area) > power_mw(&base));
         assert!(power_mw(&more_util) > power_mw(&base));

@@ -91,10 +91,7 @@ fn unit_class(op: &Op) -> Option<&'static str> {
 
 /// Is this op effectful (must issue in program order)?
 fn is_effect(op: &Op) -> bool {
-    matches!(
-        op,
-        Op::Load(_) | Op::Store(..) | Op::Intrin(..) | Op::Call(..) | Op::CallIndirect(..)
-    )
+    matches!(op, Op::Load(_) | Op::Store(..) | Op::Intrin(..) | Op::Call(..) | Op::CallIndirect(..))
 }
 
 /// Schedule one basic block: ASAP with chaining, serialized effectful ops
@@ -179,15 +176,14 @@ fn schedule_block(
                 s = s.max((last_effect_issue + 1) as u32);
             }
             match &inst.op {
-                Op::Bin(b, _, _)
-                    if matches!(
-                        b,
-                        twill_ir::BinOp::SDiv
-                            | twill_ir::BinOp::UDiv
-                            | twill_ir::BinOp::SRem
-                            | twill_ir::BinOp::URem
-                    ) =>
-                {
+                Op::Bin(
+                    twill_ir::BinOp::SDiv
+                    | twill_ir::BinOp::UDiv
+                    | twill_ir::BinOp::SRem
+                    | twill_ir::BinOp::URem,
+                    _,
+                    _,
+                ) => {
                     s = s.max(div_free);
                     div_free = s + c.latency; // serial divider busy
                 }
@@ -324,10 +320,8 @@ pub fn schedule_function(
     opts: &HlsOptions,
 ) -> FuncSchedule {
     let mut usage: HashMap<(&'static str, u32), u32> = HashMap::new();
-    let mut blocks: Vec<BlockSchedule> = f
-        .block_ids()
-        .map(|b| schedule_block(m, f, b, opts, &mut usage))
-        .collect();
+    let mut blocks: Vec<BlockSchedule> =
+        f.block_ids().map(|b| schedule_block(m, f, b, opts, &mut usage)).collect();
 
     // Loop pipelining for innermost single-block loops.
     if opts.loop_pipelining {
@@ -363,10 +357,8 @@ pub fn schedule_function(
     }
 
     // Live values across states: results used in a later cycle or block.
-    let sched_start: HashMap<InstId, u32> = blocks
-        .iter()
-        .flat_map(|b| b.ops.iter().copied())
-        .collect();
+    let sched_start: HashMap<InstId, u32> =
+        blocks.iter().flat_map(|b| b.ops.iter().copied()).collect();
     let owner = f.inst_blocks();
     let mut live = 0u32;
     for (b, iid) in f.inst_ids_in_layout() {
@@ -399,12 +391,22 @@ pub fn schedule_function(
     FuncSchedule { func: func_id, blocks, states, peak_units: peak, live_values: live }
 }
 
-/// Schedule every function of a module.
+/// Schedule every function of a module, fanning out across worker threads
+/// (each function's schedule is independent of every other's).
 pub fn schedule_module(m: &Module, opts: &HlsOptions) -> ModuleSchedule {
-    let funcs = m
-        .func_ids()
-        .map(|fid| schedule_function(m, m.func(fid), fid, opts))
-        .collect();
+    schedule_module_threads(m, opts, twill_passes::par::default_threads())
+}
+
+/// [`schedule_module`] with an explicit fan-out width. `threads == 1` is
+/// the reference serial scheduler; any other width must produce an
+/// identical schedule (and therefore byte-identical Verilog) because
+/// results are collected in function-table order and `schedule_function`
+/// reads only its own function.
+pub fn schedule_module_threads(m: &Module, opts: &HlsOptions, threads: usize) -> ModuleSchedule {
+    let ids: Vec<FuncId> = m.func_ids().collect();
+    let funcs = twill_passes::par::par_map(&ids, threads, |_, &fid| {
+        schedule_function(m, m.func(fid), fid, opts)
+    });
     ModuleSchedule { funcs, opts: *opts }
 }
 
@@ -439,6 +441,24 @@ mod tests {
         let m = parse_module(src).unwrap();
         let s = schedule_module(&m, opts);
         (m, s)
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        // Many small functions so the fan-out actually chunks.
+        let mut src = String::new();
+        for i in 0..9 {
+            src.push_str(&format!(
+                "func @f{i}(i32) -> i32 {{\nbb0:\n  %0 = add i32 %a0, {i}:i32\n  %1 = mul i32 %0, %a0\n  %2 = xor i32 %1, %0\n  ret %2\n}}\n"
+            ));
+        }
+        let m = parse_module(&src).unwrap();
+        let serial = schedule_module_threads(&m, &HlsOptions::default(), 1);
+        let reference = format!("{serial:?}");
+        for threads in [2usize, 4, 16] {
+            let par = schedule_module_threads(&m, &HlsOptions::default(), threads);
+            assert_eq!(format!("{par:?}"), reference, "schedule diverged at {threads} threads");
+        }
     }
 
     #[test]
@@ -486,7 +506,7 @@ bb0:
         // ILP: parallel adds share the first state.
         let b = &s.funcs[0].blocks[0];
         let starts: Vec<u32> = b.ops.iter().map(|(_, c)| *c).collect();
-        assert_eq!(starts.iter().filter(|&&c| c == 0).count() >= 3, true, "{starts:?}");
+        assert!(starts.iter().filter(|&&c| c == 0).count() >= 3, "{starts:?}");
     }
 
     #[test]
@@ -597,11 +617,7 @@ bb0:
             .map(|(_, i)| i)
             .collect();
         assert_eq!(loads.len(), 2);
-        assert_eq!(
-            start[&loads[0]],
-            start[&loads[1]],
-            "independent ROM reads share a state"
-        );
+        assert_eq!(start[&loads[0]], start[&loads[1]], "independent ROM reads share a state");
     }
 
     #[test]
@@ -650,8 +666,7 @@ bb0:
         let (_, s4) = sched(src, &HlsOptions::default());
         let muls = |s: &ModuleSchedule| -> Vec<u32> {
             let f = &m.funcs[0];
-            let start: HashMap<InstId, u32> =
-                s.funcs[0].blocks[0].ops.iter().copied().collect();
+            let start: HashMap<InstId, u32> = s.funcs[0].blocks[0].ops.iter().copied().collect();
             f.inst_ids_in_layout()
                 .into_iter()
                 .filter(|(_, i)| matches!(f.inst(*i).op, Op::Bin(twill_ir::BinOp::Mul, _, _)))
@@ -736,9 +751,8 @@ bb2:
 "#;
         let (_, sc) = sched(cheap, &HlsOptions::default());
         let (_, sh) = sched(heavy, &HlsOptions::default());
-        let ii_of = |s: &ModuleSchedule| {
-            s.funcs[0].blocks[1].ii.unwrap_or(s.funcs[0].blocks[1].depth)
-        };
+        let ii_of =
+            |s: &ModuleSchedule| s.funcs[0].blocks[1].ii.unwrap_or(s.funcs[0].blocks[1].depth);
         assert!(
             ii_of(&sh) > ii_of(&sc),
             "carried mul chain must raise II: cheap={} heavy={}",

@@ -170,7 +170,9 @@ pub fn hw_cost(op: &Op) -> HwOpCost {
             Intr::SemLower(_) => {
                 HwOpCost { latency: HW_SEM_LOWER_LATENCY, delay: 0, luts: 6, dsps: 0 }
             }
-            Intr::Out | Intr::In => HwOpCost { latency: HW_QUEUE_LATENCY, delay: 0, luts: 6, dsps: 0 },
+            Intr::Out | Intr::In => {
+                HwOpCost { latency: HW_QUEUE_LATENCY, delay: 0, luts: 6, dsps: 0 }
+            }
         },
         Op::Phi(_) => ZERO, // a mux folded into state-register loads
         Op::Br(_) => HwOpCost { latency: 1, delay: 0, luts: 1, dsps: 0 },
@@ -261,10 +263,7 @@ mod tests {
     fn hw_faster_than_sw_for_expensive_ops() {
         for b in [BinOp::Mul, BinOp::SDiv, BinOp::UDiv] {
             let op = Op::Bin(b, Value::Arg(0), Value::Arg(1));
-            assert!(
-                (hw_cost(&op).latency as u64) < sw_cycles(&op),
-                "{b:?} should be faster in HW"
-            );
+            assert!((hw_cost(&op).latency as u64) < sw_cycles(&op), "{b:?} should be faster in HW");
         }
     }
 

@@ -6,13 +6,12 @@
 //! (instruction and block ids are per-function; function, global, queue and
 //! semaphore ids are per-module).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! entity {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
         pub struct $name(pub u32);
 
         impl $name {

@@ -9,12 +9,11 @@
 
 use crate::entities::{BlockId, FuncId, GlobalId, InstId, QueueId, SemId};
 use crate::module::Ty;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An SSA value operand: the result of an instruction, a function argument,
 /// or an immediate constant carrying its own type.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// Result of instruction `InstId` in the current function.
     Inst(InstId),
@@ -60,7 +59,7 @@ impl fmt::Debug for Value {
 }
 
 /// Two-operand integer arithmetic / bitwise operators.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BinOp {
     Add,
     Sub,
@@ -117,24 +116,18 @@ impl BinOp {
 
     /// Whether `a op b == b op a`.
     pub fn commutative(self) -> bool {
-        matches!(
-            self,
-            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
-        )
+        matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
     }
 
     /// Division and remainder can trap and therefore cannot be speculated or
     /// dead-code-eliminated when the divisor is not a proven non-zero value.
     pub fn can_trap(self) -> bool {
-        matches!(
-            self,
-            BinOp::SDiv | BinOp::UDiv | BinOp::SRem | BinOp::URem
-        )
+        matches!(self, BinOp::SDiv | BinOp::UDiv | BinOp::SRem | BinOp::URem)
     }
 }
 
 /// Integer comparison predicates (result type is always `i1`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CmpOp {
     Eq,
     Ne,
@@ -198,7 +191,7 @@ impl CmpOp {
 }
 
 /// Integer width conversions.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CastOp {
     Zext,
     Sext,
@@ -218,7 +211,7 @@ impl CastOp {
 /// Runtime intrinsics. `Out`/`In` are the benchmark I/O channel (the thesis'
 /// serial-port I/O manager thread); the rest are the Twill runtime primitives
 /// inserted by the DSWP pass and lowered to bus messages by the simulator.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Intr {
     /// `out(v: i32)` — append a word to the program's output stream.
     Out,
@@ -254,7 +247,7 @@ impl Intr {
 }
 
 /// Instruction opcode with embedded operands.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Op {
     /// Binary arithmetic: both operands share the result type.
     Bin(BinOp, Value, Value),
@@ -301,10 +294,7 @@ pub enum Op {
 impl Op {
     /// Whether this opcode terminates a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(
-            self,
-            Op::Br(_) | Op::CondBr(..) | Op::Switch(..) | Op::Ret(_)
-        )
+        matches!(self, Op::Br(_) | Op::CondBr(..) | Op::Switch(..) | Op::Ret(_))
     }
 
     pub fn is_phi(&self) -> bool {
@@ -367,8 +357,7 @@ impl Op {
                 }
             }
             Op::Ret(Some(v)) => f(*v),
-            Op::Ret(None) | Op::Br(_) | Op::Alloca(_) | Op::GlobalAddr(_)
-            | Op::FuncAddr(_) => {}
+            Op::Ret(None) | Op::Br(_) | Op::Alloca(_) | Op::GlobalAddr(_) | Op::FuncAddr(_) => {}
         }
     }
 
@@ -406,8 +395,7 @@ impl Op {
                 }
             }
             Op::Ret(Some(v)) => f(v),
-            Op::Ret(None) | Op::Br(_) | Op::Alloca(_) | Op::GlobalAddr(_)
-            | Op::FuncAddr(_) => {}
+            Op::Ret(None) | Op::Br(_) | Op::Alloca(_) | Op::GlobalAddr(_) | Op::FuncAddr(_) => {}
         }
     }
 

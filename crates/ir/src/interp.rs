@@ -551,7 +551,7 @@ impl Interp {
                     pending_call: None,
                 });
                 self.steps += 1;
-                return Ok(StepEvent::Executed(fid, iid));
+                Ok(StepEvent::Executed(fid, iid))
             }
             Op::Call(callee, args) => {
                 // Bounded call depth (recursion is permitted when the
@@ -573,7 +573,7 @@ impl Interp {
                     pending_call: None,
                 });
                 self.steps += 1;
-                return Ok(StepEvent::Executed(fid, iid));
+                Ok(StepEvent::Executed(fid, iid))
             }
             Op::Intrin(intr, args) => {
                 let poll = match intr {
@@ -597,7 +597,7 @@ impl Interp {
                         }
                         advance!();
                     }
-                    RtPoll::WouldBlock => return Ok(StepEvent::Blocked(fid, iid)),
+                    RtPoll::WouldBlock => Ok(StepEvent::Blocked(fid, iid)),
                 }
             }
             Op::Phi(_) => {
@@ -620,11 +620,8 @@ impl Interp {
             }
             Op::Switch(v, cases, default) => {
                 let x = f.value_ty(*v).sext(self.eval(m, *v));
-                let target = cases
-                    .iter()
-                    .find(|(k, _)| *k == x)
-                    .map(|(_, b)| *b)
-                    .unwrap_or(*default);
+                let target =
+                    cases.iter().find(|(k, _)| *k == x).map(|(_, b)| *b).unwrap_or(*default);
                 let from = self.frames.last().unwrap().block;
                 self.branch_to(m, from, target);
                 self.steps += 1;
@@ -663,11 +660,10 @@ pub fn run_main(
     input: Vec<i32>,
     fuel: u64,
 ) -> Result<(Vec<i32>, Option<i64>, u64), ExecError> {
-    let main = m
-        .find_func("main")
-        .ok_or_else(|| ExecError::Trap("no @main in module".into()))?;
+    let main = m.find_func("main").ok_or_else(|| ExecError::Trap("no @main in module".into()))?;
     let mut machine = Machine::new(m, layout::DEFAULT_MEM_SIZE, input);
-    let globals_end = m.globals.iter().map(|g| g.addr + g.size).max().unwrap_or(layout::GLOBAL_BASE);
+    let globals_end =
+        m.globals.iter().map(|g| g.addr + g.size).max().unwrap_or(layout::GLOBAL_BASE);
     let stack_base = (globals_end + 63) & !63;
     let mut it = Interp::new(m, main, vec![], (stack_base, layout::DEFAULT_MEM_SIZE));
     let mut remaining = fuel;
@@ -907,7 +903,8 @@ bb2:
 
     #[test]
     fn queue_blocking_reported_as_deadlock_single_threaded() {
-        let src = "queue q0 i32 x 2\nfunc @main() -> i32 {\nbb0:\n  %0 = dequeue i32 q0\n  ret %0\n}\n";
+        let src =
+            "queue q0 i32 x 2\nfunc @main() -> i32 {\nbb0:\n  %0 = dequeue i32 q0\n  ret %0\n}\n";
         let mut m = parse_module(src).unwrap();
         layout::assign_global_addrs(&mut m);
         let err = run_main(&m, vec![], 1000).unwrap_err();

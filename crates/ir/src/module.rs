@@ -2,13 +2,12 @@
 
 use crate::entities::{BlockId, FuncId, GlobalId, InstId, QueueId, SemId};
 use crate::inst::{Op, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Integer-only type system. The Twill thesis explicitly does not support
 /// values wider than 32 bits (64-bit CHStone benchmarks are excluded), so
 /// neither do we. Pointers are 32-bit flat addresses.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub enum Ty {
     Void,
     I1,
@@ -83,7 +82,7 @@ impl fmt::Display for Ty {
 
 /// A basic block: an ordered list of instruction ids whose last element is a
 /// terminator. PHI instructions, when present, are a prefix of the list.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Block {
     pub name: String,
     pub insts: Vec<InstId>,
@@ -96,7 +95,7 @@ impl Block {
 }
 
 /// One instruction: opcode plus result type (`Ty::Void` for valueless ops).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct InstData {
     pub op: Op,
     pub ty: Ty,
@@ -105,7 +104,7 @@ pub struct InstData {
 /// A function definition. Instructions live in the `insts` arena and are
 /// referenced from blocks by id; dead arena slots (after edits) are tolerated
 /// and skipped by iteration helpers.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Function {
     pub name: String,
     pub params: Vec<Ty>,
@@ -232,21 +231,21 @@ impl Function {
 
 /// Queue element width + depth, configured statically by the DSWP pass
 /// (thesis §4.3: widths 1/8/16/32 bits, per-queue depth).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct QueueDecl {
     pub width: Ty,
     pub depth: u32,
 }
 
 /// Counting semaphore configuration (thesis §4.2).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SemDecl {
     pub max: u32,
     pub initial: u32,
 }
 
 /// A module global: raw bytes plus assigned address after layout.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Global {
     pub name: String,
     pub size: u32,
@@ -259,7 +258,7 @@ pub struct Global {
 
 /// A whole program: functions, globals, and the statically-declared runtime
 /// resources (queues/semaphores created by DSWP).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Module {
     pub name: String,
     pub funcs: Vec<Function>,

@@ -91,10 +91,9 @@ impl FnCtx<'_> {
 
     fn block(&self, s: &str) -> PResult<BlockId> {
         let s = s.trim();
-        let rest = s.strip_prefix("bb").ok_or_else(|| ParseError {
-            line: self.line,
-            msg: format!("bad block ref '{s}'"),
-        })?;
+        let rest = s
+            .strip_prefix("bb")
+            .ok_or_else(|| ParseError { line: self.line, msg: format!("bad block ref '{s}'") })?;
         let n: u32 = rest
             .parse()
             .map_err(|_| ParseError { line: self.line, msg: format!("bad block id '{s}'") })?;
@@ -136,12 +135,7 @@ fn parse_bin_mnemonic(s: &str) -> Option<BinOp> {
 
 fn parse_cmp_mnemonic(s: &str) -> Option<CmpOp> {
     use CmpOp::*;
-    for c in [Eq, Ne, Slt, Sle, Sgt, Sge, Ult, Ule, Ugt, Uge] {
-        if c.mnemonic() == s {
-            return Some(c);
-        }
-    }
-    None
+    [Eq, Ne, Slt, Sle, Sgt, Sge, Ult, Ule, Ugt, Uge].into_iter().find(|&c| c.mnemonic() == s)
 }
 
 /// Parse one instruction body (after any `%N = ` prefix was stripped).
@@ -227,9 +221,8 @@ fn parse_op(ctx: &FnCtx, body: &str) -> PResult<(Op, Ty)> {
             if parts.len() != 3 {
                 return err(line, "gep needs base, index, size");
             }
-            let sz: u32 = parts[2]
-                .parse()
-                .map_err(|_| ParseError { line, msg: "bad gep size".into() })?;
+            let sz: u32 =
+                parts[2].parse().map_err(|_| ParseError { line, msg: "bad gep size".into() })?;
             Ok((Op::Gep(ctx.value(&parts[0])?, ctx.value(&parts[1])?, sz), Ty::Ptr))
         }
         "alloca" => {
@@ -464,8 +457,9 @@ pub fn parse_module(text: &str) -> PResult<Module> {
                 return err(lineno, "bad queue decl");
             }
             let width = parse_ty(parts[1], lineno)?;
-            let depth: u32 =
-                parts[3].parse().map_err(|_| ParseError { line: lineno, msg: "bad depth".into() })?;
+            let depth: u32 = parts[3]
+                .parse()
+                .map_err(|_| ParseError { line: lineno, msg: "bad depth".into() })?;
             m.add_queue(QueueDecl { width, depth });
             i += 1;
             continue;
@@ -476,10 +470,13 @@ pub fn parse_module(text: &str) -> PResult<Module> {
             let mut init = 0;
             for p in &parts[1..] {
                 if let Some(v) = p.strip_prefix("max=") {
-                    max = v.parse().map_err(|_| ParseError { line: lineno, msg: "bad max".into() })?;
+                    max = v
+                        .parse()
+                        .map_err(|_| ParseError { line: lineno, msg: "bad max".into() })?;
                 } else if let Some(v) = p.strip_prefix("init=") {
-                    init =
-                        v.parse().map_err(|_| ParseError { line: lineno, msg: "bad init".into() })?;
+                    init = v
+                        .parse()
+                        .map_err(|_| ParseError { line: lineno, msg: "bad init".into() })?;
                 }
             }
             m.add_sem(SemDecl { max, initial: init });
@@ -494,8 +491,9 @@ pub fn parse_module(text: &str) -> PResult<Module> {
             let is_const = tail.contains(" const") || tail.contains("const ");
             for tok in tail.split_whitespace() {
                 if let Some(v) = tok.strip_prefix("size=") {
-                    size =
-                        v.parse().map_err(|_| ParseError { line: lineno, msg: "bad size".into() })?;
+                    size = v
+                        .parse()
+                        .map_err(|_| ParseError { line: lineno, msg: "bad size".into() })?;
                 }
             }
             let mut init = Vec::new();
@@ -563,7 +561,9 @@ pub fn parse_module(text: &str) -> PResult<Module> {
                 let bodytext = if let Some((lhs, rhs)) = bl.split_once('=') {
                     let lhs = lhs.trim();
                     if let Some(name) = lhs.strip_prefix('%') {
-                        if !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+                        if !name.is_empty()
+                            && name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+                        {
                             ids.insert(name.to_string(), id);
                             rhs.trim().to_string()
                         } else {
@@ -582,7 +582,8 @@ pub fn parse_module(text: &str) -> PResult<Module> {
 
             // Second sub-pass: parse each op now that all ids are known.
             for (b, id, ln, text) in placements {
-                let ctx = FnCtx { ids: ids.clone(), module_funcs: &sigs, globals: &m.globals, line: ln };
+                let ctx =
+                    FnCtx { ids: ids.clone(), module_funcs: &sigs, globals: &m.globals, line: ln };
                 let (op, ty) = parse_op(&ctx, &text)?;
                 f.insts[id.index()] = InstData { op, ty };
                 f.block_mut(b).insts.push(id);

@@ -24,15 +24,15 @@ fn fmt_values(vs: &[Value]) -> String {
 pub fn print_inst(m: &Module, op: &Op, ty: Ty, textual_id: u32) -> String {
     let lhs = |s: String| format!("%{textual_id} = {s}");
     match op {
-        Op::Bin(b, x, y) => lhs(format!("{} {} {}, {}", b.mnemonic(), ty, fmt_value(*x), fmt_value(*y))),
-        Op::Cmp(c, x, y) => lhs(format!("cmp {} {}, {}", c.mnemonic(), fmt_value(*x), fmt_value(*y))),
-        Op::Select(c, a, b) => lhs(format!(
-            "select {} {}, {}, {}",
-            ty,
-            fmt_value(*c),
-            fmt_value(*a),
-            fmt_value(*b)
-        )),
+        Op::Bin(b, x, y) => {
+            lhs(format!("{} {} {}, {}", b.mnemonic(), ty, fmt_value(*x), fmt_value(*y)))
+        }
+        Op::Cmp(c, x, y) => {
+            lhs(format!("cmp {} {}, {}", c.mnemonic(), fmt_value(*x), fmt_value(*y)))
+        }
+        Op::Select(c, a, b) => {
+            lhs(format!("select {} {}, {}, {}", ty, fmt_value(*c), fmt_value(*a), fmt_value(*b)))
+        }
         Op::Cast(c, v) => lhs(format!("{} {} to {}", c.mnemonic(), fmt_value(*v), ty)),
         Op::Load(a) => lhs(format!("load {} {}", ty, fmt_value(*a))),
         Op::Store(v, a) => format!("store {} {}, {}", ty, fmt_value(*v), fmt_value(*a)),
@@ -66,10 +66,8 @@ pub fn print_inst(m: &Module, op: &Op, ty: Ty, textual_id: u32) -> String {
             Intr::SemLower(s) => format!("lower sem{}, {}", s.0, fmt_value(args[0])),
         },
         Op::Phi(incoming) => {
-            let parts: Vec<String> = incoming
-                .iter()
-                .map(|(b, v)| format!("[bb{}: {}]", b.0, fmt_value(*v)))
-                .collect();
+            let parts: Vec<String> =
+                incoming.iter().map(|(b, v)| format!("[bb{}: {}]", b.0, fmt_value(*v))).collect();
             lhs(format!("phi {} {}", ty, parts.join(", ")))
         }
         Op::Br(t) => format!("br bb{}", t.0),
@@ -77,12 +75,7 @@ pub fn print_inst(m: &Module, op: &Op, ty: Ty, textual_id: u32) -> String {
         Op::Switch(v, cases, d) => {
             let parts: Vec<String> =
                 cases.iter().map(|(k, b)| format!("[{k}: bb{}]", b.0)).collect();
-            format!(
-                "switch {}, {}, default bb{}",
-                fmt_value(*v),
-                parts.join(", "),
-                d.0
-            )
+            format!("switch {}, {}, default bb{}", fmt_value(*v), parts.join(", "), d.0)
         }
         Op::Ret(Some(v)) => format!("ret {}", fmt_value(*v)),
         Op::Ret(None) => "ret".to_string(),
@@ -94,12 +87,7 @@ pub fn print_inst(m: &Module, op: &Op, ty: Ty, textual_id: u32) -> String {
 /// Print one function.
 pub fn print_function(m: &Module, f: &Function) -> String {
     let mut out = String::new();
-    let params = f
-        .params
-        .iter()
-        .map(|t| t.to_string())
-        .collect::<Vec<_>>()
-        .join(", ");
+    let params = f.params.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ");
     writeln!(out, "func @{}({}) -> {} {{", f.name, params, f.ret).unwrap();
     for b in f.block_ids() {
         let blk = f.block(b);

@@ -145,10 +145,8 @@ fn verify_function(m: &Module, _id: FuncId, f: &Function, errs: &mut Vec<VerifyE
                         e(format!("{b}: phi {i} has void type"));
                     }
                 }
-                Op::Alloca(_) => {
-                    if b != f.entry {
-                        e(format!("{b}: alloca {i} outside entry block"));
-                    }
+                Op::Alloca(_) if b != f.entry => {
+                    e(format!("{b}: alloca {i} outside entry block"));
                 }
                 Op::Call(callee, args) => {
                     if callee.index() >= m.funcs.len() {
@@ -171,20 +169,14 @@ fn verify_function(m: &Module, _id: FuncId, f: &Function, errs: &mut Vec<VerifyE
                         }
                     }
                 }
-                Op::GlobalAddr(g) => {
-                    if g.index() >= m.globals.len() {
-                        e(format!("{b}: {i} references missing global {g}"));
-                    }
+                Op::GlobalAddr(g) if g.index() >= m.globals.len() => {
+                    e(format!("{b}: {i} references missing global {g}"));
                 }
-                Op::FuncAddr(func) => {
-                    if func.index() >= m.funcs.len() {
-                        e(format!("{b}: {i} references missing function {func}"));
-                    }
+                Op::FuncAddr(func) if func.index() >= m.funcs.len() => {
+                    e(format!("{b}: {i} references missing function {func}"));
                 }
-                Op::CallIndirect(t, _) => {
-                    if f.value_ty(*t) != Ty::Ptr {
-                        e(format!("{b}: {i} indirect-call target is not a pointer"));
-                    }
+                Op::CallIndirect(t, _) if f.value_ty(*t) != Ty::Ptr => {
+                    e(format!("{b}: {i} indirect-call target is not a pointer"));
                 }
                 Op::Ret(v) => {
                     let got = v.map(|x| f.value_ty(x)).unwrap_or(Ty::Void);
@@ -192,15 +184,11 @@ fn verify_function(m: &Module, _id: FuncId, f: &Function, errs: &mut Vec<VerifyE
                         e(format!("{b}: ret type {} != function return {}", got, f.ret));
                     }
                 }
-                Op::CondBr(c, _, _) => {
-                    if f.value_ty(*c) != Ty::I1 {
-                        e(format!("{b}: condbr condition is not i1"));
-                    }
+                Op::CondBr(c, _, _) if f.value_ty(*c) != Ty::I1 => {
+                    e(format!("{b}: condbr condition is not i1"));
                 }
-                Op::Cmp(..) => {
-                    if inst.ty != Ty::I1 {
-                        e(format!("{b}: cmp {i} result type must be i1"));
-                    }
+                Op::Cmp(..) if inst.ty != Ty::I1 => {
+                    e(format!("{b}: cmp {i} result type must be i1"));
                 }
                 _ => {}
             }
@@ -220,9 +208,8 @@ mod tests {
 
     #[test]
     fn accepts_valid_function() {
-        let errs = verify_src(
-            "func @f(i32) -> i32 {\nbb0:\n  %0 = add i32 %a0, 1:i32\n  ret %0\n}\n",
-        );
+        let errs =
+            verify_src("func @f(i32) -> i32 {\nbb0:\n  %0 = add i32 %a0, 1:i32\n  ret %0\n}\n");
         assert!(errs.is_empty(), "{errs:?}");
     }
 
@@ -243,9 +230,8 @@ mod tests {
 
     #[test]
     fn rejects_alloca_outside_entry() {
-        let errs = verify_src(
-            "func @f() -> void {\nbb0:\n  br bb1\nbb1:\n  %0 = alloca 8\n  ret\n}\n",
-        );
+        let errs =
+            verify_src("func @f() -> void {\nbb0:\n  br bb1\nbb1:\n  %0 = alloca 8\n  ret\n}\n");
         assert!(errs.iter().any(|m| m.contains("alloca")), "{errs:?}");
     }
 
@@ -265,9 +251,8 @@ mod tests {
 
     #[test]
     fn rejects_non_i1_condbr() {
-        let errs = verify_src(
-            "func @f(i32) -> void {\nbb0:\n  condbr %a0, bb1, bb1\nbb1:\n  ret\n}\n",
-        );
+        let errs =
+            verify_src("func @f(i32) -> void {\nbb0:\n  condbr %a0, bb1, bb1\nbb1:\n  ret\n}\n");
         assert!(errs.iter().any(|m| m.contains("not i1")), "{errs:?}");
     }
 

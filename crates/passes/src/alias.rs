@@ -86,7 +86,10 @@ impl AliasInfo {
                     // Loads of pointers, call results, function addresses:
                     // unknown (function addresses never alias data, but
                     // treating them as data pointers is merely conservative).
-                    Op::Load(_) | Op::Call(..) | Op::CallIndirect(..) | Op::Intrin(..)
+                    Op::Load(_)
+                    | Op::Call(..)
+                    | Op::CallIndirect(..)
+                    | Op::Intrin(..)
                     | Op::FuncAddr(_) => [MemObject::Unknown].into(),
                     _ => continue,
                 };
@@ -213,10 +216,8 @@ pub fn alloca_escapes(f: &Function, alloca: InstId) -> bool {
                 Op::Bin(..) | Op::Cmp(..) => {
                     // Address arithmetic/compares don't escape by themselves,
                     // but the derived value might: track adds/subs.
-                    if matches!(
-                        inst.op,
-                        Op::Bin(twill_ir::BinOp::Add | twill_ir::BinOp::Sub, _, _)
-                    ) && seen.insert(iid)
+                    if matches!(inst.op, Op::Bin(twill_ir::BinOp::Add | twill_ir::BinOp::Sub, _, _))
+                        && seen.insert(iid)
                     {
                         derived.push(iid);
                     }

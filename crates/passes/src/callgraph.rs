@@ -37,8 +37,7 @@ impl CallGraph {
         }
         // Kahn topological sort on the "calls" relation.
         let mut out_deg: Vec<usize> = callees.iter().map(|c| c.len()).collect();
-        let mut ready: Vec<FuncId> =
-            (0..n).filter(|&i| out_deg[i] == 0).map(FuncId::new).collect();
+        let mut ready: Vec<FuncId> = (0..n).filter(|&i| out_deg[i] == 0).map(FuncId::new).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(f) = ready.pop() {
             order.push(f);
@@ -62,12 +61,12 @@ impl CallGraph {
         let n = m.funcs.len();
         // f is recursive iff f reaches itself through ≥1 call edge.
         let mut out = vec![false; n];
-        for f in 0..n {
+        for (f, of) in out.iter_mut().enumerate() {
             let mut seen = vec![false; n];
             let mut stack: Vec<usize> = self.callees[f].iter().map(|c| c.index()).collect();
             while let Some(x) = stack.pop() {
                 if x == f {
-                    out[f] = true;
+                    *of = true;
                     break;
                 }
                 if seen[x] {
@@ -88,8 +87,7 @@ impl CallGraph {
     pub fn software_pinned_set(&self, m: &Module) -> Vec<bool> {
         let rec = self.recursive_funcs(m);
         let mut pinned = rec.clone();
-        let mut stack: Vec<usize> =
-            (0..m.funcs.len()).filter(|&f| pinned[f]).collect();
+        let mut stack: Vec<usize> = (0..m.funcs.len()).filter(|&f| pinned[f]).collect();
         while let Some(f) = stack.pop() {
             for &c in &self.callees[f] {
                 if !pinned[c.index()] {
@@ -184,14 +182,10 @@ pub fn function_effects(m: &Module) -> Vec<Effects> {
         let pinned = cg.software_pinned_set(m);
         for (f, &p) in pinned.iter().enumerate() {
             if p {
-                fx[f] =
-                    Effects { reads_mem: true, writes_mem: true, has_io: true, may_trap: true };
+                fx[f] = Effects { reads_mem: true, writes_mem: true, has_io: true, may_trap: true };
             }
         }
-        cg.reverse_topo_excluding(m, &pinned)
-            .into_iter()
-            .filter(|f| !pinned[f.index()])
-            .collect()
+        cg.reverse_topo_excluding(m, &pinned).into_iter().filter(|f| !pinned[f.index()]).collect()
     } else {
         cg.reverse_topo.clone()
     };
@@ -216,10 +210,8 @@ pub fn function_effects(m: &Module) -> Vec<Effects> {
                         may_trap: true,
                     })
                 }
-                op @ Op::Bin(b, _, _) if b.can_trap() => {
-                    if op.has_side_effect() {
-                        e.may_trap = true;
-                    }
+                op @ Op::Bin(b, _, _) if b.can_trap() && op.has_side_effect() => {
+                    e.may_trap = true;
                 }
                 _ => {}
             }

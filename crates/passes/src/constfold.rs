@@ -220,23 +220,20 @@ mod tests {
 
     #[test]
     fn folds_signed_ops_correctly() {
-        let out = fold_src(
-            "func @f() -> i32 {\nbb0:\n  %0 = sdiv i32 -9:i32, 2:i32\n  ret %0\n}\n",
-        );
+        let out =
+            fold_src("func @f() -> i32 {\nbb0:\n  %0 = sdiv i32 -9:i32, 2:i32\n  ret %0\n}\n");
         assert!(out.contains("ret -4:i32"), "{out}");
     }
 
     #[test]
     fn preserves_possible_trap() {
         // Division by an unknown value must not be removed even if unused.
-        let out = fold_src(
-            "func @f(i32) -> i32 {\nbb0:\n  %0 = sdiv i32 8:i32, %a0\n  ret 1:i32\n}\n",
-        );
+        let out =
+            fold_src("func @f(i32) -> i32 {\nbb0:\n  %0 = sdiv i32 8:i32, %a0\n  ret 1:i32\n}\n");
         assert!(out.contains("sdiv"), "{out}");
         // But division by zero constant isn't folded (kept, traps at run).
-        let out2 = fold_src(
-            "func @f() -> i32 {\nbb0:\n  %0 = sdiv i32 8:i32, 0:i32\n  ret %0\n}\n",
-        );
+        let out2 =
+            fold_src("func @f() -> i32 {\nbb0:\n  %0 = sdiv i32 8:i32, 0:i32\n  ret %0\n}\n");
         assert!(out2.contains("sdiv"), "{out2}");
     }
 

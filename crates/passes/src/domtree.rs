@@ -136,9 +136,9 @@ impl DomTree {
         let n = f.blocks.len();
         let entry = f.entry.index();
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for b in 0..n {
+        for (b, sb) in succs.iter_mut().enumerate() {
             for s in f.successors(BlockId::new(b)) {
-                succs[b].push(s.index());
+                sb.push(s.index());
             }
         }
         let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -161,8 +161,8 @@ impl DomTree {
         let frontier_raw = compute_frontiers(n, &preds, &idom_raw, entry);
 
         let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); n];
-        for b in 0..n {
-            if let Some(d) = idom_raw[b] {
+        for (b, id) in idom_raw.iter().enumerate() {
+            if let Some(d) = *id {
                 children[d].push(BlockId::new(b));
             }
         }
@@ -265,13 +265,13 @@ impl PostDomTree {
         // edge from virt. Also connect exit-free cycles to virt so every
         // block is reverse-reachable (needed for infinite server loops).
         let mut fwd_succs: Vec<Vec<usize>> = vec![Vec::new(); total];
-        for b in 0..n {
+        for (b, fs) in fwd_succs.iter_mut().enumerate().take(n) {
             let ss = f.successors(BlockId::new(b));
             if ss.is_empty() {
-                fwd_succs[b].push(virt);
+                fs.push(virt);
             } else {
                 for s in ss {
-                    fwd_succs[b].push(s.index());
+                    fs.push(s.index());
                 }
             }
         }
@@ -327,7 +327,9 @@ impl PostDomTree {
 
         PostDomTree {
             ipdom: (0..n)
-                .map(|b| idom_raw[b].and_then(|d| if d == virt { None } else { Some(BlockId::new(d)) }))
+                .map(|b| {
+                    idom_raw[b].and_then(|d| if d == virt { None } else { Some(BlockId::new(d)) })
+                })
                 .collect(),
             reaches_exit: (0..n).map(|b| reachable[b]).collect(),
             frontier: frontier_raw[..n]

@@ -64,9 +64,9 @@ pub fn globals_to_args(m: &mut Module) -> usize {
     // global; replace local `gaddr` of that global with the param.
     let mut rewritten = 0;
     let mut param_index: Vec<Vec<(GlobalId, u16)>> = vec![Vec::new(); n];
-    for fi in 0..n {
+    for (fi, &taken) in address_taken.iter().enumerate() {
         let fid = FuncId::new(fi);
-        if fid == main || needs[fid.index()].is_empty() || address_taken[fi] {
+        if fid == main || needs[fid.index()].is_empty() || taken {
             continue;
         }
         let globals: Vec<GlobalId> = needs[fid.index()].iter().copied().collect();
@@ -142,8 +142,7 @@ pub fn globals_to_args(m: &mut Module) -> usize {
             if fid == main {
                 main_gaddrs.iter().find(|(gg, _)| *gg == g).unwrap().1
             } else {
-                let (_, pi) =
-                    *param_index[fid.index()].iter().find(|(gg, _)| *gg == g).unwrap();
+                let (_, pi) = *param_index[fid.index()].iter().find(|(gg, _)| *gg == g).unwrap();
                 Value::Arg(pi)
             }
         };

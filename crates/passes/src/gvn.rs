@@ -96,7 +96,10 @@ pub fn gvn(f: &mut Function) -> bool {
                                 replace.insert(iid, *v);
                             }
                             None => {
-                                table.entry(key.clone()).or_default().push((depth, Value::Inst(iid)));
+                                table
+                                    .entry(key.clone())
+                                    .or_default()
+                                    .push((depth, Value::Inst(iid)));
                                 pushed.push(key);
                             }
                         }
@@ -301,10 +304,6 @@ bb0:
 "#,
             vec![],
         );
-        assert_eq!(
-            out.split("func @main").nth(1).unwrap().matches("load").count(),
-            2,
-            "{out}"
-        );
+        assert_eq!(out.split("func @main").nth(1).unwrap().matches("load").count(), 2, "{out}");
     }
 }

@@ -101,10 +101,7 @@ fn should_inline(m: &Module, cg: &CallGraph, callee: FuncId, opts: &InlineOption
         return false;
     }
     // A callee that never returns (infinite loop) cannot be spliced.
-    let has_ret = f
-        .inst_ids_in_layout()
-        .iter()
-        .any(|(_, i)| matches!(f.inst(*i).op, Op::Ret(_)));
+    let has_ret = f.inst_ids_in_layout().iter().any(|(_, i)| matches!(f.inst(*i).op, Op::Ret(_)));
     if !has_ret {
         return false;
     }
@@ -222,10 +219,8 @@ fn hoist_allocas(caller: &mut Function, from_block: BlockId) {
             let addr = if w == 0 {
                 Value::Inst(a)
             } else {
-                let gep = caller.create_inst(
-                    Op::Gep(Value::Inst(a), Value::imm32(w as i64), 4),
-                    Ty::Ptr,
-                );
+                let gep =
+                    caller.create_inst(Op::Gep(Value::Inst(a), Value::imm32(w as i64), 4), Ty::Ptr);
                 stores.push(gep);
                 Value::Inst(gep)
             };
@@ -383,7 +378,8 @@ bb0:
   ret %1
 }
 "#;
-        let tiny = InlineOptions { small_threshold: 2, single_site_threshold: 2, ..Default::default() };
+        let tiny =
+            InlineOptions { small_threshold: 2, single_site_threshold: 2, ..Default::default() };
         let (out, n) = check(src, vec![], tiny);
         assert_eq!(n, 0);
         assert!(out.contains("call"), "{out}");
@@ -408,7 +404,8 @@ bb0:
   ret %0
 }
 "#;
-        let opts = InlineOptions { small_threshold: 2, single_site_threshold: 50, ..Default::default() };
+        let opts =
+            InlineOptions { small_threshold: 2, single_site_threshold: 50, ..Default::default() };
         let (_, n) = check(src, vec![], opts);
         assert_eq!(n, 1);
     }

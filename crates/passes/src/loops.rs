@@ -67,7 +67,14 @@ impl LoopInfo {
                     }
                 }
             }
-            loops.push(Loop { header, blocks, parent: None, children: Vec::new(), depth: 0, latches });
+            loops.push(Loop {
+                header,
+                blocks,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+                latches,
+            });
         }
 
         // Nesting: sort by size ascending; parent = smallest strictly larger
@@ -160,11 +167,7 @@ impl LoopInfo {
     pub fn entry_preds(&self, f: &Function, l: usize) -> Vec<BlockId> {
         let lp = &self.loops[l];
         let preds = f.predecessors();
-        preds[lp.header.index()]
-            .iter()
-            .copied()
-            .filter(|p| !lp.blocks.contains(p))
-            .collect()
+        preds[lp.header.index()].iter().copied().filter(|p| !lp.blocks.contains(p)).collect()
     }
 
     /// The unique preheader: a single outside predecessor of the header
@@ -245,22 +248,16 @@ fn reroute_edges_through(f: &mut Function, preds: &[BlockId], target: BlockId, v
     use twill_ir::{Op, Ty};
     // For each phi in target, gather entries from `preds` and build a phi in
     // `via`; replace those entries with one entry (via, new_phi).
-    let phis: Vec<twill_ir::InstId> = f
-        .block(target)
-        .insts
-        .iter()
-        .copied()
-        .take_while(|&i| f.inst(i).op.is_phi())
-        .collect();
+    let phis: Vec<twill_ir::InstId> =
+        f.block(target).insts.iter().copied().take_while(|&i| f.inst(i).op.is_phi()).collect();
     for phi in phis {
         let (mut moved, ty): (Vec<(BlockId, twill_ir::Value)>, Ty) = {
             let inst = f.inst(phi);
             let ty = inst.ty;
             match &inst.op {
-                Op::Phi(incoming) => (
-                    incoming.iter().copied().filter(|(b, _)| preds.contains(b)).collect(),
-                    ty,
-                ),
+                Op::Phi(incoming) => {
+                    (incoming.iter().copied().filter(|(b, _)| preds.contains(b)).collect(), ty)
+                }
                 _ => unreachable!(),
             }
         };

@@ -66,13 +66,8 @@ pub fn lowerswitch(f: &mut Function) -> bool {
         targets.sort();
         targets.dedup();
         for t in targets {
-            let phis: Vec<twill_ir::InstId> = f
-                .block(t)
-                .insts
-                .iter()
-                .copied()
-                .take_while(|&i| f.inst(i).op.is_phi())
-                .collect();
+            let phis: Vec<twill_ir::InstId> =
+                f.block(t).insts.iter().copied().take_while(|&i| f.inst(i).op.is_phi()).collect();
             for phi in phis {
                 if let Op::Phi(incoming) = &mut f.inst_mut(phi).op {
                     if let Some(pos) = incoming.iter().position(|(p, _)| *p == b) {

@@ -60,9 +60,8 @@ pub fn mem2reg(f: &mut Function) -> bool {
 
     // 2. Renaming walk over the dominator tree.
     let nslots = candidates.len();
-    let mut stacks: Vec<Vec<Value>> = (0..nslots)
-        .map(|s| vec![Value::Imm(0, slot_ty[s])])
-        .collect();
+    let mut stacks: Vec<Vec<Value>> =
+        (0..nslots).map(|s| vec![Value::Imm(0, slot_ty[s])]).collect();
     let mut replace: Vec<(Value, Value)> = Vec::new(); // (load result, value)
     let mut dead: HashSet<InstId> = HashSet::new();
     let mut phi_incoming: HashMap<InstId, Vec<(BlockId, Value)>> = HashMap::new();
@@ -93,22 +92,18 @@ pub fn mem2reg(f: &mut Function) -> bool {
                         }
                     }
                 }
-                Op::Load(addr) => {
-                    if let Value::Inst(a) = addr {
-                        if let Some(&slot) = slot_of.get(a) {
-                            let cur = *stacks[slot].last().unwrap();
-                            replace.push((Value::Inst(iid), cur));
-                            dead.insert(iid);
-                        }
+                Op::Load(Value::Inst(a)) => {
+                    if let Some(&slot) = slot_of.get(a) {
+                        let cur = *stacks[slot].last().unwrap();
+                        replace.push((Value::Inst(iid), cur));
+                        dead.insert(iid);
                     }
                 }
-                Op::Store(v, addr) => {
-                    if let Value::Inst(a) = addr {
-                        if let Some(&slot) = slot_of.get(a) {
-                            stacks[slot].push(*v);
-                            pushed[slot] += 1;
-                            dead.insert(iid);
-                        }
+                Op::Store(v, Value::Inst(a)) => {
+                    if let Some(&slot) = slot_of.get(a) {
+                        stacks[slot].push(*v);
+                        pushed[slot] += 1;
+                        dead.insert(iid);
                     }
                 }
                 _ => {}

@@ -1,0 +1,122 @@
+//! Deterministic per-function fan-out.
+//!
+//! The preparation pipeline and the HLS scheduler both contain
+//! embarrassingly-parallel per-function loops: every transform/schedule
+//! touches exactly one `Function` and reads nothing mutable outside it.
+//! This module provides the one fan-out primitive both use, built on
+//! `std::thread::scope` so it needs no external runtime.
+//!
+//! Determinism is by construction: work is split into contiguous chunks in
+//! function-table order, each item's result depends only on that item, and
+//! results land at the item's original index. The output is therefore
+//! byte-identical to the serial loop regardless of thread count or
+//! interleaving — a property the differential test-suite relies on (see
+//! `parallel_matches_serial` in the pass and HLS test suites).
+
+/// Threads to use by default: one per available core, capped — the
+/// per-function chunks are coarse, so more fan-out than cores only adds
+/// spawn overhead.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+}
+
+/// Run `f` on every element, mutating in place, fanned out over `threads`
+/// OS threads. `threads <= 1` (or tiny inputs) runs the plain serial loop.
+pub fn par_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for slice in items.chunks_mut(chunk) {
+            scope.spawn(|| {
+                for item in slice {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// Map every element through `f`, preserving order, fanned out over
+/// `threads` OS threads. `threads <= 1` (or tiny inputs) maps serially.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (chunk_idx, (slice_in, slice_out)) in
+            items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            let base = chunk_idx * chunk;
+            let f = &f;
+            scope.spawn(move || {
+                for (off, (item, slot)) in slice_in.iter().zip(slice_out.iter_mut()).enumerate() {
+                    *slot = Some(f(base + off, item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("par_map slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_each_matches_serial() {
+        let mut serial: Vec<u64> = (0..97).collect();
+        let mut parallel = serial.clone();
+        let work = |x: &mut u64| {
+            for _ in 0..10 {
+                *x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+        };
+        for x in &mut serial {
+            work(x);
+        }
+        par_each_mut(&mut parallel, 5, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_indices() {
+        let items: Vec<u32> = (0..53).collect();
+        let serial: Vec<(usize, u32)> =
+            items.iter().enumerate().map(|(i, &x)| (i, x * 3)).collect();
+        let parallel = par_map(&items, 4, |i, &x| (i, x * 3));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let mut empty: Vec<u8> = vec![];
+        par_each_mut(&mut empty, 4, |_| unreachable!());
+        assert!(par_map(&empty, 4, |_, x: &u8| *x).is_empty());
+        let one = vec![7u8];
+        assert_eq!(par_map(&one, 4, |i, x| (i, *x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn zst_items_do_not_divide_by_zero() {
+        let items = vec![(), (), ()];
+        assert_eq!(par_map(&items, 2, |i, _| i), vec![0, 1, 2]);
+    }
+}

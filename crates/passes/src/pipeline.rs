@@ -12,21 +12,28 @@
 
 use twill_ir::Module;
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct PipelineOptions {
     pub inline: crate::inline::InlineOptions,
     /// Verify SSA validity between stages (on in tests, off in benches).
     pub verify_between: bool,
 }
 
-impl Default for PipelineOptions {
-    fn default() -> Self {
-        PipelineOptions { inline: Default::default(), verify_between: cfg!(debug_assertions) }
-    }
+/// Run the full preparation pipeline in place.
+///
+/// Per-function stages fan out over [`crate::par::default_threads`] worker
+/// threads; module-level stages (inlining, global passes, DCE) stay serial
+/// barriers between them. The result is byte-identical to the serial
+/// pipeline — see [`run_standard_pipeline_threads`].
+pub fn run_standard_pipeline(m: &mut Module, opts: &PipelineOptions) {
+    run_standard_pipeline_threads(m, opts, crate::par::default_threads());
 }
 
-/// Run the full preparation pipeline in place.
-pub fn run_standard_pipeline(m: &mut Module, opts: &PipelineOptions) {
+/// [`run_standard_pipeline`] with an explicit fan-out width. `threads == 1`
+/// is the reference serial pipeline; any other width must produce
+/// byte-identical IR (each per-function pass reads and writes exactly one
+/// function, so scheduling cannot change the result).
+pub fn run_standard_pipeline_threads(m: &mut Module, opts: &PipelineOptions, threads: usize) {
     let verify = |m: &Module, stage: &str| {
         if opts.verify_between {
             let errs = twill_ir::verifier::verify_module(m);
@@ -47,19 +54,19 @@ pub fn run_standard_pipeline(m: &mut Module, opts: &PipelineOptions) {
         }
     };
 
-    for f in &mut m.funcs {
+    crate::par::par_each_mut(&mut m.funcs, threads, |f| {
         crate::mem2reg::mem2reg(f);
-    }
+    });
     verify(m, "mem2reg");
 
-    for f in &mut m.funcs {
+    crate::par::par_each_mut(&mut m.funcs, threads, |f| {
         crate::mergereturn::mergereturn(f);
-    }
+    });
     verify(m, "mergereturn");
 
-    for f in &mut m.funcs {
+    crate::par::par_each_mut(&mut m.funcs, threads, |f| {
         crate::lowerswitch::lowerswitch(f);
-    }
+    });
     verify(m, "lowerswitch");
 
     crate::inline::inline_module(m, opts.inline);
@@ -67,21 +74,21 @@ pub fn run_standard_pipeline(m: &mut Module, opts: &PipelineOptions) {
     crate::dce::remove_dead_functions(m);
     verify(m, "remove-dead-functions");
 
-    for f in &mut m.funcs {
+    crate::par::par_each_mut(&mut m.funcs, threads, |f| {
         crate::simplifycfg::simplifycfg(f);
         crate::ifconvert::ifconvert(f);
         crate::simplifycfg::simplifycfg(f);
         crate::constfold::constfold(f);
         crate::gvn::gvn(f);
-    }
+    });
     verify(m, "simplifycfg+ifconvert+constfold+gvn");
 
     crate::dce::dce_module(m);
     verify(m, "adce");
 
-    for f in &mut m.funcs {
+    crate::par::par_each_mut(&mut m.funcs, threads, |f| {
         crate::loops::loop_simplify(f);
-    }
+    });
     verify(m, "loop-simplify");
 
     // Custom pass: globals to arguments (thesis §5.2 first custom pass).
@@ -91,18 +98,18 @@ pub fn run_standard_pipeline(m: &mut Module, opts: &PipelineOptions) {
     // Cleanups the thesis runs after the globals pass.
     crate::globals2args::dead_arg_elim(m);
     verify(m, "deadargelim");
-    for f in &mut m.funcs {
+    crate::par::par_each_mut(&mut m.funcs, threads, |f| {
         crate::constfold::constfold(f);
         crate::simplifycfg::simplifycfg(f);
-    }
+    });
     crate::dce::dce_module(m);
     verify(m, "final-cleanup");
     // mergereturn may have been undone by simplifycfg merging; re-establish
     // the unique-return invariant the DSWP extractor wants.
-    for f in &mut m.funcs {
+    crate::par::par_each_mut(&mut m.funcs, threads, |f| {
         crate::mergereturn::mergereturn(f);
         crate::loops::loop_simplify(f);
-    }
+    });
     verify(m, "re-normalize");
 }
 
@@ -155,7 +162,10 @@ bb3:
         twill_ir::layout::assign_global_addrs(&mut m);
         let (before, rb, steps_before) =
             twill_ir::interp::run_main(&m, vec![], 10_000_000).unwrap();
-        run_standard_pipeline(&mut m, &PipelineOptions { verify_between: true, ..Default::default() });
+        run_standard_pipeline(
+            &mut m,
+            &PipelineOptions { verify_between: true, ..Default::default() },
+        );
         crate::utils::assert_valid_ssa(&m);
         let (after, ra, steps_after) = twill_ir::interp::run_main(&m, vec![], 10_000_000).unwrap();
         assert_eq!(before, after);
@@ -168,11 +178,32 @@ bb3:
     fn pipeline_promotes_and_inlines() {
         let mut m = parse_module(PROGRAM).unwrap();
         twill_ir::layout::assign_global_addrs(&mut m);
-        run_standard_pipeline(&mut m, &PipelineOptions { verify_between: true, ..Default::default() });
+        run_standard_pipeline(
+            &mut m,
+            &PipelineOptions { verify_between: true, ..Default::default() },
+        );
         let text = twill_ir::printer::print_module(&m);
         assert!(!text.contains("alloca"), "{text}");
         // @step is small: inlined, then removed as dead.
         assert!(m.find_func("step").is_none(), "{text}");
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let mut seed = parse_module(PROGRAM).unwrap();
+        twill_ir::layout::assign_global_addrs(&mut seed);
+        let mut serial = seed.clone();
+        run_standard_pipeline_threads(&mut serial, &Default::default(), 1);
+        let reference = twill_ir::printer::print_module(&serial);
+        for threads in [2usize, 3, 8] {
+            let mut m = seed.clone();
+            run_standard_pipeline_threads(&mut m, &Default::default(), threads);
+            assert_eq!(
+                twill_ir::printer::print_module(&m),
+                reference,
+                "pipeline output diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

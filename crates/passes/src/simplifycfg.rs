@@ -107,11 +107,8 @@ fn merge_into_predecessor(f: &mut Function) -> bool {
         f.block_mut(p).insts.extend(tail);
         f.block_mut(s).insts.clear();
         // Phis in s's successors referring to s must now refer to p.
-        let succs_of_s: Vec<BlockId> = f
-            .block(p)
-            .terminator()
-            .map(|t| f.inst(t).op.successors())
-            .unwrap_or_default();
+        let succs_of_s: Vec<BlockId> =
+            f.block(p).terminator().map(|t| f.inst(t).op.successors()).unwrap_or_default();
         for t in succs_of_s {
             crate::utils::retarget_phi_pred(f, t, s, p);
         }
@@ -147,18 +144,9 @@ fn forward_empty_blocks(f: &mut Function) -> bool {
         // Check safety for each pred: after forwarding, `t`'s phis must be
         // unambiguous. If t has phis, require that no pred of e is already
         // a predecessor of t, and that each pred appears only once.
-        let t_has_phis = f
-            .block(t)
-            .insts
-            .first()
-            .map(|&i| f.inst(i).op.is_phi())
-            .unwrap_or(false);
+        let t_has_phis = f.block(t).insts.first().map(|&i| f.inst(i).op.is_phi()).unwrap_or(false);
         if t_has_phis {
-            let t_preds: HashSet<BlockId> = f
-                .predecessors()[t.index()]
-                .iter()
-                .copied()
-                .collect();
+            let t_preds: HashSet<BlockId> = f.predecessors()[t.index()].iter().copied().collect();
             let mut uniq = HashSet::new();
             if ps.iter().any(|p| t_preds.contains(p) || !uniq.insert(*p)) {
                 continue;

@@ -23,8 +23,7 @@ pub fn reachable_blocks(f: &Function) -> Vec<bool> {
 pub fn rpo(f: &Function) -> Vec<BlockId> {
     let mut state = vec![0u8; f.blocks.len()];
     let mut order = Vec::new();
-    let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> =
-        vec![(f.entry, f.successors(f.entry), 0)];
+    let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> = vec![(f.entry, f.successors(f.entry), 0)];
     state[f.entry.index()] = 1;
     while let Some((b, succs, idx)) = stack.last_mut() {
         if *idx < succs.len() {
@@ -52,10 +51,8 @@ pub fn remove_unreachable_blocks(f: &mut Function) -> bool {
         return false;
     }
     // First drop phi entries whose predecessor is being removed.
-    let removed: HashSet<BlockId> = (0..f.blocks.len())
-        .filter(|&i| !keep[i])
-        .map(BlockId::new)
-        .collect();
+    let removed: HashSet<BlockId> =
+        (0..f.blocks.len()).filter(|&i| !keep[i]).map(BlockId::new).collect();
     for inst in &mut f.insts {
         if let Op::Phi(incoming) = &mut inst.op {
             incoming.retain(|(b, _)| !removed.contains(b));
@@ -209,11 +206,7 @@ pub fn verify_dominance(f: &Function) -> Vec<String> {
                             return;
                         }
                     };
-                    let ok = if db == b {
-                        pos[&d] < pos[&iid]
-                    } else {
-                        dt.dominates(db, b)
-                    };
+                    let ok = if db == b { pos[&d] < pos[&iid] } else { dt.dominates(db, b) };
                     if !ok {
                         errs.push(format!("{iid} in {b}: use of {d} (def in {db}) not dominated"));
                     }

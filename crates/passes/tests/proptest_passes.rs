@@ -2,7 +2,7 @@
 //! behaviour of randomly generated straight-line + branchy IR programs.
 
 use proptest::prelude::*;
-use twill_ir::{FuncBuilder, BinOp, CmpOp, Module, Ty, Value};
+use twill_ir::{BinOp, CmpOp, FuncBuilder, Module, Ty, Value};
 
 /// Build a random module: a main that computes over two inputs with a
 /// diamond and a bounded loop, parameterized by generated op codes.

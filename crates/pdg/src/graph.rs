@@ -116,12 +116,12 @@ impl Pdg {
         // Block-to-block CFG reachability (small graphs; O(V·E) BFS).
         let nb = f.blocks.len();
         let mut reach: Vec<Vec<bool>> = vec![vec![false; nb]; nb];
-        for start in 0..nb {
+        for (start, row) in reach.iter_mut().enumerate() {
             let mut stack = vec![twill_ir::BlockId::new(start)];
             while let Some(b) = stack.pop() {
                 for s in f.successors(b) {
-                    if !reach[start][s.index()] {
-                        reach[start][s.index()] = true;
+                    if !row[s.index()] {
+                        row[s.index()] = true;
                         stack.push(s);
                     }
                 }
@@ -163,7 +163,9 @@ impl Pdg {
             use MemKind::*;
             match (a, b) {
                 // Two reads never conflict.
-                (Load(_), Load(_)) | (CallRead, CallRead) | (Load(_), CallRead)
+                (Load(_), Load(_))
+                | (CallRead, CallRead)
+                | (Load(_), CallRead)
                 | (CallRead, Load(_)) => false,
                 // IO is a totally ordered stream.
                 (Io, Io) => true,
@@ -233,11 +235,8 @@ impl Pdg {
                 }
             }
         }
-        let acyclic: Vec<(usize, usize)> = mem_edges
-            .iter()
-            .copied()
-            .filter(|&(t, h)| !mem_edges.contains(&(h, t)))
-            .collect();
+        let acyclic: Vec<(usize, usize)> =
+            mem_edges.iter().copied().filter(|&(t, h)| !mem_edges.contains(&(h, t))).collect();
         if acyclic.is_empty() {
             return;
         }
@@ -499,9 +498,7 @@ bb2:
 
     #[test]
     fn io_stream_is_ordered() {
-        let (m, pdg) = build(
-            "func @f() -> void {\nbb0:\n  out 1:i32\n  out 2:i32\n  ret\n}\n",
-        );
+        let (m, pdg) = build("func @f() -> void {\nbb0:\n  out 1:i32\n  out 2:i32\n  ret\n}\n");
         let f = &m.funcs[0];
         assert!(has_edge(&pdg, f, InstId(0), InstId(1), DepKind::Memory));
     }
@@ -612,9 +609,8 @@ bb3:
 
     #[test]
     fn stats_count_kinds() {
-        let (_, pdg) = build(
-            "func @f() -> i32 {\nbb0:\n  %0 = add i32 1:i32, 2:i32\n  ret %0\n}\n",
-        );
+        let (_, pdg) =
+            build("func @f() -> i32 {\nbb0:\n  %0 = add i32 1:i32, 2:i32\n  ret %0\n}\n");
         let s = stats(&pdg);
         assert_eq!(s.nodes, 2);
         assert_eq!(s.data_edges, 1);

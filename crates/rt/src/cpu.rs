@@ -133,11 +133,7 @@ impl Cpu {
         }
 
         // Step the interpreter with the bus adapter.
-        let mut adapter = CpuRt {
-            shared,
-            pending: &mut self.pending,
-            ready: &mut self.ready,
-        };
+        let mut adapter = CpuRt { shared, pending: &mut self.pending, ready: &mut self.ready };
         let mut mem = std::mem::take(&mut adapter.shared.mem);
         let ev = t.interp.step(m, &mut mem, &mut adapter);
         // Restore memory.

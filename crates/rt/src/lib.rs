@@ -33,5 +33,6 @@ pub mod system;
 
 pub use shared::{format_trace, Shared, SimStats, TraceEvent};
 pub use system::{
-    simulate_hybrid, simulate_pure_hw, simulate_pure_sw, SimConfig, SimError, SimReport,
+    simulate_hybrid, simulate_hybrid_scheduled, simulate_pure_hw, simulate_pure_hw_scheduled,
+    simulate_pure_sw, SimConfig, SimError, SimReport,
 };

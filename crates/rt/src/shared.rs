@@ -457,10 +457,8 @@ mod tests {
     fn memory_bus_read_two_write_one() {
         let m = Module::new("t");
         let mut s = Shared::new(&m, 0x10000, vec![], 0, None, 1);
-        let w = s.start_op(
-            OpKind::MemStore(0x2000, Ty::I32, 0xBEEF),
-            twill_ir::cost::HW_STORE_LATENCY,
-        );
+        let w =
+            s.start_op(OpKind::MemStore(0x2000, Ty::I32, 0xBEEF), twill_ir::cost::HW_STORE_LATENCY);
         let (_, wc) = run_to_done(&mut s, w, 10);
         assert_eq!(wc, 1, "store takes one cycle");
         let r = s.start_op(OpKind::MemLoad(0x2000, Ty::I32), twill_ir::cost::HW_LOAD_LATENCY);

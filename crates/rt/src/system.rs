@@ -77,12 +77,8 @@ impl std::error::Error for SimError {}
 
 /// Carve per-thread stack regions out of the memory above the globals.
 fn stack_regions(m: &Module, mem_size: u32, n: usize) -> Vec<(u32, u32)> {
-    let globals_end = m
-        .globals
-        .iter()
-        .map(|g| g.addr + g.size)
-        .max()
-        .unwrap_or(layout::GLOBAL_BASE);
+    let globals_end =
+        m.globals.iter().map(|g| g.addr + g.size).max().unwrap_or(layout::GLOBAL_BASE);
     let base = (globals_end + 63) & !63;
     let region = ((mem_size - base) / (n as u32).max(1)) & !63;
     (0..n)
@@ -120,20 +116,34 @@ pub fn simulate_pure_sw(
 
 /// Pure-hardware configuration: the LegUp translation of the whole program
 /// as a single hardware thread (the thesis' pure-HW baseline).
+///
+/// Schedules the module with `cfg.hls` on every call; sweep drivers that
+/// already hold a schedule should use [`simulate_pure_hw_scheduled`].
 pub fn simulate_pure_hw(
     m: &Module,
     input: Vec<i32>,
     cfg: &SimConfig,
 ) -> Result<SimReport, SimError> {
-    let main = m.find_func("main").expect("needs @main");
     let sched = schedule_module(m, &cfg.hls);
+    simulate_pure_hw_scheduled(m, &sched, input, cfg)
+}
+
+/// [`simulate_pure_hw`] with a caller-supplied schedule (must have been
+/// produced from `m`; HLS is not re-run).
+pub fn simulate_pure_hw_scheduled(
+    m: &Module,
+    sched: &ModuleSchedule,
+    input: Vec<i32>,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    let main = m.find_func("main").expect("needs @main");
     let stacks = stack_regions(m, cfg.mem_size, 1);
     let mut shared = Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, 1);
     if cfg.trace_events > 0 {
         shared.enable_trace(cfg.trace_events);
     }
     let mut hw = vec![HwThread::new(0, m, main, stacks[0])];
-    run_loop(m, Some(&sched), &mut shared, None, &mut hw, cfg)?;
+    run_loop(m, Some(sched), &mut shared, None, &mut hw, cfg)?;
     let cycles = shared.cycle;
     Ok(SimReport {
         cycles,
@@ -146,25 +156,34 @@ pub fn simulate_pure_hw(
 }
 
 /// The Twill hybrid: partition 0 on the CPU, the rest as HW threads.
+///
+/// Schedules the partitioned module with `cfg.hls` on every call; sweep
+/// drivers that already hold a schedule should use
+/// [`simulate_hybrid_scheduled`].
 pub fn simulate_hybrid(
     dswp: &DswpResult,
     input: Vec<i32>,
     cfg: &SimConfig,
 ) -> Result<SimReport, SimError> {
+    let sched = schedule_module(&dswp.module, &cfg.hls);
+    simulate_hybrid_scheduled(dswp, &sched, input, cfg)
+}
+
+/// [`simulate_hybrid`] with a caller-supplied schedule of `dswp.module`
+/// (HLS is not re-run).
+pub fn simulate_hybrid_scheduled(
+    dswp: &DswpResult,
+    sched: &ModuleSchedule,
+    input: Vec<i32>,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
     let m = &dswp.module;
-    let sched = schedule_module(m, &cfg.hls);
-    let sw_entries: Vec<twill_ir::FuncId> = dswp
-        .threads
-        .iter()
-        .filter(|t| !t.is_hw)
-        .map(|t| t.entry)
-        .collect();
-    let hw_specs: Vec<&twill_dswp::ThreadSpec> =
-        dswp.threads.iter().filter(|t| t.is_hw).collect();
+    let sw_entries: Vec<twill_ir::FuncId> =
+        dswp.threads.iter().filter(|t| !t.is_hw).map(|t| t.entry).collect();
+    let hw_specs: Vec<&twill_dswp::ThreadSpec> = dswp.threads.iter().filter(|t| t.is_hw).collect();
     let total = sw_entries.len() + hw_specs.len();
     let stacks = stack_regions(m, cfg.mem_size, total);
-    let mut shared =
-        Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, total);
+    let mut shared = Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, total);
     if cfg.trace_events > 0 {
         shared.enable_trace(cfg.trace_events);
     }
@@ -182,7 +201,7 @@ pub fn simulate_hybrid(
             h
         })
         .collect();
-    run_loop(m, Some(&sched), &mut shared, Some(&mut cpu), &mut hw, cfg)?;
+    run_loop(m, Some(sched), &mut shared, Some(&mut cpu), &mut hw, cfg)?;
     let cycles = shared.cycle;
     Ok(SimReport {
         cycles,
@@ -296,12 +315,7 @@ int main() {
         let sw = simulate_pure_sw(&m, vec![], &SimConfig::default()).unwrap();
         let hw = simulate_pure_hw(&m, vec![], &SimConfig::default()).unwrap();
         assert_eq!(hw.output, expect);
-        assert!(
-            hw.cycles < sw.cycles,
-            "HW ({}) should beat SW ({})",
-            hw.cycles,
-            sw.cycles
-        );
+        assert!(hw.cycles < sw.cycles, "HW ({}) should beat SW ({})", hw.cycles, sw.cycles);
     }
 
     #[test]
@@ -330,12 +344,9 @@ int main() {
         );
         assert!(d.stats.queues > 0, "expected queue traffic");
         let fast = simulate_hybrid(&d, vec![], &SimConfig::default()).unwrap();
-        let slow = simulate_hybrid(
-            &d,
-            vec![],
-            &SimConfig { queue_latency: 128, ..Default::default() },
-        )
-        .unwrap();
+        let slow =
+            simulate_hybrid(&d, vec![], &SimConfig { queue_latency: 128, ..Default::default() })
+                .unwrap();
         assert_eq!(fast.output, slow.output);
         assert!(slow.cycles > fast.cycles, "{} !> {}", slow.cycles, fast.cycles);
     }
@@ -345,12 +356,9 @@ int main() {
         let m = prepare(PROGRAM);
         let d = run_dswp(&m, &DswpOptions { num_partitions: 3, ..Default::default() });
         let base = simulate_hybrid(&d, vec![], &SimConfig::default()).unwrap();
-        let tiny = simulate_hybrid(
-            &d,
-            vec![],
-            &SimConfig { queue_depth: Some(2), ..Default::default() },
-        )
-        .unwrap();
+        let tiny =
+            simulate_hybrid(&d, vec![], &SimConfig { queue_depth: Some(2), ..Default::default() })
+                .unwrap();
         assert_eq!(base.output, tiny.output);
         assert!(tiny.cycles >= base.cycles);
     }

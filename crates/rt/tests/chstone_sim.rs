@@ -16,8 +16,7 @@ fn all_benchmarks_all_configs_correct() {
     for b in chstone::all() {
         let m = chstone::compile_and_prepare(&b);
         let input = chstone::input_for(b.name, b.default_scale);
-        let (expect, _, _) =
-            twill_ir::interp::run_main(&m, input.clone(), 2_000_000_000).unwrap();
+        let (expect, _, _) = twill_ir::interp::run_main(&m, input.clone(), 2_000_000_000).unwrap();
 
         let sw = simulate_pure_sw(&m, input.clone(), &cfg)
             .unwrap_or_else(|e| panic!("{} sw: {e}", b.name));
@@ -28,8 +27,8 @@ fn all_benchmarks_all_configs_correct() {
         assert_eq!(hw.output, expect, "{} pure-HW output", b.name);
 
         let d = run_dswp(&m, &DswpOptions { num_partitions: b.partitions, ..Default::default() });
-        let tw = simulate_hybrid(&d, input, &cfg)
-            .unwrap_or_else(|e| panic!("{} hybrid: {e}", b.name));
+        let tw =
+            simulate_hybrid(&d, input, &cfg).unwrap_or_else(|e| panic!("{} hybrid: {e}", b.name));
         assert_eq!(tw.output, expect, "{} hybrid output", b.name);
 
         let s_sw = sw.cycles as f64;

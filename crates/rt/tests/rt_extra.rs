@@ -3,7 +3,7 @@
 
 use twill_rt::cpu::Cpu;
 use twill_rt::hwthread::Progress;
-use twill_rt::{simulate_hybrid, SimConfig, Shared};
+use twill_rt::{simulate_hybrid, Shared, SimConfig};
 
 /// Producer/consumer pair as two *software* threads sharing the CPU —
 /// exercises the round-robin scheduler with context switches (§4.4).
@@ -82,8 +82,7 @@ fn stats_track_queue_occupancy_and_agents() {
         &m,
         &twill_dswp::DswpOptions { num_partitions: b.partitions, ..Default::default() },
     );
-    let rep =
-        simulate_hybrid(&d, chstone::input_for(b.name, 2), &SimConfig::default()).unwrap();
+    let rep = simulate_hybrid(&d, chstone::input_for(b.name, 2), &SimConfig::default()).unwrap();
     assert!(rep.stats.queue_peak.iter().any(|&p| p > 0), "queues saw traffic");
     assert!(rep.stats.queue_peak.iter().all(|&p| p <= 8), "depth-8 bound respected");
     let busy: u64 = rep.stats.agent_busy.iter().sum();
@@ -129,10 +128,7 @@ int main() {
         assert!(w[0].cycle() <= w[1].cycle());
     }
     // The out() of the result appears in the trace.
-    assert!(rep
-        .trace
-        .iter()
-        .any(|e| matches!(e, twill_rt::TraceEvent::Out(_, _))));
+    assert!(rep.trace.iter().any(|e| matches!(e, twill_rt::TraceEvent::Out(_, _))));
     // Text rendering works.
     let text = twill_rt::format_trace(&rep.trace);
     assert!(text.contains("enq") || text.contains("out"), "{text}");

@@ -72,9 +72,5 @@ fn main() {
         sw.cycles as f64 / tw.cycles as f64
     );
     println!("cpu busy fraction: {:.2}", tw.cpu_busy_fraction);
-    println!(
-        "hardware threads: {}, queues: {}",
-        build.stats().hw_threads,
-        build.stats().queues
-    );
+    println!("hardware threads: {}, queues: {}", build.stats().hw_threads, build.stats().queues);
 }

@@ -21,7 +21,7 @@ fn main() {
     let build = Compiler::new().partitions(3).compile("codegen", SOURCE).expect("compile");
 
     println!("== FSM schedules (partitioned module) ==");
-    for (fs, f) in build.hybrid_schedule.funcs.iter().zip(&build.dswp.module.funcs) {
+    for (fs, f) in build.hybrid_schedule().funcs.iter().zip(&build.dswp().module.funcs) {
         if f.live_inst_count() <= 1 {
             continue;
         }

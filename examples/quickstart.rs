@@ -33,10 +33,7 @@ int main() {
 "#;
 
 fn main() {
-    let build = Compiler::new()
-        .partitions(4)
-        .compile("quickstart", SOURCE)
-        .expect("compile");
+    let build = Compiler::new().partitions(4).compile("quickstart", SOURCE).expect("compile");
 
     // Workload: 256 pseudo-random samples.
     let mut input = vec![256];

@@ -1,0 +1,128 @@
+//! Case runner and deterministic RNG.
+
+/// Runner configuration. Only the knobs the test suite touches.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Give up if this many cases in a row are rejected by `prop_assume!`.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 1024 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Deterministic SplitMix64 stream. Each case gets its own seed derived
+/// from (test name, case index), so failures replay bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9E3779B97F4A7C15 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive), for values that fit in i128.
+    pub fn in_range(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo + 1) as u128;
+        lo + (self.next_u64() as u128 % span) as i128
+    }
+
+    /// Uniform in `[lo, hi]` for unsigned bounds.
+    pub fn below_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        self.in_range(lo as i128, hi as i128) as u64
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Drive `body` until `config.cases` cases pass, a case fails, or too many
+/// consecutive cases are rejected.
+pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(test_name.as_bytes());
+    let mut passed: u32 = 0;
+    let mut attempt: u64 = 0;
+    let mut consecutive_rejects: u32 = 0;
+    while passed < config.cases {
+        let seed = base ^ attempt.wrapping_mul(0xA24BAED4963EE407);
+        let mut rng = TestRng::from_seed(seed);
+        match body(&mut rng) {
+            Ok(()) => {
+                passed += 1;
+                consecutive_rejects = 0;
+            }
+            Err(TestCaseError::Reject(_)) => {
+                consecutive_rejects += 1;
+                if consecutive_rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest '{test_name}': too many consecutive rejects \
+                         ({consecutive_rejects}) — assumption is unsatisfiable"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{test_name}' found a minimal-ish failing case \
+                     (case {attempt}, seed {seed:#x}):\n{msg}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}

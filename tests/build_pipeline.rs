@@ -1,0 +1,154 @@
+//! The staged artifact pipeline: laziness, memoization, cold-vs-warm
+//! equivalence, and parallel-vs-serial determinism.
+//!
+//! These tests pin down the contract of `twill::artifacts::BuildGraph`:
+//! * a Fig 6.5-style sweep runs frontend/passes/DSWP/HLS exactly once,
+//! * the pure-HW (LegUp) schedule is never computed unless demanded,
+//! * a warm build off a shared graph produces bit-identical results to a
+//!   cold from-scratch compile while doing zero new stage work,
+//! * the parallel per-function pipeline/scheduler match the serial ones
+//!   byte-for-byte on randomized programs.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use twill::artifacts::BuildGraph;
+use twill::Compiler;
+
+/// A program with enough structure to produce queues and HW threads.
+const SRC: &str = r#"
+int mix(int x, int y) {
+  int a = x;
+  for (int j = 0; j < 10; j++) {
+    a = a + ((y ^ j) * 7 % 129);
+  }
+  return a;
+}
+int main() {
+  int acc = 1;
+  for (int i = 0; i < 24; i++) {
+    acc = acc + mix(acc, i) % 1009;
+  }
+  out(acc);
+  return 0;
+}
+"#;
+
+#[test]
+fn fig_6_5_style_sweep_compiles_each_stage_once() {
+    let b = Compiler::new().partitions(2).compile("sweep", SRC).unwrap();
+    let g = b.graph().clone();
+    // compile() only forces the frontend (to surface errors eagerly).
+    let c = g.counters();
+    assert_eq!((c.frontend, c.passes, c.dswp, c.hls), (1, 0, 0, 0));
+
+    // Pure-SW simulation needs the prepared module only.
+    let sw = b.simulate_pure_sw(vec![]).unwrap();
+    let c = g.counters();
+    assert_eq!((c.passes, c.dswp, c.hls), (1, 0, 0));
+
+    // The Fig 6.5 sweep: seven queue-latency points over one build. Only
+    // the simulation varies — every compile stage must be reused.
+    for lat in [2u32, 4, 8, 16, 32, 64, 128] {
+        let cfg = twill::SimulationConfig { queue_latency: lat, ..b.sim_config() };
+        let rep = b.simulate_hybrid_with(vec![], &cfg).unwrap();
+        assert_eq!(rep.output, sw.output, "latency {lat} diverged");
+    }
+    let c = g.counters();
+    assert_eq!(
+        (c.frontend, c.passes, c.dswp, c.hls),
+        (1, 1, 1, 1),
+        "sweep must run each upstream stage exactly once: {c:?}"
+    );
+
+    // The pure-HW (LegUp) schedule was never demanded, so it never ran —
+    // the old eager build computed it even for hybrid-only callers.
+    let _ = b.simulate_pure_hw(vec![]).unwrap();
+    assert_eq!(g.counters().hls, 2, "pure-HW schedule runs only once demanded");
+}
+
+#[test]
+fn chstone_cold_and_warm_builds_identical() {
+    let bench = chstone::by_name("mips").unwrap();
+    let inp = chstone::input_for(bench.name, 1);
+
+    // Cold: compile from scratch, no shared graph.
+    let cold = Compiler::new()
+        .partitions(bench.partitions)
+        .build_from_module(chstone::compile_and_prepare(&bench));
+    let cold_rep = cold.simulate_hybrid(inp.clone()).unwrap();
+    let cold_stats = format!("{:?}", cold.stats());
+    let cold_verilog = cold.verilog();
+
+    // Warm: a second build on a graph whose artifacts a first build
+    // already forced.
+    let graph =
+        Arc::new(BuildGraph::from_prepared(bench.name, chstone::compile_and_prepare(&bench)));
+    let first = Compiler::new().partitions(bench.partitions).build_on(&graph);
+    let _ = first.simulate_hybrid(inp.clone()).unwrap();
+    let _ = first.verilog();
+    let after_first = graph.counters();
+
+    let warm = Compiler::new().partitions(bench.partitions).build_on(&graph);
+    let warm_rep = warm.simulate_hybrid(inp).unwrap();
+    let warm_verilog = warm.verilog();
+    assert_eq!(
+        graph.counters(),
+        after_first,
+        "the warm build must be served entirely from the artifact cache"
+    );
+    assert_eq!(warm_rep.cycles, cold_rep.cycles);
+    assert_eq!(warm_rep.output, cold_rep.output);
+    assert_eq!(format!("{:?}", warm.stats()), cold_stats);
+    assert_eq!(*warm_verilog, *cold_verilog);
+}
+
+/// Small random mini-C programs: several independent functions so the
+/// per-function fan-out has real chunks to split.
+fn gen_source(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nfuncs = rng.gen_range(2..6usize);
+    let mut src = String::new();
+    for i in 0..nfuncs {
+        src.push_str(&format!(
+            "int f{i}(int x, int y) {{\n  int a = x + {};\n  for (int j = 0; j < {}; j++) {{\n    a = a + ((y ^ j) * {} % 257);\n  }}\n  return a;\n}}\n",
+            rng.gen_range(-50..50),
+            rng.gen_range(1..12),
+            rng.gen_range(1..9),
+        ));
+    }
+    src.push_str("int main() {\n  int acc = 1;\n");
+    for i in 0..nfuncs {
+        src.push_str(&format!("  acc = acc + f{i}(acc, {});\n", rng.gen_range(-20..20)));
+    }
+    src.push_str("  out(acc);\n  return 0;\n}\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The parallel pipeline and scheduler are byte-identical to serial.
+    #[test]
+    fn parallel_build_matches_serial(seed in 0u64..(1u64 << 48)) {
+        let src = gen_source(seed);
+        let hls = twill_hls::schedule::HlsOptions::default();
+        let build = |threads: usize| {
+            let g = BuildGraph::from_source("p", &src, false, Default::default())
+                .threads(threads);
+            g.ensure_frontend().unwrap();
+            let ir = twill_ir::printer::print_module(g.prepared());
+            let verilog = g.verilog_for(g.prepared(), g.prepared_hash(), &hls);
+            (ir, verilog)
+        };
+        let (ir_serial, v_serial) = build(1);
+        for threads in [2usize, 4] {
+            let (ir_par, v_par) = build(threads);
+            prop_assert_eq!(&ir_par, &ir_serial, "IR diverged at {} threads", threads);
+            prop_assert_eq!(v_par.as_str(), v_serial.as_str(),
+                "Verilog diverged at {} threads", threads);
+        }
+    }
+}

@@ -46,12 +46,7 @@ fn blowfish_tuned_beats_default() {
 fn fig_6_6_small_queues_slow_or_equal() {
     for row in twill::experiments::fig_6_6(Some(1)) {
         // depth 2 never beats depth 8 by more than noise.
-        assert!(
-            row.normalized[0] <= 1.02,
-            "{}: depth-2 speedup {:?}",
-            row.name,
-            row.normalized
-        );
+        assert!(row.normalized[0] <= 1.02, "{}: depth-2 speedup {:?}", row.name, row.normalized);
         // Everything fits the device at depth 8 in our calibration.
         assert!(row.fits_device[2], "{}", row.name);
     }

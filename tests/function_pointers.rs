@@ -56,7 +56,7 @@ fn dispatch_table_all_configs() {
 #[test]
 fn address_taken_functions_are_software_pinned() {
     let b = Compiler::new().partitions(3).compile("fp", DISPATCH_SRC).unwrap();
-    for f in &b.dswp.module.funcs {
+    for f in &b.dswp().module.funcs {
         let hw_version = f.name.starts_with("op_") && !f.name.ends_with("_dswp_0");
         if hw_version {
             let real = f

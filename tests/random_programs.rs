@@ -64,7 +64,7 @@ impl Gen {
     fn cond(&mut self, vars: &[String]) -> String {
         let a = self.expr(vars, 1);
         let b = self.expr(vars, 1);
-        let op = ["<", ">", "<=", ">=", "==", "!="][self.rng.gen_range(0..6)];
+        let op = ["<", ">", "<=", ">=", "==", "!="][self.rng.gen_range(0..6usize)];
         format!("{a} {op} {b}")
     }
 
@@ -227,7 +227,7 @@ fn check_source(seed: u64, src: String) {
     assert_eq!(golden, opt, "seed {seed}: pipeline diverged\n{src}");
 
     // DSWP functional co-execution.
-    let (part_out, _, _) = twill_dswp::run_partitioned(&build.dswp, input.clone(), 500_000_000)
+    let (part_out, _, _) = twill_dswp::run_partitioned(build.dswp(), input.clone(), 500_000_000)
         .unwrap_or_else(|e| panic!("seed {seed}: partitioned: {e}\n{src}"));
     assert_eq!(golden, part_out, "seed {seed}: DSWP diverged\n{src}");
 
@@ -290,7 +290,7 @@ fn fuzz_batch_c_forced_splits() {
         let input = vec![seed as i32, 1, 2, 3, 4, 5, 6, 7, 8, 9];
         let golden = build.run_reference(input.clone()).unwrap();
         let (part_out, _, _) =
-            twill_dswp::run_partitioned(&build.dswp, input.clone(), 500_000_000)
+            twill_dswp::run_partitioned(build.dswp(), input.clone(), 500_000_000)
                 .unwrap_or_else(|e| panic!("seed {seed}: partitioned: {e}\n{src}"));
         assert_eq!(golden, part_out, "seed {seed}\n{src}");
         let tw = build

@@ -62,7 +62,7 @@ fn recursive_program_runs_in_all_configs() {
 
     // The recursive helper must have landed on the software master: its
     // hardware-partition versions are stubs (no instructions beyond ret).
-    let m = &b.dswp.module;
+    let m = &b.dswp().module;
     for f in &m.funcs {
         if f.name.starts_with("collatz_len_dswp_") && !f.name.ends_with("_0") {
             let real = f
