@@ -1,8 +1,33 @@
 //! Runs every experiment in sequence (the data source for EXPERIMENTS.md).
+//!
+//! ```console
+//! all_experiments [--trace FILE] [--metrics FILE]
+//! ```
+//!
+//! `--trace` / `--metrics` additionally run a traced hybrid of the
+//! blowfish benchmark (the §6.4 case study) and write the Perfetto
+//! `trace_event` JSON / metrics JSON for it.
 
 use std::process::Command;
 
+use twill::experiments::benchmark_graph;
+use twill::Compiler;
+
 fn main() {
+    let mut trace: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => trace = it.next(),
+            "--metrics" => metrics = it.next(),
+            _ => {
+                eprintln!("usage: all_experiments [--trace FILE] [--metrics FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     // Run in-process for the tables to avoid rebuild churn.
     for bin in
         ["table_6_1", "table_6_2", "fig_6_1", "fig_6_2", "fig_6_3", "fig_6_4", "fig_6_5", "fig_6_6"]
@@ -19,4 +44,31 @@ fn main() {
         "default: {} cycles / {} queues; tuned: {} cycles / {} queues ({:.2}x vs pure HW)",
         t.default_cycles, t.default_queues, t.tuned_cycles, t.tuned_queues, t.tuned_vs_hw
     );
+
+    if trace.is_some() || metrics.is_some() {
+        let b = chstone::by_name("blowfish").unwrap();
+        let graph = benchmark_graph(&b);
+        let build = Compiler::new().partitions(b.partitions).build_on(&graph);
+        let input = chstone::input_for(b.name, b.default_scale);
+        let cfg = twill::SimulationConfig {
+            trace_events: if trace.is_some() { 1 << 22 } else { 0 },
+            ..build.sim_config()
+        };
+        let rep = build.simulate_hybrid_with(input, &cfg).expect("hybrid simulation");
+        println!("\n=== blowfish hybrid profile ===\n");
+        println!("{}", rep.metrics().profile_table());
+        if let Some(f) = &trace {
+            let json = rep.trace_builder().spans(graph.spans()).build();
+            std::fs::write(f, json).expect("write trace");
+            println!(
+                "Perfetto trace written to {f} ({} event(s), {} dropped)",
+                rep.events.len(),
+                rep.dropped_events
+            );
+        }
+        if let Some(f) = &metrics {
+            std::fs::write(f, rep.metrics().to_json()).expect("write metrics");
+            println!("metrics JSON written to {f}");
+        }
+    }
 }

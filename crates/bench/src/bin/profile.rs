@@ -1,0 +1,81 @@
+//! Pipeline-level profiling of a CHStone benchmark's hybrid run.
+//!
+//! ```console
+//! profile [BENCH] [--scale N] [--trace FILE] [--metrics FILE]
+//! ```
+//!
+//! With no benchmark name, profiles all eight. Prints the per-thread
+//! stall/utilization table (busy / queue-full / queue-empty / semaphore /
+//! memory-bus / module-bus / idle) and names the critical pipeline stage;
+//! `--trace` writes a Chrome/Perfetto `trace_event` JSON of the run
+//! (compiler stages + cycle timeline, open at <https://ui.perfetto.dev>),
+//! `--metrics` writes the structured metrics report as JSON.
+
+use twill::experiments::benchmark_graph;
+use twill::Compiler;
+
+fn usage() -> ! {
+    eprintln!("usage: profile [BENCH] [--scale N] [--trace FILE] [--metrics FILE]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut bench: Option<String> = None;
+    let mut scale: Option<u32> = None;
+    let mut trace: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--trace" => trace = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics" => metrics = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && bench.is_none() => bench = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+
+    let benches: Vec<chstone::Benchmark> = match &bench {
+        Some(name) => {
+            vec![chstone::by_name(name).unwrap_or_else(|| {
+                eprintln!("profile: unknown benchmark {name:?}");
+                std::process::exit(2);
+            })]
+        }
+        None => chstone::all(),
+    };
+    if benches.len() > 1 && (trace.is_some() || metrics.is_some()) {
+        eprintln!("profile: --trace/--metrics need a single benchmark");
+        std::process::exit(2);
+    }
+
+    for b in &benches {
+        let graph = benchmark_graph(b);
+        let build = Compiler::new().partitions(b.partitions).build_on(&graph);
+        let input = chstone::input_for(b.name, scale.unwrap_or(b.default_scale));
+        let cfg = twill::SimulationConfig {
+            trace_events: if trace.is_some() { 1 << 22 } else { 0 },
+            ..build.sim_config()
+        };
+        let rep = build.simulate_hybrid_with(input, &cfg).expect("hybrid simulation");
+        println!("=== {} ({} cycles) ===", b.name, rep.cycles);
+        println!("{}", rep.metrics().profile_table());
+
+        if let Some(f) = &trace {
+            let json = rep.trace_builder().spans(graph.spans()).build();
+            std::fs::write(f, json).expect("write trace");
+            println!(
+                "Perfetto trace written to {f} ({} event(s), {} dropped)",
+                rep.events.len(),
+                rep.dropped_events
+            );
+        }
+        if let Some(f) = &metrics {
+            std::fs::write(f, rep.metrics().to_json()).expect("write metrics");
+            println!("metrics JSON written to {f}");
+        }
+    }
+}

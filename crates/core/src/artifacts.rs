@@ -30,6 +30,7 @@ use twill_dswp::{run_dswp, DswpOptions, DswpResult};
 use twill_frontend::CError;
 use twill_hls::schedule::{schedule_module_threads, HlsOptions, ModuleSchedule};
 use twill_ir::Module;
+use twill_obs::Span;
 
 /// Minimal FNV-1a 64-bit hasher — deterministic across runs and platforms
 /// (unlike `DefaultHasher`), which keeps artifact keys stable.
@@ -116,6 +117,24 @@ pub struct StageCounts {
     pub hls: usize,
     /// Verilog emissions.
     pub verilog: usize,
+    /// DSWP demands answered from the cache.
+    pub dswp_hits: usize,
+    /// Schedule demands answered from the cache.
+    pub hls_hits: usize,
+    /// Verilog demands answered from the cache.
+    pub verilog_hits: usize,
+}
+
+impl StageCounts {
+    /// Total stage executions (cache misses — the work actually done).
+    pub fn runs(&self) -> usize {
+        self.frontend + self.passes + self.dswp + self.hls + self.verilog
+    }
+
+    /// Total demands answered from a memoization cache.
+    pub fn hits(&self) -> usize {
+        self.dswp_hits + self.hls_hits + self.verilog_hits
+    }
 }
 
 #[derive(Default)]
@@ -125,6 +144,9 @@ struct StageCounters {
     dswp: AtomicUsize,
     hls: AtomicUsize,
     verilog: AtomicUsize,
+    dswp_hits: AtomicUsize,
+    hls_hits: AtomicUsize,
+    verilog_hits: AtomicUsize,
 }
 
 /// A DSWP run plus the content hash of its partitioned module; the hash
@@ -163,6 +185,9 @@ pub struct BuildGraph {
     schedules: Mutex<HashMap<u64, Arc<ModuleSchedule>>>,
     verilog: Mutex<HashMap<u64, Arc<String>>>,
     counters: StageCounters,
+    /// Wall-clock span per stage *execution* (cache hits record nothing),
+    /// on the shared [`twill_obs::now_ns`] epoch.
+    spans: Mutex<Vec<Span>>,
 }
 
 impl BuildGraph {
@@ -203,7 +228,15 @@ impl BuildGraph {
             schedules: Mutex::new(HashMap::new()),
             verilog: Mutex::new(HashMap::new()),
             counters: StageCounters::default(),
+            spans: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Time `f` as one execution of `stage` and remember the span.
+    fn timed<T>(&self, stage: &str, f: impl FnOnce() -> T) -> T {
+        let (value, span) = Span::record(stage, f);
+        self.spans.lock().unwrap().push(span);
+        value
     }
 
     /// Override the per-function fan-out width (before sharing the graph).
@@ -218,7 +251,8 @@ impl BuildGraph {
         &self.name
     }
 
-    /// Snapshot of how many times each stage has run so far.
+    /// Snapshot of how many times each stage has run so far, plus how
+    /// many demands its memoization caches have absorbed.
     pub fn counters(&self) -> StageCounts {
         StageCounts {
             frontend: self.counters.frontend.load(Ordering::Relaxed),
@@ -226,7 +260,17 @@ impl BuildGraph {
             dswp: self.counters.dswp.load(Ordering::Relaxed),
             hls: self.counters.hls.load(Ordering::Relaxed),
             verilog: self.counters.verilog.load(Ordering::Relaxed),
+            dswp_hits: self.counters.dswp_hits.load(Ordering::Relaxed),
+            hls_hits: self.counters.hls_hits.load(Ordering::Relaxed),
+            verilog_hits: self.counters.verilog_hits.load(Ordering::Relaxed),
         }
+    }
+
+    /// Wall-clock spans of every stage execution so far, in completion
+    /// order (feed to [`twill_obs::TraceBuilder::spans`] for the Perfetto
+    /// compiler timeline).
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.lock().unwrap().clone()
     }
 
     /// Force the frontend stage so lex/parse/semantic errors surface as a
@@ -245,7 +289,9 @@ impl BuildGraph {
                     unreachable!("prepared-module graphs never demand the frontend stage")
                 };
                 self.counters.frontend.fetch_add(1, Ordering::Relaxed);
-                twill_frontend::compile_with(&self.name, source, *allow_recursion)
+                self.timed("frontend", || {
+                    twill_frontend::compile_with(&self.name, source, *allow_recursion)
+                })
             })
             .as_ref()
             .map_err(Clone::clone)
@@ -261,7 +307,9 @@ impl BuildGraph {
                 .unwrap_or_else(|e| panic!("frontend error in '{}': {e}", self.name))
                 .clone();
             self.counters.passes.fetch_add(1, Ordering::Relaxed);
-            twill_passes::run_standard_pipeline_threads(&mut m, &self.pipeline, self.threads);
+            self.timed("passes", || {
+                twill_passes::run_standard_pipeline_threads(&mut m, &self.pipeline, self.threads);
+            });
             m
         })
     }
@@ -282,10 +330,11 @@ impl BuildGraph {
         };
         let mut cache = self.dswp.lock().unwrap();
         if let Some(hit) = cache.get(&key) {
+            self.counters.dswp_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
         self.counters.dswp.fetch_add(1, Ordering::Relaxed);
-        let result = run_dswp(self.prepared(), opts);
+        let result = self.timed("dswp", || run_dswp(self.prepared(), opts));
         let module_hash = hash_module(&result.module);
         let art = Arc::new(DswpArtifact { result, module_hash });
         cache.insert(key, art.clone());
@@ -305,10 +354,12 @@ impl BuildGraph {
         let key = schedule_key(module_hash, hls);
         let mut cache = self.schedules.lock().unwrap();
         if let Some(hit) = cache.get(&key) {
+            self.counters.hls_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
         self.counters.hls.fetch_add(1, Ordering::Relaxed);
-        let sched = Arc::new(schedule_module_threads(module, hls, self.threads));
+        let sched =
+            Arc::new(self.timed("hls", || schedule_module_threads(module, hls, self.threads)));
         cache.insert(key, sched.clone());
         sched
     }
@@ -326,6 +377,7 @@ impl BuildGraph {
     pub fn verilog_for(&self, module: &Module, module_hash: u64, hls: &HlsOptions) -> Arc<String> {
         let key = schedule_key(module_hash, hls);
         if let Some(hit) = self.verilog.lock().unwrap().get(&key) {
+            self.counters.verilog_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
         // Compute the schedule before re-taking the verilog lock so the
@@ -333,10 +385,12 @@ impl BuildGraph {
         let sched = self.schedule_for(module, module_hash, hls);
         let mut cache = self.verilog.lock().unwrap();
         if let Some(hit) = cache.get(&key) {
+            self.counters.verilog_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
         self.counters.verilog.fetch_add(1, Ordering::Relaxed);
-        let text = Arc::new(twill_hls::verilog::emit_module(module, &sched));
+        let text =
+            Arc::new(self.timed("verilog", || twill_hls::verilog::emit_module(module, &sched)));
         cache.insert(key, text.clone());
         text
     }
@@ -429,6 +483,21 @@ int main() {
             Default::default(),
         );
         assert_ne!(g1.prepared_hash(), other.prepared_hash());
+    }
+
+    #[test]
+    fn spans_and_hit_counters_track_cache_behaviour() {
+        let g = graph();
+        let o2 = DswpOptions { num_partitions: 2, ..Default::default() };
+        let _ = g.dswp(&o2);
+        let _ = g.dswp(&o2);
+        let c = g.counters();
+        assert_eq!((c.dswp, c.dswp_hits), (1, 1), "{c:?}");
+        // One span per execution, none for the cache hit.
+        let names: Vec<String> = g.spans().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, ["frontend", "passes", "dswp"]);
+        assert_eq!(c.runs(), 3);
+        assert_eq!(c.hits(), 1);
     }
 
     #[test]

@@ -3,8 +3,15 @@
 //! ```console
 //! twillc program.c [--partitions N] [--sw-fraction F] [--queue-depth D]
 //!        [--allow-recursion] [--run] [--input 1,2,3] [--emit-verilog FILE]
-//!        [--emit-ir FILE] [--stats]
+//!        [--emit-ir FILE] [--stats] [--profile] [--trace FILE]
+//!        [--metrics FILE]
 //! ```
+//!
+//! `--profile` prints the hybrid run's stall/utilization table plus
+//! compiler-stage timings; `--trace` writes a Chrome/Perfetto
+//! `trace_event` JSON (open at <https://ui.perfetto.dev>) with the
+//! compiler stages and the cycle-level simulator timeline; `--metrics`
+//! writes the structured metrics report as JSON.
 
 use std::process::ExitCode;
 use twill::Compiler;
@@ -20,13 +27,17 @@ struct Args {
     emit_verilog: Option<String>,
     emit_ir: Option<String>,
     stats: bool,
+    profile: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: twillc <program.c> [--partitions N] [--sw-fraction F] \
          [--queue-depth D] [--allow-recursion] [--run] [--input a,b,c] \
-         [--emit-verilog FILE] [--emit-ir FILE] [--stats]"
+         [--emit-verilog FILE] [--emit-ir FILE] [--stats] [--profile] \
+         [--trace FILE] [--metrics FILE]"
     );
     std::process::exit(2);
 }
@@ -43,6 +54,9 @@ fn parse_args() -> Args {
         emit_verilog: None,
         emit_ir: None,
         stats: false,
+        profile: false,
+        trace: None,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -71,6 +85,9 @@ fn parse_args() -> Args {
             "--emit-verilog" => args.emit_verilog = Some(it.next().unwrap_or_else(|| usage())),
             "--emit-ir" => args.emit_ir = Some(it.next().unwrap_or_else(|| usage())),
             "--stats" => args.stats = true,
+            "--profile" => args.profile = true,
+            "--trace" => args.trace = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && args.source.is_none() => {
                 args.source = Some(other.to_string())
@@ -146,35 +163,82 @@ fn main() -> ExitCode {
         println!("hardware-thread Verilog written to {f}");
     }
 
-    if args.run {
-        let sw = build.simulate_pure_sw(args.input.clone());
-        let hw = build.simulate_pure_hw(args.input.clone());
-        let tw = build.simulate_hybrid(args.input.clone());
-        match (sw, hw, tw) {
-            (Ok(sw), Ok(hw), Ok(tw)) => {
-                if sw.output != tw.output || sw.output != hw.output {
-                    eprintln!("twillc: CONFIGURATION OUTPUTS DIVERGED (bug!)");
-                    return ExitCode::FAILURE;
-                }
-                println!("output: {:?}", tw.output);
-                println!(
-                    "cycles: pure SW {} | pure HW {} ({:.2}x) | Twill {} ({:.2}x vs SW, {:.2}x vs HW)",
-                    sw.cycles,
-                    hw.cycles,
-                    sw.cycles as f64 / hw.cycles as f64,
-                    tw.cycles,
-                    sw.cycles as f64 / tw.cycles as f64,
-                    hw.cycles as f64 / tw.cycles as f64
-                );
-            }
-            (sw, hw, tw) => {
-                for (name, r) in [("SW", sw.err()), ("HW", hw.err()), ("hybrid", tw.err())] {
-                    if let Some(e) = r {
-                        eprintln!("twillc: {name} simulation failed: {e}");
-                    }
-                }
+    let observing = args.profile || args.trace.is_some() || args.metrics.is_some();
+    if args.run || observing {
+        // One hybrid run serves --run, --profile, --trace and --metrics;
+        // the event recorder is only armed when a trace was requested.
+        let cfg = twill::SimulationConfig {
+            trace_events: if args.trace.is_some() { 1 << 20 } else { 0 },
+            ..build.sim_config()
+        };
+        let tw = match build.simulate_hybrid_with(args.input.clone(), &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("twillc: hybrid simulation failed: {e}");
                 return ExitCode::FAILURE;
             }
+        };
+
+        if args.run {
+            let sw = build.simulate_pure_sw(args.input.clone());
+            let hw = build.simulate_pure_hw(args.input.clone());
+            match (sw, hw) {
+                (Ok(sw), Ok(hw)) => {
+                    if sw.output != tw.output || sw.output != hw.output {
+                        eprintln!("twillc: CONFIGURATION OUTPUTS DIVERGED (bug!)");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("output: {:?}", tw.output);
+                    println!(
+                        "cycles: pure SW {} | pure HW {} ({:.2}x) | Twill {} ({:.2}x vs SW, {:.2}x vs HW)",
+                        sw.cycles,
+                        hw.cycles,
+                        sw.cycles as f64 / hw.cycles as f64,
+                        tw.cycles,
+                        sw.cycles as f64 / tw.cycles as f64,
+                        hw.cycles as f64 / tw.cycles as f64
+                    );
+                }
+                (sw, hw) => {
+                    for (name, r) in [("SW", sw.err()), ("HW", hw.err())] {
+                        if let Some(e) = r {
+                            eprintln!("twillc: {name} simulation failed: {e}");
+                        }
+                    }
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+
+        if args.profile {
+            println!("{}", tw.metrics().profile_table());
+            let c = build.graph().counters();
+            println!("compiler stages (wall clock):");
+            for s in build.graph().spans() {
+                println!("  {:<10} {:>9.2} ms", s.name, s.dur_ns as f64 / 1e6);
+            }
+            println!("  {} stage run(s), {} cache hit(s)", c.runs(), c.hits());
+        }
+
+        if let Some(f) = &args.trace {
+            let json = tw.trace_builder().spans(build.graph().spans()).build();
+            if let Err(e) = std::fs::write(f, json) {
+                eprintln!("twillc: cannot write {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "Perfetto trace written to {f} ({} event(s), {} dropped) — open at https://ui.perfetto.dev",
+                tw.events.len(),
+                tw.dropped_events
+            );
+        }
+
+        if let Some(f) = &args.metrics {
+            if let Err(e) = std::fs::write(f, tw.metrics().to_json()) {
+                eprintln!("twillc: cannot write {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("metrics JSON written to {f}");
         }
     }
     ExitCode::SUCCESS

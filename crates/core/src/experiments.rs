@@ -237,6 +237,8 @@ pub struct SplitSweepRow {
     pub cycles: u64,
     pub queues: usize,
     pub speedup_vs_sw: f64,
+    /// Stall/utilization summary of this sweep point's hybrid run.
+    pub metrics: twill_obs::MetricsSummary,
 }
 
 /// Sweep the targeted SW/HW split point for a benchmark with 2 partitions
@@ -259,6 +261,7 @@ pub fn fig_6_3_4(bench_name: &str, scale: Option<u32>) -> Vec<SplitSweepRow> {
             cycles: rep.cycles,
             queues: build.stats().queues,
             speedup_vs_sw: sw_cycles as f64 / rep.cycles as f64,
+            metrics: rep.metrics().summary(),
         });
     }
     rows
@@ -273,6 +276,9 @@ pub struct LatencySweepRow {
     pub name: String,
     /// cycles at queue latency 2/4/8/16/32/64/128, normalized to latency 2.
     pub normalized: Vec<f64>,
+    /// Stall/utilization summary at each latency point (tracks where the
+    /// pipeline tips from compute-bound to communication-bound).
+    pub metrics: Vec<twill_obs::MetricsSummary>,
 }
 
 pub const LATENCY_POINTS: [u32; 7] = [2, 4, 8, 16, 32, 64, 128];
@@ -284,14 +290,18 @@ pub fn fig_6_5(scale: Option<u32>) -> Vec<LatencySweepRow> {
             let build = build_benchmark(b);
             let inp = input(b, scale);
             let mut cycles = Vec::new();
+            let mut metrics = Vec::new();
             for lat in LATENCY_POINTS {
                 let cfg = twill_rt::SimConfig { queue_latency: lat, ..build.sim_config() };
-                cycles.push(build.simulate_hybrid_with(inp.clone(), &cfg).expect("sim").cycles);
+                let rep = build.simulate_hybrid_with(inp.clone(), &cfg).expect("sim");
+                cycles.push(rep.cycles);
+                metrics.push(rep.metrics().summary());
             }
             let base = cycles[0] as f64;
             LatencySweepRow {
                 name: b.name.into(),
                 normalized: cycles.iter().map(|&c| base / c as f64).collect(),
+                metrics,
             }
         })
         .collect()
@@ -309,6 +319,8 @@ pub struct SizeSweepRow {
     /// Whether the design fits the Virtex-5 LX110T at each depth (the
     /// paper's 32-deep JPEG did not fit).
     pub fits_device: Vec<bool>,
+    /// Stall/utilization summary at each depth point.
+    pub metrics: Vec<twill_obs::MetricsSummary>,
 }
 
 pub const SIZE_POINTS: [u32; 5] = [2, 4, 8, 16, 32];
@@ -321,9 +333,12 @@ pub fn fig_6_6(scale: Option<u32>) -> Vec<SizeSweepRow> {
             let inp = input(b, scale);
             let mut cycles = Vec::new();
             let mut fits = Vec::new();
+            let mut metrics = Vec::new();
             for depth in SIZE_POINTS {
                 let cfg = twill_rt::SimConfig { queue_depth: Some(depth), ..build.sim_config() };
-                cycles.push(build.simulate_hybrid_with(inp.clone(), &cfg).expect("sim").cycles);
+                let rep = build.simulate_hybrid_with(inp.clone(), &cfg).expect("sim");
+                metrics.push(rep.metrics().summary());
+                cycles.push(rep.cycles);
                 // Area with this queue depth.
                 let mut m2 = build.dswp().module.clone();
                 for q in &mut m2.queues {
@@ -340,6 +355,7 @@ pub fn fig_6_6(scale: Option<u32>) -> Vec<SizeSweepRow> {
                 name: b.name.into(),
                 normalized: cycles.iter().map(|&c| base / c as f64).collect(),
                 fits_device: fits,
+                metrics,
             }
         })
         .collect()
@@ -453,6 +469,13 @@ mod tests {
             assert!((row.normalized[0] - 1.0).abs() < 1e-9);
             for w in row.normalized.windows(2) {
                 assert!(w[1] <= w[0] + 0.02, "{}: {:?}", row.name, row.normalized);
+            }
+            // Every sweep point carries its stall/utilization summary.
+            assert_eq!(row.metrics.len(), LATENCY_POINTS.len());
+            for m in &row.metrics {
+                assert!(m.cycles > 0);
+                assert!(m.utilization.iter().all(|u| (0.0..=1.0).contains(u)), "{m:?}");
+                assert!((0.0..=1.0).contains(&m.stall_fraction), "{m:?}");
             }
         }
     }

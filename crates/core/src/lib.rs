@@ -57,6 +57,7 @@ use twill_rt::{SimConfig, SimError, SimReport};
 pub use artifacts::StageCounts;
 pub use twill_dswp::DswpOptions;
 pub use twill_hls::area::AreaReport;
+pub use twill_obs::MetricsSummary;
 pub use twill_rt::SimConfig as SimulationConfig;
 
 /// The Twill compiler front door.

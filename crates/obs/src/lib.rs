@@ -1,0 +1,34 @@
+//! # twill-obs
+//!
+//! The observability layer for the Twill reproduction: typed simulator
+//! events, a bounded ring-buffer recorder, stall-attribution metrics, and
+//! exporters (Chrome/Perfetto `trace_event` JSON, metrics JSON, profile
+//! tables). `twill-rt` threads these hooks through the cycle simulator
+//! behind its `obs` feature; `twill` (core) adds compiler-stage spans on
+//! the same timeline.
+//!
+//! Design constraints (DESIGN.md §8):
+//! * **Zero cost when disabled** — the simulator's hot path only ever
+//!   checks an `Option` and touches pre-allocated counters; no event is
+//!   constructed and no heap allocation happens unless a recorder was
+//!   installed. Compiling `twill-rt` without its `obs` feature removes the
+//!   recording code entirely.
+//! * **No external dependencies** — events use plain integer ids and the
+//!   JSON writer/parser is in-tree, so the crate builds offline.
+//! * **Bounded memory** — the ring buffer keeps the most recent `capacity`
+//!   events and counts what it dropped; truncation is always surfaced
+//!   ([`Ring::dropped`], `SimReport::dropped_events`, and the
+//!   `otherData.dropped_events` field of the Perfetto export).
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod perfetto;
+pub mod ring;
+pub mod span;
+
+pub use event::{Event, EventKind, OpClass};
+pub use metrics::{MetricsSummary, QueueMetrics, SimMetrics, ThreadMetrics};
+pub use perfetto::TraceBuilder;
+pub use ring::Ring;
+pub use span::{now_ns, Span};

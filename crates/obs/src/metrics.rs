@@ -1,0 +1,392 @@
+//! Aggregate simulation metrics: per-thread stall attribution, per-queue
+//! occupancy statistics, and bottleneck (critical pipeline stage)
+//! identification.
+//!
+//! These are computed from counters the simulator keeps unconditionally
+//! (plain pre-allocated integers — no tracing required), so metrics are
+//! available for every run; the event trace is only needed for the
+//! timeline view.
+
+use crate::json;
+use std::fmt::Write as _;
+
+/// Where one simulated agent's cycles went. Every cycle of the run falls
+/// in exactly one class, so the fields sum to the run's total cycle count
+/// (the accounting invariant `twill-rt` asserts in debug builds).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadMetrics {
+    /// Track name (`cpu`, `hw1`, …).
+    pub name: String,
+    /// Executing instructions, issuing ops, or burning an op's service
+    /// latency.
+    pub busy: u64,
+    /// Blocked: enqueue on a full queue.
+    pub queue_full: u64,
+    /// Blocked: dequeue on an empty queue.
+    pub queue_empty: u64,
+    /// Blocked: semaphore lower at zero.
+    pub sem: u64,
+    /// Blocked: waiting for a memory-bus grant.
+    pub mem_bus: u64,
+    /// Blocked: waiting for a module-bus grant.
+    pub module_bus: u64,
+    /// Finished (or never started) while the rest of the system ran.
+    pub idle: u64,
+}
+
+impl ThreadMetrics {
+    pub fn total(&self) -> u64 {
+        self.busy
+            + self.queue_full
+            + self.queue_empty
+            + self.sem
+            + self.mem_bus
+            + self.module_bus
+            + self.idle
+    }
+
+    /// Cycles blocked on any resource.
+    pub fn stalled(&self) -> u64 {
+        self.queue_full + self.queue_empty + self.sem + self.mem_bus + self.module_bus
+    }
+
+    /// Busy fraction of the whole run.
+    pub fn utilization(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.busy as f64 / t as f64
+        }
+    }
+
+    /// `(class name, cycles)` of the largest stall class.
+    pub fn dominant_stall(&self) -> (&'static str, u64) {
+        let classes = [
+            ("queue-full", self.queue_full),
+            ("queue-empty", self.queue_empty),
+            ("sem", self.sem),
+            ("mem-bus", self.mem_bus),
+            ("module-bus", self.module_bus),
+        ];
+        classes.into_iter().max_by_key(|&(_, n)| n).unwrap()
+    }
+}
+
+/// One queue's lifetime statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueueMetrics {
+    pub name: String,
+    pub depth: u32,
+    pub pushes: u64,
+    pub pops: u64,
+    /// High-water mark: peak simultaneous occupancy.
+    pub high_water: u32,
+    /// Producer-side blocked attempts (one per blocked cycle).
+    pub full_stalls: u64,
+    /// Consumer-side blocked attempts.
+    pub empty_stalls: u64,
+    /// Event-sampled occupancy histogram: `occupancy_hist[n]` counts the
+    /// push/pop completions that left the queue holding `n` values.
+    pub occupancy_hist: Vec<u64>,
+}
+
+impl QueueMetrics {
+    /// Mean occupancy over the sampled events.
+    pub fn mean_occupancy(&self) -> f64 {
+        let samples: u64 = self.occupancy_hist.iter().sum();
+        if samples == 0 {
+            return 0.0;
+        }
+        let weighted: u64 =
+            self.occupancy_hist.iter().enumerate().map(|(occ, &n)| occ as u64 * n).sum();
+        weighted as f64 / samples as f64
+    }
+}
+
+/// The full metrics report for one simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimMetrics {
+    pub cycles: u64,
+    pub threads: Vec<ThreadMetrics>,
+    pub queues: Vec<QueueMetrics>,
+    /// Trace events lost to the ring-buffer bound (0 when tracing was
+    /// disabled or nothing was dropped).
+    pub dropped_events: u64,
+}
+
+/// A compact per-sweep-point digest (what the experiment runner records
+/// for every point of a parameter sweep).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSummary {
+    pub cycles: u64,
+    /// Busy fraction per thread, in track order.
+    pub utilization: Vec<f64>,
+    /// Fraction of all thread-cycles spent blocked on a resource.
+    pub stall_fraction: f64,
+    /// Name of the largest stall class across all threads.
+    pub dominant_stall: &'static str,
+    /// Index of the throughput-bounding thread.
+    pub critical_thread: usize,
+    pub max_queue_high_water: u32,
+}
+
+impl SimMetrics {
+    /// The DSWP pipeline stage that bounds throughput: in a decoupled
+    /// pipeline every stage runs for the whole execution, so the stage
+    /// with the most busy cycles is the one the others wait on (its
+    /// upstream neighbours see full queues, its downstream ones empty
+    /// queues).
+    pub fn critical_thread(&self) -> Option<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, t)| (t.busy, std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+    }
+
+    pub fn summary(&self) -> MetricsSummary {
+        let total: u64 = self.threads.iter().map(|t| t.total()).sum();
+        let stalled: u64 = self.threads.iter().map(|t| t.stalled()).sum();
+        let mut agg = ThreadMetrics::default();
+        for t in &self.threads {
+            agg.queue_full += t.queue_full;
+            agg.queue_empty += t.queue_empty;
+            agg.sem += t.sem;
+            agg.mem_bus += t.mem_bus;
+            agg.module_bus += t.module_bus;
+        }
+        MetricsSummary {
+            cycles: self.cycles,
+            utilization: self.threads.iter().map(|t| t.utilization()).collect(),
+            stall_fraction: if total == 0 { 0.0 } else { stalled as f64 / total as f64 },
+            dominant_stall: agg.dominant_stall().0,
+            critical_thread: self.critical_thread().unwrap_or(0),
+            max_queue_high_water: self.queues.iter().map(|q| q.high_water).max().unwrap_or(0),
+        }
+    }
+
+    /// Serialize as a JSON document (parse it back with [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"cycles\": {},", self.cycles);
+        let _ = writeln!(out, "  \"dropped_events\": {},", self.dropped_events);
+        let _ = writeln!(
+            out,
+            "  \"critical_thread\": {},",
+            self.critical_thread().map(|i| i.to_string()).unwrap_or_else(|| "null".into())
+        );
+        out.push_str("  \"threads\": [\n");
+        for (i, t) in self.threads.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"busy\": {}, \"queue_full\": {}, \"queue_empty\": {}, \
+                 \"sem\": {}, \"mem_bus\": {}, \"module_bus\": {}, \"idle\": {}, \
+                 \"utilization\": {}}}",
+                json::quote(&t.name),
+                t.busy,
+                t.queue_full,
+                t.queue_empty,
+                t.sem,
+                t.mem_bus,
+                t.module_bus,
+                t.idle,
+                json::number(t.utilization()),
+            );
+            out.push_str(if i + 1 < self.threads.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n  \"queues\": [\n");
+        for (i, q) in self.queues.iter().enumerate() {
+            let hist: Vec<String> = q.occupancy_hist.iter().map(|n| n.to_string()).collect();
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"depth\": {}, \"pushes\": {}, \"pops\": {}, \
+                 \"high_water\": {}, \"full_stalls\": {}, \"empty_stalls\": {}, \
+                 \"mean_occupancy\": {}, \"occupancy_hist\": [{}]}}",
+                json::quote(&q.name),
+                q.depth,
+                q.pushes,
+                q.pops,
+                q.high_water,
+                q.full_stalls,
+                q.empty_stalls,
+                json::number(self_mean(q)),
+                hist.join(", "),
+            );
+            out.push_str(if i + 1 < self.queues.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The `twillc --profile` stall/utilization table.
+    pub fn profile_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>7} {:>8} {:>9} {:>7} {:>8} {:>8} {:>7}",
+            "thread", "cycles", "busy%", "q-full%", "q-empty%", "sem%", "mem%", "bus%", "idle%"
+        );
+        let pct = |n: u64, d: u64| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+        for t in &self.threads {
+            let d = t.total();
+            let _ = writeln!(
+                out,
+                "{:<8} {:>12} {:>7.1} {:>8.1} {:>9.1} {:>7.1} {:>8.1} {:>8.1} {:>7.1}",
+                t.name,
+                d,
+                pct(t.busy, d),
+                pct(t.queue_full, d),
+                pct(t.queue_empty, d),
+                pct(t.sem, d),
+                pct(t.mem_bus, d),
+                pct(t.module_bus, d),
+                pct(t.idle, d),
+            );
+        }
+        if let Some(c) = self.critical_thread() {
+            let t = &self.threads[c];
+            let _ = writeln!(
+                out,
+                "critical stage: {} ({:.1}% busy — bounds pipeline throughput)",
+                t.name,
+                100.0 * t.utilization()
+            );
+        }
+        if !self.queues.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{:<6} {:>6} {:>10} {:>10} {:>5} {:>12} {:>13} {:>9}",
+                "queue",
+                "depth",
+                "pushes",
+                "pops",
+                "peak",
+                "full-stalls",
+                "empty-stalls",
+                "mean-occ"
+            );
+            for q in &self.queues {
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:>6} {:>10} {:>10} {:>5} {:>12} {:>13} {:>9.2}",
+                    q.name,
+                    q.depth,
+                    q.pushes,
+                    q.pops,
+                    q.high_water,
+                    q.full_stalls,
+                    q.empty_stalls,
+                    q.mean_occupancy(),
+                );
+            }
+        }
+        if self.dropped_events > 0 {
+            let _ = writeln!(out, "\ntrace truncated: {} events dropped", self.dropped_events);
+        }
+        out
+    }
+}
+
+fn self_mean(q: &QueueMetrics) -> f64 {
+    q.mean_occupancy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimMetrics {
+        SimMetrics {
+            cycles: 100,
+            threads: vec![
+                ThreadMetrics {
+                    name: "cpu".into(),
+                    busy: 40,
+                    queue_full: 10,
+                    queue_empty: 20,
+                    sem: 0,
+                    mem_bus: 0,
+                    module_bus: 5,
+                    idle: 25,
+                },
+                ThreadMetrics {
+                    name: "hw1".into(),
+                    busy: 90,
+                    queue_full: 0,
+                    queue_empty: 5,
+                    sem: 0,
+                    mem_bus: 5,
+                    module_bus: 0,
+                    idle: 0,
+                },
+            ],
+            queues: vec![QueueMetrics {
+                name: "q0".into(),
+                depth: 8,
+                pushes: 50,
+                pops: 50,
+                high_water: 6,
+                full_stalls: 10,
+                empty_stalls: 20,
+                occupancy_hist: vec![10, 20, 30, 40, 0, 0, 0, 0, 0],
+            }],
+            dropped_events: 3,
+        }
+    }
+
+    #[test]
+    fn accounting_totals_and_utilization() {
+        let m = sample();
+        assert_eq!(m.threads[0].total(), 100);
+        assert_eq!(m.threads[0].stalled(), 35);
+        assert!((m.threads[1].utilization() - 0.9).abs() < 1e-12);
+        assert_eq!(m.threads[0].dominant_stall(), ("queue-empty", 20));
+    }
+
+    #[test]
+    fn critical_thread_is_busiest() {
+        let m = sample();
+        assert_eq!(m.critical_thread(), Some(1));
+        assert_eq!(SimMetrics::default().critical_thread(), None);
+    }
+
+    #[test]
+    fn mean_occupancy_weighted() {
+        let m = sample();
+        // (0*10 + 1*20 + 2*30 + 3*40) / 100 = 2.0
+        assert!((m.queues[0].mean_occupancy() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_parses_back_with_all_sections() {
+        let m = sample();
+        let doc = crate::json::parse(&m.to_json()).expect("metrics JSON must parse");
+        assert_eq!(doc.get("cycles").unwrap().as_u64(), Some(100));
+        assert_eq!(doc.get("dropped_events").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("critical_thread").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("threads").unwrap().as_arr().unwrap().len(), 2);
+        let q = &doc.get("queues").unwrap().as_arr().unwrap()[0];
+        assert_eq!(q.get("high_water").unwrap().as_u64(), Some(6));
+        assert_eq!(q.get("occupancy_hist").unwrap().as_arr().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn profile_table_mentions_critical_stage_and_truncation() {
+        let t = sample().profile_table();
+        assert!(t.contains("critical stage: hw1"));
+        assert!(t.contains("3 events dropped"));
+        assert!(t.lines().next().unwrap().contains("busy%"));
+    }
+
+    #[test]
+    fn summary_digest() {
+        let s = sample().summary();
+        assert_eq!(s.cycles, 100);
+        assert_eq!(s.critical_thread, 1);
+        assert_eq!(s.max_queue_high_water, 6);
+        assert_eq!(s.dominant_stall, "queue-empty");
+        assert!((s.stall_fraction - 45.0 / 200.0).abs() < 1e-12);
+    }
+}

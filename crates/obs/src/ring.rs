@@ -1,0 +1,131 @@
+//! Bounded event recorder: a ring buffer that keeps the most recent
+//! `capacity` events and counts what it had to drop.
+//!
+//! The buffer is allocated once at `enable` time; pushing never allocates,
+//! which is what lets the simulator record per-cycle events without
+//! perturbing its own timing (and what the allocation-guard test in
+//! `twill-rt` asserts).
+
+use crate::event::Event;
+
+/// Fixed-capacity event ring. Oldest events are overwritten once full;
+/// [`Ring::dropped`] reports how many were lost so truncation is never
+/// silent.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    /// A ring holding at most `capacity` events (capacity 0 records
+    /// nothing and counts everything as dropped).
+    pub fn new(capacity: usize) -> Ring {
+        Ring { buf: Vec::with_capacity(capacity), cap: capacity, head: 0, dropped: 0 }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten (or never stored, for capacity 0).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Record one event. O(1), never allocates (the backing storage was
+    /// reserved up front).
+    pub fn push(&mut self, e: Event) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events in chronological order.
+    pub fn to_events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Consume the ring, returning `(events in order, dropped count)`.
+    pub fn into_parts(mut self) -> (Vec<Event>, u64) {
+        self.buf.rotate_left(self.head);
+        (self.buf, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(cycle: u64) -> Event {
+        Event { cycle, track: 0, kind: EventKind::Output { value: cycle as i32 } }
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut r = Ring::new(4);
+        for c in 0..3 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.to_events().iter().map(|e| e.cycle).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wrap_keeps_latest_and_counts_dropped() {
+        let mut r = Ring::new(3);
+        for c in 0..10 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.dropped(), 7);
+        assert_eq!(r.len(), 3);
+        let cycles: Vec<u64> = r.to_events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9], "most recent events survive, in order");
+        let (events, dropped) = r.into_parts();
+        assert_eq!(events.iter().map(|e| e.cycle).collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(dropped, 7);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut r = Ring::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn push_never_allocates_after_construction() {
+        let mut r = Ring::new(8);
+        let base_ptr = r.buf.as_ptr();
+        for c in 0..100 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.buf.as_ptr(), base_ptr, "backing storage must not move");
+        assert_eq!(r.buf.capacity(), 8);
+    }
+}

@@ -1,0 +1,67 @@
+//! Wall-clock spans for compiler-side work (BuildGraph stages).
+//!
+//! Spans share one process-wide epoch so that spans recorded by different
+//! graphs (or threads) line up on a single Perfetto timeline. Simulator
+//! events are in *cycles*, not nanoseconds, so the exporter places them in
+//! a separate Perfetto process group rather than pretending the units
+//! match.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Nanoseconds since the process-wide observability epoch (the first call
+/// wins; monotonic thereafter).
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// One completed unit of compiler work on the wall-clock timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Stage name (`frontend`, `passes`, `dswp`, `hls`, `verilog`, …).
+    pub name: String,
+    /// Start, nanoseconds since [`now_ns`]'s epoch.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+impl Span {
+    /// Time `f`, returning its result plus the recorded span.
+    pub fn record<T>(name: &str, f: impl FnOnce() -> T) -> (T, Span) {
+        let start_ns = now_ns();
+        let value = f();
+        let dur_ns = now_ns().saturating_sub(start_ns);
+        (value, Span { name: name.to_string(), start_ns, dur_ns })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn record_measures_and_returns() {
+        let (v, s) = Span::record("stage", || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            41 + 1
+        });
+        assert_eq!(v, 42);
+        assert_eq!(s.name, "stage");
+        assert!(s.dur_ns >= 1_000_000, "slept 2ms but span was {}ns", s.dur_ns);
+    }
+
+    #[test]
+    fn spans_order_on_shared_epoch() {
+        let (_, a) = Span::record("first", || ());
+        let (_, b) = Span::record("second", || ());
+        assert!(b.start_ns >= a.start_ns + a.dur_ns);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property test: the Perfetto exporter must never panic, and must emit
+//! parseable JSON, for *any* event sequence — including ones a truncated
+//! ring buffer could produce (orphan retires, interleaved tracks,
+//! out-of-order cycles).
+
+use proptest::prelude::*;
+use twill_obs::event::{Event, EventKind, OpClass};
+use twill_obs::json;
+use twill_obs::perfetto::TraceBuilder;
+
+fn arb_op() -> impl Strategy<Value = OpClass> {
+    prop_oneof![
+        Just(OpClass::Enqueue),
+        Just(OpClass::Dequeue),
+        Just(OpClass::SemRaise),
+        Just(OpClass::SemLower),
+        Just(OpClass::MemLoad),
+        Just(OpClass::MemStore),
+        Just(OpClass::Out),
+        Just(OpClass::In),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        arb_op().prop_map(|op| EventKind::OpStart { op }).boxed(),
+        arb_op().prop_map(|op| EventKind::OpRetire { op }).boxed(),
+        arb_op().prop_map(|op| EventKind::OpCancel { op }).boxed(),
+        (0u16..4, 0u32..64)
+            .prop_map(|(queue, occupancy)| EventKind::QueuePush { queue, occupancy })
+            .boxed(),
+        (0u16..4, 0u32..64)
+            .prop_map(|(queue, occupancy)| EventKind::QueuePop { queue, occupancy })
+            .boxed(),
+        (0u16..4, any::<bool>())
+            .prop_map(|(queue, full)| EventKind::QueueStall { queue, full })
+            .boxed(),
+        (0u16..4).prop_map(|sem| EventKind::SemWait { sem }).boxed(),
+        (0u16..4, 0u32..16).prop_map(|(sem, value)| EventKind::SemSignal { sem, value }).boxed(),
+        (0u16..8).prop_map(|to| EventKind::ContextSwitch { to }).boxed(),
+        any::<i32>().prop_map(|value| EventKind::Output { value }).boxed(),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (0u64..100_000, 0u16..6, arb_kind()).prop_map(|(cycle, track, kind)| Event {
+        cycle,
+        track,
+        kind,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn export_never_panics_and_always_parses(
+        events in proptest::collection::vec(arb_event(), 0..200),
+        dropped in 0u64..1_000_000,
+    ) {
+        let n_events = events.len();
+        let out = TraceBuilder::new()
+            .threads(["cpu", "hw1", "hw2"])
+            .queues(["q0", "q1"])
+            .events(events, dropped)
+            .meta("source", "proptest")
+            .build();
+        let doc = json::parse(&out);
+        prop_assert!(doc.is_ok(), "export must be valid JSON: {:?}", doc.err());
+        let doc = doc.unwrap();
+        let traced = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // Every input event maps to at most one output record (orphan
+        // retires are skipped), plus bounded metadata records.
+        prop_assert!(traced.len() <= n_events + 16);
+        let want_dropped = format!("{dropped}");
+        prop_assert_eq!(
+            doc.get("otherData").unwrap().get("dropped_events").unwrap().as_str(),
+            Some(want_dropped.as_str())
+        );
+        // B/E nesting must stay balanced per track (no orphan E survives).
+        let mut depth = std::collections::HashMap::new();
+        for e in traced {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            let tid = e.get("tid").unwrap().as_u64().unwrap();
+            let d = depth.entry(tid).or_insert(0i64);
+            match ph {
+                "B" => *d += 1,
+                "E" => {
+                    *d -= 1;
+                    prop_assert!(*d >= 0, "unmatched E on tid {}", tid);
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -6,10 +6,15 @@
 //! blocked threads).
 
 use crate::hwthread::Progress;
-use crate::shared::{OpKind, PendState, Pending, Shared};
+#[cfg(feature = "obs")]
+use crate::shared::op_class;
+use crate::shared::rec;
+use crate::shared::{OpKind, PendState, Pending, Shared, StallClass};
 use twill_ir::cost;
 use twill_ir::interp::{Interp, RtPoll, Runtime, StepEvent};
 use twill_ir::{FuncId, Intr, Module};
+#[cfg(feature = "obs")]
+use twill_obs::EventKind;
 
 /// Cycles charged when the HW scheduler switches the active SW thread
 /// (thesis: a *single* context switch, no software scheduling loop).
@@ -73,6 +78,11 @@ impl Cpu {
         self.threads.iter().map(|t| t.interp.result().flatten()).collect()
     }
 
+    /// Attribution for a cycle this agent reported [`Progress::Blocked`].
+    pub fn stall_class(&self) -> StallClass {
+        self.pending.as_ref().map(|p| p.stall_class()).unwrap_or(StallClass::Busy)
+    }
+
     /// One simulated cycle.
     pub fn tick(&mut self, m: &Module, shared: &mut Shared) -> Progress {
         if self.is_finished() {
@@ -102,6 +112,11 @@ impl Cpu {
                     if self.blocked_streak >= 4 {
                         if let Some(next) = self.next_runnable() {
                             if next != self.active {
+                                // The blocked op is discarded (it had no
+                                // effect) and will be reissued when this
+                                // thread is rescheduled.
+                                rec!(shared, EventKind::OpCancel { op: op_class(p.kind) });
+                                rec!(shared, EventKind::ContextSwitch { to: next as u16 });
                                 self.active = next;
                                 self.blocked_streak = 0;
                                 self.charge = CONTEXT_SWITCH_CYCLES.saturating_sub(1);
@@ -124,6 +139,7 @@ impl Cpu {
         let t = &mut self.threads[self.active];
         if t.finished {
             if let Some(next) = self.next_runnable() {
+                rec!(shared, EventKind::ContextSwitch { to: next as u16 });
                 self.active = next;
                 self.charge = CONTEXT_SWITCH_CYCLES.saturating_sub(1);
                 self.busy_cycles += 1;
@@ -165,6 +181,7 @@ impl Cpu {
                 self.threads[self.active].finished = true;
                 self.finish_cycle = sh.cycle;
                 if let Some(next) = self.next_runnable() {
+                    rec!(sh, EventKind::ContextSwitch { to: next as u16 });
                     self.active = next;
                     self.charge = CONTEXT_SWITCH_CYCLES.saturating_sub(1);
                 }
@@ -186,13 +203,13 @@ impl Cpu {
 /// asynchronous bus simulation: the first call starts a 5-cycle stream
 /// operation and reports WouldBlock; the interpreter retries the same
 /// instruction each cycle until the op completes.
-struct CpuRt<'a> {
-    shared: &'a mut Shared,
-    pending: &'a mut Option<Pending>,
-    ready: &'a mut Option<i64>,
+struct CpuRt<'s, 'c> {
+    shared: &'s mut Shared,
+    pending: &'c mut Option<Pending>,
+    ready: &'c mut Option<i64>,
 }
 
-impl CpuRt<'_> {
+impl CpuRt<'_, '_> {
     fn run(&mut self, kind: OpKind) -> RtPoll {
         if let Some(v) = self.ready.take() {
             return RtPoll::Done(v);
@@ -211,7 +228,7 @@ impl CpuRt<'_> {
     }
 }
 
-impl Runtime for CpuRt<'_> {
+impl Runtime for CpuRt<'_, '_> {
     fn enqueue(&mut self, q: twill_ir::QueueId, v: i64) -> RtPoll {
         self.run(OpKind::Enqueue(q, v))
     }
@@ -229,6 +246,7 @@ impl Runtime for CpuRt<'_> {
         // runtime operation; we model it as an immediate effect plus the
         // stream charge folded into the instruction cost table (SW_IO).
         self.shared.output.push(v as i32);
+        rec!(self.shared, EventKind::Output { value: v as i32 });
     }
     fn read_in(&mut self) -> i64 {
         let v = self.shared.input.get(self.shared.in_pos).copied().unwrap_or(-1);

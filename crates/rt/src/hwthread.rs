@@ -1,7 +1,7 @@
 //! Hardware-thread agent: cycle-accurate execution of `twill-hls` FSM
 //! schedules against the simulated buses.
 
-use crate::shared::{OpKind, PendState, Pending, Shared};
+use crate::shared::{OpKind, PendState, Pending, Shared, StallClass};
 use twill_hls::schedule::ModuleSchedule;
 use twill_ir::cost;
 use twill_ir::interp::{eval_bin, eval_cast, eval_cmp};
@@ -76,6 +76,11 @@ impl HwThread {
 
     pub fn is_finished(&self) -> bool {
         self.finished
+    }
+
+    /// Attribution for a cycle this agent reported [`Progress::Blocked`].
+    pub fn stall_class(&self) -> StallClass {
+        self.pending.as_ref().map(|(_, p, _, _)| p.stall_class()).unwrap_or(StallClass::Busy)
     }
 
     /// Delay execution until the master's StartThread message arrives.

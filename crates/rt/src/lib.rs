@@ -31,8 +31,13 @@ pub mod hwthread;
 pub mod shared;
 pub mod system;
 
-pub use shared::{format_trace, Shared, SimStats, TraceEvent};
+pub use shared::{ClassCycles, QueueStat, Shared, SimStats, StallClass};
 pub use system::{
     simulate_hybrid, simulate_hybrid_scheduled, simulate_pure_hw, simulate_pure_hw_scheduled,
     simulate_pure_sw, SimConfig, SimError, SimReport,
 };
+
+/// Re-export of the observability layer (event model, Perfetto export,
+/// metrics) when the `obs` feature is enabled.
+#[cfg(feature = "obs")]
+pub use twill_obs as obs;

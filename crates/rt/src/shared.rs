@@ -1,7 +1,21 @@
 //! Shared simulator state: buses, runtime primitives, memory, I/O, stats.
+//!
+//! Observability has two tiers:
+//!
+//! * **Metrics counters** (always on): plain integers and pre-sized vectors
+//!   in [`SimStats`], updated unconditionally. Everything is allocated at
+//!   construction, so the steady-state simulation performs zero heap
+//!   allocations per cycle.
+//! * **Event tracing** (`obs` cargo feature + `SimConfig::trace_events`):
+//!   typed [`twill_obs::Event`]s pushed into a bounded ring buffer for
+//!   Perfetto export. Disabled at compile time the hooks vanish entirely;
+//!   disabled at run time they are a `None` check.
 
 use std::collections::VecDeque;
 use twill_ir::{Module, QueueId, SemId};
+
+#[cfg(feature = "obs")]
+use twill_obs::{Event, EventKind, OpClass, Ring};
 
 /// A runtime operation an agent can have in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +35,32 @@ pub enum OpKind {
 impl OpKind {
     fn uses_module_bus(&self) -> bool {
         !matches!(self, OpKind::MemLoad(..) | OpKind::MemStore(..))
+    }
+}
+
+/// Record an event when the `obs` feature is on; compile to nothing when
+/// it is off (the argument tokens only need to parse).
+macro_rules! rec {
+    ($shared:expr, $kind:expr) => {{
+        #[cfg(feature = "obs")]
+        {
+            $shared.record($kind);
+        }
+    }};
+}
+pub(crate) use rec;
+
+#[cfg(feature = "obs")]
+pub(crate) fn op_class(kind: OpKind) -> OpClass {
+    match kind {
+        OpKind::Enqueue(..) => OpClass::Enqueue,
+        OpKind::Dequeue(_) => OpClass::Dequeue,
+        OpKind::SemRaise(..) => OpClass::SemRaise,
+        OpKind::SemLower(..) => OpClass::SemLower,
+        OpKind::MemLoad(..) => OpClass::MemLoad,
+        OpKind::MemStore(..) => OpClass::MemStore,
+        OpKind::Out(_) => OpClass::Out,
+        OpKind::In => OpClass::In,
     }
 }
 
@@ -46,47 +86,99 @@ pub struct Pending {
     pub base_latency: u32,
 }
 
-/// One traced runtime event (enabled via `SimConfig::trace`).
+/// Where an agent's cycle went — the attribution classes of the stall
+/// model. Every simulated cycle of every agent lands in exactly one class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// A value entered a queue: (cycle, queue, occupancy after).
-    Enqueue(u64, QueueId, u32),
-    /// A value left a queue: (cycle, queue, occupancy after).
-    Dequeue(u64, QueueId, u32),
-    /// A semaphore changed: (cycle, sem index, value after).
-    Sem(u64, u32, u32),
-    /// A word was written to the output stream: (cycle, value).
-    Out(u64, i32),
+pub enum StallClass {
+    /// Executing, issuing, or being served (service latency is work).
+    Busy,
+    /// Enqueue blocked on a full queue.
+    QueueFull,
+    /// Dequeue blocked on an empty queue.
+    QueueEmpty,
+    /// Semaphore lower blocked at zero.
+    Sem,
+    /// Waiting for a memory-bus grant.
+    MemBus,
+    /// Waiting for a module-bus grant.
+    ModuleBus,
+    /// Agent finished while the rest of the system ran.
+    Idle,
 }
 
-impl TraceEvent {
-    pub fn cycle(&self) -> u64 {
-        match self {
-            TraceEvent::Enqueue(c, ..)
-            | TraceEvent::Dequeue(c, ..)
-            | TraceEvent::Sem(c, ..)
-            | TraceEvent::Out(c, _) => *c,
+impl Pending {
+    /// Attribution of a cycle spent on this op in its current state.
+    pub fn stall_class(&self) -> StallClass {
+        match self.state {
+            PendState::NeedBus => {
+                if self.kind.uses_module_bus() {
+                    StallClass::ModuleBus
+                } else {
+                    StallClass::MemBus
+                }
+            }
+            PendState::WaitResource => match self.kind {
+                OpKind::Enqueue(..) => StallClass::QueueFull,
+                OpKind::Dequeue(_) => StallClass::QueueEmpty,
+                OpKind::SemLower(..) => StallClass::Sem,
+                _ => StallClass::Busy,
+            },
+            PendState::Latency(_) | PendState::Done(_) => StallClass::Busy,
         }
     }
 }
 
-/// Render a trace as readable text (one event per line).
-pub fn format_trace(events: &[TraceEvent]) -> String {
-    use std::fmt::Write;
-    let mut out = String::new();
-    for e in events {
-        match e {
-            TraceEvent::Enqueue(c, q, occ) => {
-                writeln!(out, "{c:>10}  enq  {q}  occupancy={occ}").unwrap()
-            }
-            TraceEvent::Dequeue(c, q, occ) => {
-                writeln!(out, "{c:>10}  deq  {q}  occupancy={occ}").unwrap()
-            }
-            TraceEvent::Sem(c, s, v) => writeln!(out, "{c:>10}  sem  sem{s} -> {v}").unwrap(),
-            TraceEvent::Out(c, v) => writeln!(out, "{c:>10}  out  {v}").unwrap(),
+/// Per-agent cycle accounting by [`StallClass`]. The fields always sum to
+/// the run's total cycles (asserted in debug builds when a simulation
+/// completes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCycles {
+    pub busy: u64,
+    pub queue_full: u64,
+    pub queue_empty: u64,
+    pub sem: u64,
+    pub mem_bus: u64,
+    pub module_bus: u64,
+    pub idle: u64,
+}
+
+impl ClassCycles {
+    pub fn add(&mut self, class: StallClass) {
+        match class {
+            StallClass::Busy => self.busy += 1,
+            StallClass::QueueFull => self.queue_full += 1,
+            StallClass::QueueEmpty => self.queue_empty += 1,
+            StallClass::Sem => self.sem += 1,
+            StallClass::MemBus => self.mem_bus += 1,
+            StallClass::ModuleBus => self.module_bus += 1,
+            StallClass::Idle => self.idle += 1,
         }
     }
-    out
+
+    pub fn total(&self) -> u64 {
+        self.busy
+            + self.queue_full
+            + self.queue_empty
+            + self.sem
+            + self.mem_bus
+            + self.module_bus
+            + self.idle
+    }
+}
+
+/// One queue's lifetime statistics (always collected).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueueStat {
+    pub depth: u32,
+    pub pushes: u64,
+    pub pops: u64,
+    /// Blocked producer attempts (one per blocked cycle).
+    pub full_stalls: u64,
+    /// Blocked consumer attempts.
+    pub empty_stalls: u64,
+    /// `occupancy_hist[n]`: push/pop completions that left the queue
+    /// holding `n` values. Sized `depth + 1` at construction.
+    pub occupancy_hist: Vec<u64>,
 }
 
 /// Simulation counters.
@@ -104,8 +196,12 @@ pub struct SimStats {
     pub agent_blocked: Vec<u64>,
     /// Per-agent: cycles doing useful work (issue or compute).
     pub agent_busy: Vec<u64>,
+    /// Per-agent: full cycle accounting by stall class.
+    pub agent_cycles: Vec<ClassCycles>,
     /// Peak simultaneous occupancy per queue.
     pub queue_peak: Vec<u32>,
+    /// Per-queue traffic, stall, and occupancy statistics.
+    pub queue_stats: Vec<QueueStat>,
 }
 
 struct SimQueue {
@@ -131,9 +227,12 @@ pub struct Shared {
     /// Memory-bus grant budget left this cycle.
     mem_bus_left: u8,
     pub stats: SimStats,
-    /// Event trace (bounded; None = disabled).
-    pub trace: Option<Vec<TraceEvent>>,
-    pub trace_limit: usize,
+    /// Which agent's events are being recorded (set by the system loop
+    /// before each agent's tick; 0 for direct harnesses).
+    cur_agent: u16,
+    /// Bounded event recorder (None = tracing disabled).
+    #[cfg(feature = "obs")]
+    recorder: Option<Ring>,
 }
 
 impl Shared {
@@ -145,18 +244,20 @@ impl Shared {
         queue_depth_override: Option<u32>,
         n_agents: usize,
     ) -> Shared {
+        let caps: Vec<u32> =
+            m.queues.iter().map(|q| queue_depth_override.unwrap_or(q.depth)).collect();
         Shared {
             cycle: 0,
             mem: twill_ir::layout::initial_memory(m, mem_size),
             input,
             in_pos: 0,
             output: Vec::new(),
-            queues: m
-                .queues
+            queues: caps
                 .iter()
-                .map(|q| SimQueue {
-                    items: VecDeque::new(),
-                    cap: queue_depth_override.unwrap_or(q.depth) as usize,
+                .map(|&cap| SimQueue {
+                    // Reserve up front: queue traffic must not allocate.
+                    items: VecDeque::with_capacity(cap as usize),
+                    cap: cap as usize,
                 })
                 .collect(),
             sems: m.sems.iter().map(|s| s.initial).collect(),
@@ -167,25 +268,48 @@ impl Shared {
             stats: SimStats {
                 agent_blocked: vec![0; n_agents],
                 agent_busy: vec![0; n_agents],
-                queue_peak: vec![0; m.queues.len()],
+                agent_cycles: vec![ClassCycles::default(); n_agents],
+                queue_peak: vec![0; caps.len()],
+                queue_stats: caps
+                    .iter()
+                    .map(|&cap| QueueStat {
+                        depth: cap,
+                        occupancy_hist: vec![0; cap as usize + 1],
+                        ..Default::default()
+                    })
+                    .collect(),
                 ..Default::default()
             },
-            trace: None,
-            trace_limit: 0,
+            cur_agent: 0,
+            #[cfg(feature = "obs")]
+            recorder: None,
         }
     }
 
-    /// Enable event tracing, keeping at most `limit` events.
-    pub fn enable_trace(&mut self, limit: usize) {
-        self.trace = Some(Vec::new());
-        self.trace_limit = limit;
+    /// Attribute subsequent events to this agent's track.
+    pub fn set_agent(&mut self, agent: u16) {
+        self.cur_agent = agent;
     }
 
-    fn record(&mut self, e: TraceEvent) {
-        if let Some(t) = &mut self.trace {
-            if t.len() < self.trace_limit {
-                t.push(e);
-            }
+    /// Enable event tracing, keeping the most recent `capacity` events.
+    #[cfg(feature = "obs")]
+    pub fn enable_recorder(&mut self, capacity: usize) {
+        self.recorder = Some(Ring::new(capacity));
+    }
+
+    /// Detach the recorder: `(events in order, dropped count)`.
+    #[cfg(feature = "obs")]
+    pub fn take_recorder(&mut self) -> (Vec<Event>, u64) {
+        match self.recorder.take() {
+            Some(r) => r.into_parts(),
+            None => (Vec::new(), 0),
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    pub(crate) fn record(&mut self, kind: EventKind) {
+        if let Some(r) = &mut self.recorder {
+            r.push(Event { cycle: self.cycle, track: self.cur_agent, kind });
         }
     }
 
@@ -199,6 +323,7 @@ impl Shared {
 
     /// Start a new operation (agent had none in flight).
     pub fn start_op(&mut self, kind: OpKind, base_latency: u32) -> Pending {
+        rec!(self, EventKind::OpStart { op: op_class(kind) });
         Pending { kind, state: PendState::NeedBus, base_latency }
     }
 
@@ -227,15 +352,16 @@ impl Shared {
                 };
                 if granted {
                     p.state = PendState::WaitResource;
-                    self.try_serve(p)
+                    self.try_serve(p, true)
                 } else {
                     p
                 }
             }
-            PendState::WaitResource => self.try_serve(p),
+            PendState::WaitResource => self.try_serve(p, false),
             PendState::Latency(n) => {
                 if n <= 1 {
                     p.state = PendState::Done(self.complete(p.kind));
+                    rec!(self, EventKind::OpRetire { op: op_class(p.kind) });
                 } else {
                     p.state = PendState::Latency(n - 1);
                 }
@@ -247,29 +373,31 @@ impl Shared {
     /// Attempt to begin service (resource availability check). On success
     /// the op reserves its effect immediately (FIFO slot / sem count) and
     /// burns its service latency; the payload is delivered at completion.
-    fn try_serve(&mut self, mut p: Pending) -> Pending {
+    /// `first` marks the first attempt after the bus grant (the start of a
+    /// stall episode, if the attempt fails).
+    fn try_serve(&mut self, mut p: Pending, first: bool) -> Pending {
         let ok = match p.kind {
             OpKind::Enqueue(q, v) => {
                 let qq = &mut self.queues[q.index()];
                 if qq.items.len() < qq.cap {
                     qq.items.push_back(v);
+                    let occ = qq.items.len() as u32;
                     let peak = &mut self.stats.queue_peak[q.index()];
-                    *peak = (*peak).max(qq.items.len() as u32);
+                    *peak = (*peak).max(occ);
+                    let qs = &mut self.stats.queue_stats[q.index()];
+                    qs.pushes += 1;
+                    let slot = (occ as usize).min(qs.occupancy_hist.len() - 1);
+                    qs.occupancy_hist[slot] += 1;
+                    rec!(self, EventKind::QueuePush { queue: q.index() as u16, occupancy: occ });
                     true
                 } else {
-                    self.stats.queue_full_stalls += 1;
                     false
                 }
             }
             OpKind::Dequeue(q) => {
                 // Value popped at completion so concurrent polls this cycle
                 // see consistent state; reserve by checking emptiness.
-                if self.queues[q.index()].items.is_empty() {
-                    self.stats.queue_empty_stalls += 1;
-                    false
-                } else {
-                    true
-                }
+                !self.queues[q.index()].items.is_empty()
             }
             OpKind::SemRaise(..) | OpKind::Out(_) | OpKind::In => true,
             OpKind::SemLower(s, n) => {
@@ -277,7 +405,6 @@ impl Shared {
                     self.sems[s.index()] -= n;
                     true
                 } else {
-                    self.stats.sem_stalls += 1;
                     false
                 }
             }
@@ -291,43 +418,85 @@ impl Shared {
                 };
             if lat <= 1 {
                 p.state = PendState::Done(self.complete(p.kind));
+                rec!(self, EventKind::OpRetire { op: op_class(p.kind) });
             } else {
                 p.state = PendState::Latency(lat - 1);
             }
         } else {
+            self.note_stall(p.kind, first);
             p.state = PendState::WaitResource;
         }
         p
     }
 
+    /// The single accounting point for a blocked service attempt: bumps
+    /// the matching global counter, the per-queue counter, and (on the
+    /// first attempt of an episode) records the trace event.
+    fn note_stall(&mut self, kind: OpKind, first: bool) {
+        self.stall_episode(kind, first);
+        match kind {
+            OpKind::Enqueue(q, _) => {
+                self.stats.queue_full_stalls += 1;
+                self.stats.queue_stats[q.index()].full_stalls += 1;
+            }
+            OpKind::Dequeue(q) => {
+                self.stats.queue_empty_stalls += 1;
+                self.stats.queue_stats[q.index()].empty_stalls += 1;
+            }
+            OpKind::SemLower(..) => {
+                self.stats.sem_stalls += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Trace the start of a stall episode (first blocked attempt only, so
+    /// a long stall is one event, not thousands).
+    #[cfg(feature = "obs")]
+    fn stall_episode(&mut self, kind: OpKind, first: bool) {
+        if !first {
+            return;
+        }
+        let ev = match kind {
+            OpKind::Enqueue(q, _) => EventKind::QueueStall { queue: q.index() as u16, full: true },
+            OpKind::Dequeue(q) => EventKind::QueueStall { queue: q.index() as u16, full: false },
+            OpKind::SemLower(s, _) => EventKind::SemWait { sem: s.index() as u16 },
+            _ => return,
+        };
+        self.record(ev);
+    }
+
+    #[cfg(not(feature = "obs"))]
+    fn stall_episode(&mut self, _kind: OpKind, _first: bool) {}
+
     /// Apply the operation's effect and produce its payload.
     fn complete(&mut self, kind: OpKind) -> i64 {
         match kind {
-            OpKind::Enqueue(q, _) => {
-                let cycle = self.cycle;
-                let occ = self.queues[q.index()].items.len() as u32;
-                self.record(TraceEvent::Enqueue(cycle, q, occ));
-                0
-            }
+            OpKind::Enqueue(..) => 0, // slot was reserved (and traced) at serve time
             OpKind::Dequeue(q) => {
                 let v = self.queues[q.index()]
                     .items
                     .pop_front()
                     .expect("dequeue served on empty queue");
-                let cycle = self.cycle;
                 let occ = self.queues[q.index()].items.len() as u32;
-                self.record(TraceEvent::Dequeue(cycle, q, occ));
+                let qs = &mut self.stats.queue_stats[q.index()];
+                qs.pops += 1;
+                let slot = (occ as usize).min(qs.occupancy_hist.len() - 1);
+                qs.occupancy_hist[slot] += 1;
+                rec!(self, EventKind::QueuePop { queue: q.index() as u16, occupancy: occ });
                 v
             }
             OpKind::SemRaise(s, n) => {
                 self.sems[s.index()] = (self.sems[s.index()] + n).min(self.sem_max[s.index()]);
-                let (cycle, v) = (self.cycle, self.sems[s.index()]);
-                self.record(TraceEvent::Sem(cycle, s.0, v));
+                let value = self.sems[s.index()];
+                rec!(self, EventKind::SemSignal { sem: s.0 as u16, value });
+                let _ = value;
                 0
             }
             OpKind::SemLower(s, _) => {
-                let (cycle, v) = (self.cycle, self.sems[s.index()]);
-                self.record(TraceEvent::Sem(cycle, s.0, v));
+                let value = self.sems[s.index()];
+                rec!(self, EventKind::SemSignal { sem: s.0 as u16, value });
+                let _ = value;
                 0
             }
             OpKind::MemLoad(addr, ty) => {
@@ -339,8 +508,7 @@ impl Shared {
             }
             OpKind::Out(v) => {
                 self.output.push(v as i32);
-                let cycle = self.cycle;
-                self.record(TraceEvent::Out(cycle, v as i32));
+                rec!(self, EventKind::Output { value: v as i32 });
                 0
             }
             OpKind::In => {
@@ -420,6 +588,8 @@ mod tests {
         }
         assert!(matches!(p.state, PendState::WaitResource));
         assert!(s.stats.queue_full_stalls > 0);
+        assert_eq!(s.stats.queue_stats[0].full_stalls, s.stats.queue_full_stalls);
+        assert_eq!(p.stall_class(), StallClass::QueueFull);
         // Drain one; enqueue can now complete.
         let d = s.start_op(OpKind::Dequeue(QueueId(0)), 2);
         run_to_done(&mut s, d, 10);
@@ -450,6 +620,7 @@ mod tests {
         assert!(!matches!(p1.state, PendState::NeedBus));
         assert!(matches!(p2.state, PendState::NeedBus));
         assert_eq!(s.stats.module_bus_conflicts, 1);
+        assert_eq!(p2.stall_class(), StallClass::ModuleBus);
         let _ = (p1, p2);
     }
 
@@ -478,6 +649,8 @@ mod tests {
             p = s.poll(p);
         }
         assert!(matches!(p.state, PendState::WaitResource));
+        assert_eq!(p.stall_class(), StallClass::Sem);
+        assert!(s.stats.sem_stalls > 0);
         let r = s.start_op(OpKind::SemRaise(SemId(0), 1), 1);
         run_to_done(&mut s, r, 10);
         run_to_done(&mut s, p, 10);
@@ -493,5 +666,84 @@ mod tests {
         let o = s.start_op(OpKind::Out(v * 2), 2);
         run_to_done(&mut s, o, 10);
         assert_eq!(s.output, vec![14]);
+    }
+
+    #[test]
+    fn queue_stats_track_traffic_and_occupancy() {
+        let mut s = shared_with_queue(4, 0);
+        for v in [1, 2, 3] {
+            let p = s.start_op(OpKind::Enqueue(QueueId(0), v), 2);
+            run_to_done(&mut s, p, 10);
+        }
+        let p = s.start_op(OpKind::Dequeue(QueueId(0)), 2);
+        run_to_done(&mut s, p, 10);
+        let qs = &s.stats.queue_stats[0];
+        assert_eq!(qs.depth, 4);
+        assert_eq!(qs.pushes, 3);
+        assert_eq!(qs.pops, 1);
+        assert_eq!(s.stats.queue_peak[0], 3);
+        // Pushes sampled occupancies 1, 2, 3; the pop sampled 2.
+        assert_eq!(qs.occupancy_hist, vec![0, 1, 2, 1, 0]);
+        let samples: u64 = qs.occupancy_hist.iter().sum();
+        assert_eq!(samples, qs.pushes + qs.pops);
+    }
+
+    #[test]
+    fn latency_class_counts_as_busy_not_stall() {
+        let mut s = shared_with_queue(8, 10);
+        let mut p = s.start_op(OpKind::Enqueue(QueueId(0), 1), 2);
+        s.begin_cycle();
+        p = s.poll(p); // granted + served: now burning latency
+        assert!(matches!(p.state, PendState::Latency(_)));
+        assert_eq!(p.stall_class(), StallClass::Busy);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn recorder_captures_typed_events_per_track() {
+        use twill_obs::EventKind;
+
+        let mut s = shared_with_queue(2, 0);
+        s.enable_recorder(64);
+        s.set_agent(3);
+        // Fill the queue, then stall once.
+        for v in [1, 2] {
+            let p = s.start_op(OpKind::Enqueue(QueueId(0), v), 2);
+            run_to_done(&mut s, p, 10);
+        }
+        let mut p = s.start_op(OpKind::Enqueue(QueueId(0), 3), 2);
+        for _ in 0..4 {
+            s.begin_cycle();
+            p = s.poll(p);
+        }
+        let (events, dropped) = s.take_recorder();
+        assert_eq!(dropped, 0);
+        assert!(events.iter().all(|e| e.track == 3));
+        let starts = events.iter().filter(|e| matches!(e.kind, EventKind::OpStart { .. })).count();
+        let retires =
+            events.iter().filter(|e| matches!(e.kind, EventKind::OpRetire { .. })).count();
+        assert_eq!(starts, 3);
+        assert_eq!(retires, 2, "the stalled op has not retired");
+        // The 4-cycle stall is a single episode event.
+        let stalls = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::QueueStall { full: true, .. }))
+            .count();
+        assert_eq!(stalls, 1, "stall episodes are recorded once, not per cycle");
+        // Cycles are non-decreasing.
+        for w in events.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle);
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut s = shared_with_queue(8, 0);
+        let p = s.start_op(OpKind::Enqueue(QueueId(0), 1), 2);
+        run_to_done(&mut s, p, 10);
+        let (events, dropped) = s.take_recorder();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::cpu::Cpu;
 use crate::hwthread::{HwThread, Progress};
-use crate::shared::Shared;
+use crate::shared::{Shared, StallClass};
 use twill_dswp::DswpResult;
 use twill_hls::schedule::{schedule_module, HlsOptions, ModuleSchedule};
 use twill_ir::{layout, Module};
@@ -18,7 +18,8 @@ pub struct SimConfig {
     pub mem_size: u32,
     pub max_cycles: u64,
     pub hls: HlsOptions,
-    /// Record up to this many runtime events (0 = tracing off).
+    /// Keep the most recent N runtime events in the trace ring buffer
+    /// (0 = tracing off; requires the `obs` cargo feature to take effect).
     pub trace_events: usize,
 }
 
@@ -50,8 +51,69 @@ pub struct SimReport {
     /// Fraction of total cycles the CPU was busy (for the power model).
     pub cpu_busy_fraction: f64,
     pub hw_threads: usize,
-    /// Runtime event trace (when `SimConfig::trace_events > 0`).
-    pub trace: Vec<crate::shared::TraceEvent>,
+    /// Track names in agent order (`cpu`, `hw1`, …).
+    pub agent_names: Vec<String>,
+    /// Trace events lost to the ring-buffer bound (0 when tracing was off
+    /// or nothing was dropped). Never silently truncated.
+    pub dropped_events: u64,
+    /// Typed runtime event trace (when `SimConfig::trace_events > 0`).
+    #[cfg(feature = "obs")]
+    pub events: Vec<twill_obs::Event>,
+}
+
+impl SimReport {
+    /// Fold the always-on counters into the structured metrics report
+    /// (stall attribution, queue statistics, critical-stage analysis).
+    #[cfg(feature = "obs")]
+    pub fn metrics(&self) -> twill_obs::SimMetrics {
+        twill_obs::SimMetrics {
+            cycles: self.cycles,
+            threads: self
+                .agent_names
+                .iter()
+                .zip(&self.stats.agent_cycles)
+                .map(|(name, c)| twill_obs::ThreadMetrics {
+                    name: name.clone(),
+                    busy: c.busy,
+                    queue_full: c.queue_full,
+                    queue_empty: c.queue_empty,
+                    sem: c.sem,
+                    mem_bus: c.mem_bus,
+                    module_bus: c.module_bus,
+                    idle: c.idle,
+                })
+                .collect(),
+            queues: self
+                .stats
+                .queue_stats
+                .iter()
+                .zip(&self.stats.queue_peak)
+                .enumerate()
+                .map(|(i, (q, &peak))| twill_obs::QueueMetrics {
+                    name: format!("q{i}"),
+                    depth: q.depth,
+                    pushes: q.pushes,
+                    pops: q.pops,
+                    high_water: peak,
+                    full_stalls: q.full_stalls,
+                    empty_stalls: q.empty_stalls,
+                    occupancy_hist: q.occupancy_hist.clone(),
+                })
+                .collect(),
+            dropped_events: self.dropped_events,
+        }
+    }
+
+    /// A Perfetto trace builder pre-loaded with this run's tracks, queue
+    /// counters, events, and truncation metadata. Callers may attach
+    /// compiler spans or extra metadata before `build()`.
+    #[cfg(feature = "obs")]
+    pub fn trace_builder(&self) -> twill_obs::TraceBuilder {
+        twill_obs::TraceBuilder::new()
+            .threads(self.agent_names.iter().cloned())
+            .queues((0..self.stats.queue_stats.len()).map(|i| format!("q{i}")))
+            .events(self.events.clone(), self.dropped_events)
+    }
 }
 
 #[derive(Debug)]
@@ -98,19 +160,27 @@ pub fn simulate_pure_sw(
     let main = m.find_func("main").expect("needs @main");
     let stacks = stack_regions(m, cfg.mem_size, 1);
     let mut shared = Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, 1);
+    #[cfg(feature = "obs")]
     if cfg.trace_events > 0 {
-        shared.enable_trace(cfg.trace_events);
+        shared.enable_recorder(cfg.trace_events);
     }
     let mut cpu = Cpu::new(0, m, &[main], &stacks);
     run_loop(m, None, &mut shared, Some(&mut cpu), &mut [], cfg)?;
     let cycles = shared.cycle;
+    #[cfg(feature = "obs")]
+    let (events, dropped_events) = shared.take_recorder();
+    #[cfg(not(feature = "obs"))]
+    let dropped_events = 0;
     Ok(SimReport {
         cycles,
         output: shared.output.clone(),
         cpu_busy_fraction: cpu.busy_cycles as f64 / cycles.max(1) as f64,
-        trace: shared.trace.take().unwrap_or_default(),
         stats: shared.stats,
         hw_threads: 0,
+        agent_names: vec!["cpu".to_string()],
+        dropped_events,
+        #[cfg(feature = "obs")]
+        events,
     })
 }
 
@@ -139,19 +209,27 @@ pub fn simulate_pure_hw_scheduled(
     let main = m.find_func("main").expect("needs @main");
     let stacks = stack_regions(m, cfg.mem_size, 1);
     let mut shared = Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, 1);
+    #[cfg(feature = "obs")]
     if cfg.trace_events > 0 {
-        shared.enable_trace(cfg.trace_events);
+        shared.enable_recorder(cfg.trace_events);
     }
     let mut hw = vec![HwThread::new(0, m, main, stacks[0])];
     run_loop(m, Some(sched), &mut shared, None, &mut hw, cfg)?;
     let cycles = shared.cycle;
+    #[cfg(feature = "obs")]
+    let (events, dropped_events) = shared.take_recorder();
+    #[cfg(not(feature = "obs"))]
+    let dropped_events = 0;
     Ok(SimReport {
         cycles,
         output: shared.output.clone(),
         cpu_busy_fraction: 0.0,
-        trace: shared.trace.take().unwrap_or_default(),
         stats: shared.stats,
         hw_threads: 1,
+        agent_names: vec!["hw0".to_string()],
+        dropped_events,
+        #[cfg(feature = "obs")]
+        events,
     })
 }
 
@@ -184,8 +262,9 @@ pub fn simulate_hybrid_scheduled(
     let total = sw_entries.len() + hw_specs.len();
     let stacks = stack_regions(m, cfg.mem_size, total);
     let mut shared = Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, total);
+    #[cfg(feature = "obs")]
     if cfg.trace_events > 0 {
-        shared.enable_trace(cfg.trace_events);
+        shared.enable_recorder(cfg.trace_events);
     }
     let mut cpu = Cpu::new(0, m, &sw_entries, &stacks[..sw_entries.len()]);
     // Startup protocol (§4.4/§4.5): the software master StartThread()s each
@@ -203,13 +282,22 @@ pub fn simulate_hybrid_scheduled(
         .collect();
     run_loop(m, Some(sched), &mut shared, Some(&mut cpu), &mut hw, cfg)?;
     let cycles = shared.cycle;
+    #[cfg(feature = "obs")]
+    let (events, dropped_events) = shared.take_recorder();
+    #[cfg(not(feature = "obs"))]
+    let dropped_events = 0;
+    let mut agent_names = vec!["cpu".to_string()];
+    agent_names.extend((1..=hw.len()).map(|i| format!("hw{i}")));
     Ok(SimReport {
         cycles,
         output: shared.output.clone(),
         cpu_busy_fraction: cpu.busy_cycles as f64 / cycles.max(1) as f64,
-        trace: shared.trace.take().unwrap_or_default(),
         stats: shared.stats,
         hw_threads: hw.len(),
+        agent_names,
+        dropped_events,
+        #[cfg(feature = "obs")]
+        events,
     })
 }
 
@@ -229,6 +317,17 @@ fn run_loop(
         let cpu_done = cpu.as_ref().map(|c| c.is_finished()).unwrap_or(true);
         let hw_done = hw.iter().all(|h| h.is_finished());
         if cpu_done && hw_done {
+            // Cycle-accounting invariant: every agent has every elapsed
+            // cycle attributed to exactly one stall class.
+            if cfg!(debug_assertions) {
+                for (i, c) in shared.stats.agent_cycles.iter().enumerate() {
+                    debug_assert_eq!(
+                        c.total(),
+                        shared.cycle,
+                        "cycle accounting broke for agent {i}: {c:?}"
+                    );
+                }
+            }
             return Ok(());
         }
         if shared.cycle >= cfg.max_cycles {
@@ -237,13 +336,20 @@ fn run_loop(
         shared.begin_cycle();
         let mut progressed = false;
         if let Some(c) = cpu.as_deref_mut() {
+            shared.set_agent(c.agent_id as u16);
             match c.tick(m, shared) {
                 Progress::Busy => {
                     progressed = true;
                     shared.stats.agent_busy[c.agent_id] += 1;
+                    shared.stats.agent_cycles[c.agent_id].add(StallClass::Busy);
                 }
-                Progress::Blocked => shared.stats.agent_blocked[c.agent_id] += 1,
-                Progress::Finished => {}
+                Progress::Blocked => {
+                    shared.stats.agent_blocked[c.agent_id] += 1;
+                    shared.stats.agent_cycles[c.agent_id].add(c.stall_class());
+                }
+                Progress::Finished => {
+                    shared.stats.agent_cycles[c.agent_id].add(StallClass::Idle);
+                }
             }
         }
         let n = hw.len();
@@ -252,13 +358,20 @@ fn run_loop(
             for i in 0..n {
                 let idx = (rotation + i) % n;
                 let aid = hw[idx].agent_id;
+                shared.set_agent(aid as u16);
                 match hw[idx].tick(m, sched, shared) {
                     Progress::Busy => {
                         progressed = true;
                         shared.stats.agent_busy[aid] += 1;
+                        shared.stats.agent_cycles[aid].add(StallClass::Busy);
                     }
-                    Progress::Blocked => shared.stats.agent_blocked[aid] += 1,
-                    Progress::Finished => {}
+                    Progress::Blocked => {
+                        shared.stats.agent_blocked[aid] += 1;
+                        shared.stats.agent_cycles[aid].add(hw[idx].stall_class());
+                    }
+                    Progress::Finished => {
+                        shared.stats.agent_cycles[aid].add(StallClass::Idle);
+                    }
                 }
             }
             rotation = (rotation + 1) % n;

@@ -1,0 +1,62 @@
+//! Golden cycle-count regression for the observability layer: with tracing
+//! disabled (the default `SimConfig`), adding the metrics counters and
+//! event hooks must not change simulated timing by even one cycle. These
+//! numbers were captured from the simulator before the tracing layer
+//! landed; any drift means an instrumentation hook leaked into the cycle
+//! math.
+
+use twill_dswp::{run_dswp, DswpOptions};
+use twill_rt::{simulate_hybrid, simulate_pure_hw, simulate_pure_sw, SimConfig};
+
+/// (benchmark, sw cycles, pure-hw cycles, hybrid cycles) at scale 1.
+const GOLDEN: &[(&str, u64, u64, u64)] = &[
+    ("mips", 123_324, 24_206, 24_833),
+    ("adpcm", 31_370, 2_419, 2_433),
+    ("aes", 24_541, 2_181, 1_736),
+    ("blowfish", 370_249, 74_319, 102_567),
+    ("gsm", 19_221, 4_351, 4_365),
+    ("jpeg", 77_393, 18_006, 25_325),
+    ("motion", 8_719_931, 1_636_795, 1_927_860),
+    ("sha", 22_341, 3_361, 3_375),
+];
+
+#[test]
+fn cycle_counts_match_pre_instrumentation_golden() {
+    let cfg = SimConfig::default();
+    assert_eq!(cfg.trace_events, 0, "golden run must have tracing disabled");
+    for &(name, sw_gold, hw_gold, hy_gold) in GOLDEN {
+        let b = chstone::by_name(name).unwrap();
+        let m = chstone::compile_and_prepare(&b);
+        let input = chstone::input_for(b.name, 1);
+
+        let sw = simulate_pure_sw(&m, input.clone(), &cfg).unwrap();
+        assert_eq!(sw.cycles, sw_gold, "{name} pure-SW cycles drifted");
+
+        let hw = simulate_pure_hw(&m, input.clone(), &cfg).unwrap();
+        assert_eq!(hw.cycles, hw_gold, "{name} pure-HW cycles drifted");
+
+        let d = run_dswp(&m, &DswpOptions { num_partitions: b.partitions, ..Default::default() });
+        let hy = simulate_hybrid(&d, input, &cfg).unwrap();
+        assert_eq!(hy.cycles, hy_gold, "{name} hybrid cycles drifted");
+    }
+}
+
+/// Turning the recorder on must observe, not perturb: same cycle counts
+/// with a large ring as with tracing off.
+#[cfg(feature = "obs")]
+#[test]
+fn tracing_is_timing_neutral() {
+    let off = SimConfig::default();
+    let on = SimConfig { trace_events: 1 << 20, ..Default::default() };
+    for name in ["adpcm", "aes", "sha"] {
+        let b = chstone::by_name(name).unwrap();
+        let m = chstone::compile_and_prepare(&b);
+        let input = chstone::input_for(b.name, 1);
+        let d = run_dswp(&m, &DswpOptions { num_partitions: b.partitions, ..Default::default() });
+        let quiet = simulate_hybrid(&d, input.clone(), &off).unwrap();
+        let traced = simulate_hybrid(&d, input, &on).unwrap();
+        assert_eq!(quiet.cycles, traced.cycles, "{name}: tracing changed timing");
+        assert_eq!(quiet.output, traced.output, "{name}: tracing changed output");
+        assert!(!traced.events.is_empty(), "{name}: expected events from a traced run");
+    }
+}

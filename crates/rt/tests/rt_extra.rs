@@ -96,8 +96,11 @@ fn progress_enum_is_usable() {
     assert_ne!(Progress::Busy, Progress::Blocked);
 }
 
+#[cfg(feature = "obs")]
 #[test]
 fn event_trace_records_queue_traffic() {
+    use twill_rt::obs::EventKind;
+
     let src = r#"
 int main() {
   unsigned int acc = 0;
@@ -120,23 +123,124 @@ int main() {
             ..Default::default()
         },
     );
-    let cfg = SimConfig { trace_events: 10_000, ..Default::default() };
+    let cfg = SimConfig { trace_events: 1_000_000, ..Default::default() };
     let rep = simulate_hybrid(&d, vec![], &cfg).unwrap();
-    assert!(!rep.trace.is_empty(), "trace should record events");
+    assert!(!rep.events.is_empty(), "trace should record events");
+    assert_eq!(rep.dropped_events, 0, "large ring must not truncate this run");
     // Events are chronological.
-    for w in rep.trace.windows(2) {
-        assert!(w[0].cycle() <= w[1].cycle());
+    for w in rep.events.windows(2) {
+        assert!(w[0].cycle <= w[1].cycle);
     }
-    // The out() of the result appears in the trace.
-    assert!(rep.trace.iter().any(|e| matches!(e, twill_rt::TraceEvent::Out(_, _))));
+    // Queue traffic and the out() of the result appear in the trace.
+    assert!(rep.events.iter().any(|e| matches!(e.kind, EventKind::QueuePush { .. })));
+    assert!(rep.events.iter().any(|e| matches!(e.kind, EventKind::QueuePop { .. })));
+    assert!(rep.events.iter().any(|e| matches!(e.kind, EventKind::Output { .. })));
+    // Both the CPU track and at least one HW track recorded something.
+    assert!(rep.events.iter().any(|e| e.track == 0));
+    assert!(rep.events.iter().any(|e| e.track > 0));
     // Text rendering works.
-    let text = twill_rt::format_trace(&rep.trace);
-    assert!(text.contains("enq") || text.contains("out"), "{text}");
-    // Tracing off by default → empty.
+    let text = twill_rt::obs::event::format_events(&rep.events);
+    assert!(text.contains("push") && text.contains("out"), "{text}");
+    // Tracing off by default → empty, and timing is unperturbed.
     let rep2 = simulate_hybrid(&d, vec![], &SimConfig::default()).unwrap();
-    assert!(rep2.trace.is_empty());
+    assert!(rep2.events.is_empty());
     assert_eq!(rep.output, rep2.output);
     assert_eq!(rep.cycles, rep2.cycles, "tracing must not perturb timing");
+}
+
+/// A tiny ring keeps the most recent events and reports the loss in
+/// `dropped_events` — truncation is never silent.
+#[cfg(feature = "obs")]
+#[test]
+fn trace_truncation_is_reported_not_silent() {
+    let src = r#"
+int main() {
+  unsigned int acc = 0;
+  for (int i = 0; i < 50; i++) {
+    unsigned int x = (unsigned int)(i * 2654435761u);
+    acc = acc * 31 + ((x >> 7) ^ x);
+  }
+  out((int) acc);
+  return 0;
+}
+"#;
+    let mut m = twill_frontend::compile("t", src).unwrap();
+    twill_passes::run_standard_pipeline(&mut m, &Default::default());
+    let d = twill_dswp::run_dswp(
+        &m,
+        &twill_dswp::DswpOptions {
+            num_partitions: 2,
+            split_points: Some(vec![0.4, 0.6]),
+            ..Default::default()
+        },
+    );
+    let big =
+        simulate_hybrid(&d, vec![], &SimConfig { trace_events: 1_000_000, ..Default::default() })
+            .unwrap();
+    let tiny =
+        simulate_hybrid(&d, vec![], &SimConfig { trace_events: 8, ..Default::default() }).unwrap();
+    assert!(big.events.len() > 8, "need enough traffic to overflow the tiny ring");
+    assert_eq!(tiny.events.len(), 8);
+    assert_eq!(
+        tiny.dropped_events,
+        big.events.len() as u64 - 8,
+        "every lost event is accounted for"
+    );
+    // The dropped count flows into the metrics report and the Perfetto
+    // export metadata.
+    assert_eq!(tiny.metrics().dropped_events, tiny.dropped_events);
+    let trace_json = tiny.trace_builder().build();
+    assert!(trace_json.contains(&format!("\"dropped_events\": \"{}\"", tiny.dropped_events)));
+}
+
+/// Per-thread cycle accounting: busy + stalls + idle == total cycles for
+/// every agent, in every configuration (the debug-build invariant, checked
+/// here in release too).
+#[test]
+fn cycle_accounting_sums_to_total() {
+    let src = r#"
+int main() {
+  unsigned int acc = 0;
+  for (int i = 0; i < 30; i++) {
+    unsigned int x = (unsigned int)(i * 2654435761u);
+    acc = acc * 31 + ((x >> 7) ^ x);
+  }
+  out((int) acc);
+  return 0;
+}
+"#;
+    let mut m = twill_frontend::compile("t", src).unwrap();
+    twill_passes::run_standard_pipeline(&mut m, &Default::default());
+    let d = twill_dswp::run_dswp(
+        &m,
+        &twill_dswp::DswpOptions {
+            num_partitions: 2,
+            split_points: Some(vec![0.4, 0.6]),
+            ..Default::default()
+        },
+    );
+    let sw = twill_rt::simulate_pure_sw(&m, vec![], &SimConfig::default()).unwrap();
+    let hw = twill_rt::simulate_pure_hw(&m, vec![], &SimConfig::default()).unwrap();
+    let hy = simulate_hybrid(&d, vec![], &SimConfig::default()).unwrap();
+    for rep in [&sw, &hw, &hy] {
+        assert_eq!(rep.stats.agent_cycles.len(), rep.agent_names.len());
+        for (name, c) in rep.agent_names.iter().zip(&rep.stats.agent_cycles) {
+            assert_eq!(
+                c.total(),
+                rep.cycles,
+                "agent {name}: {c:?} must sum to {} cycles",
+                rep.cycles
+            );
+        }
+    }
+    // The hybrid's queue traffic shows up in the stall attribution.
+    let stalls: u64 = hy
+        .stats
+        .agent_cycles
+        .iter()
+        .map(|c| c.queue_full + c.queue_empty + c.sem + c.mem_bus + c.module_bus)
+        .sum();
+    assert!(stalls > 0, "a decoupled pipeline must stall somewhere");
 }
 
 /// A software thread blocked forever on an empty queue must be reported

@@ -28,6 +28,25 @@ pub trait Strategy {
     {
         FlatMap { inner: self, f }
     }
+
+    /// Type-erase this strategy so heterogeneous strategies can share a
+    /// `prop_oneof!` / `Union` (mirrors real proptest's `boxed`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy (`Strategy::boxed`).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
 }
 
 /// Always produces a clone of the given value.

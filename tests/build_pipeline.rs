@@ -94,10 +94,15 @@ fn chstone_cold_and_warm_builds_identical() {
     let warm = Compiler::new().partitions(bench.partitions).build_on(&graph);
     let warm_rep = warm.simulate_hybrid(inp).unwrap();
     let warm_verilog = warm.verilog();
+    let after_warm = graph.counters();
     assert_eq!(
-        graph.counters(),
-        after_first,
-        "the warm build must be served entirely from the artifact cache"
+        after_warm.runs(),
+        after_first.runs(),
+        "the warm build must be served entirely from the artifact cache: {after_warm:?}"
+    );
+    assert!(
+        after_warm.hits() > after_first.hits(),
+        "warm demands must register as cache hits: {after_warm:?} vs {after_first:?}"
     );
     assert_eq!(warm_rep.cycles, cold_rep.cycles);
     assert_eq!(warm_rep.output, cold_rep.output);
