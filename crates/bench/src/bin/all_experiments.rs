@@ -1,30 +1,37 @@
 //! Runs every experiment in sequence (the data source for EXPERIMENTS.md).
 //!
 //! ```console
-//! all_experiments [--trace FILE] [--metrics FILE]
+//! all_experiments [--trace FILE] [--metrics FILE] [--obs-ring-capacity N]
 //! ```
 //!
 //! `--trace` / `--metrics` additionally run a traced hybrid of the
 //! blowfish benchmark (the §6.4 case study) and write the Perfetto
-//! `trace_event` JSON / metrics JSON for it.
+//! `trace_event` JSON / metrics JSON for it; `--obs-ring-capacity`
+//! bounds the event ring for that traced run (default 2^22).
 
 use std::process::Command;
 
 use twill::experiments::benchmark_graph;
 use twill::Compiler;
 
+fn usage() -> ! {
+    eprintln!("usage: all_experiments [--trace FILE] [--metrics FILE] [--obs-ring-capacity N]");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut trace: Option<String> = None;
     let mut metrics: Option<String> = None;
+    let mut ring_capacity: usize = 1 << 22;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => trace = it.next(),
             "--metrics" => metrics = it.next(),
-            _ => {
-                eprintln!("usage: all_experiments [--trace FILE] [--metrics FILE]");
-                std::process::exit(2);
+            "--obs-ring-capacity" => {
+                ring_capacity = twill_bench::parse_ring_capacity(&mut it).unwrap_or_else(|| usage())
             }
+            _ => usage(),
         }
     }
 
@@ -51,12 +58,12 @@ fn main() {
         let build = Compiler::new().partitions(b.partitions).build_on(&graph);
         let input = chstone::input_for(b.name, b.default_scale);
         let cfg = twill::SimulationConfig {
-            trace_events: if trace.is_some() { 1 << 22 } else { 0 },
+            trace_events: if trace.is_some() { ring_capacity } else { 0 },
             ..build.sim_config()
         };
         let rep = build.simulate_hybrid_with(input, &cfg).expect("hybrid simulation");
-        println!("\n=== blowfish hybrid profile ===\n");
-        println!("{}", rep.metrics().profile_table());
+        println!();
+        println!("{}", twill_obs::profile_report("blowfish hybrid profile", &rep.metrics(), None));
         if let Some(f) = &trace {
             let json = rep.trace_builder().spans(graph.spans()).build();
             std::fs::write(f, json).expect("write trace");

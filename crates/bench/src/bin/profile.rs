@@ -2,6 +2,7 @@
 //!
 //! ```console
 //! profile [BENCH] [--scale N] [--trace FILE] [--metrics FILE]
+//!         [--obs-ring-capacity N]
 //! ```
 //!
 //! With no benchmark name, profiles all eight. Prints the per-thread
@@ -10,12 +11,17 @@
 //! `--trace` writes a Chrome/Perfetto `trace_event` JSON of the run
 //! (compiler stages + cycle timeline, open at <https://ui.perfetto.dev>),
 //! `--metrics` writes the structured metrics report as JSON.
+//! `--obs-ring-capacity` bounds the event ring used with `--trace`
+//! (default 2^22 events; overflow is reported, never silent).
 
 use twill::experiments::benchmark_graph;
 use twill::Compiler;
 
 fn usage() -> ! {
-    eprintln!("usage: profile [BENCH] [--scale N] [--trace FILE] [--metrics FILE]");
+    eprintln!(
+        "usage: profile [BENCH] [--scale N] [--trace FILE] [--metrics FILE] \
+         [--obs-ring-capacity N]"
+    );
     std::process::exit(2);
 }
 
@@ -24,6 +30,7 @@ fn main() {
     let mut scale: Option<u32> = None;
     let mut trace: Option<String> = None;
     let mut metrics: Option<String> = None;
+    let mut ring_capacity: usize = 1 << 22;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -32,6 +39,9 @@ fn main() {
             }
             "--trace" => trace = Some(it.next().unwrap_or_else(|| usage())),
             "--metrics" => metrics = Some(it.next().unwrap_or_else(|| usage())),
+            "--obs-ring-capacity" => {
+                ring_capacity = twill_bench::parse_ring_capacity(&mut it).unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && bench.is_none() => bench = Some(other.to_string()),
             _ => usage(),
@@ -57,12 +67,20 @@ fn main() {
         let build = Compiler::new().partitions(b.partitions).build_on(&graph);
         let input = chstone::input_for(b.name, scale.unwrap_or(b.default_scale));
         let cfg = twill::SimulationConfig {
-            trace_events: if trace.is_some() { 1 << 22 } else { 0 },
+            trace_events: if trace.is_some() { ring_capacity } else { 0 },
             ..build.sim_config()
         };
         let rep = build.simulate_hybrid_with(input, &cfg).expect("hybrid simulation");
-        println!("=== {} ({} cycles) ===", b.name, rep.cycles);
-        println!("{}", rep.metrics().profile_table());
+        let c = graph.counters();
+        let spans = graph.spans();
+        println!(
+            "{}",
+            twill_obs::profile_report(
+                b.name,
+                &rep.metrics(),
+                Some(twill_obs::StageSection { spans: &spans, runs: c.runs(), hits: c.hits() }),
+            )
+        );
 
         if let Some(f) = &trace {
             let json = rep.trace_builder().spans(graph.spans()).build();

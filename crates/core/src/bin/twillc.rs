@@ -4,14 +4,17 @@
 //! twillc program.c [--partitions N] [--sw-fraction F] [--queue-depth D]
 //!        [--allow-recursion] [--run] [--input 1,2,3] [--emit-verilog FILE]
 //!        [--emit-ir FILE] [--stats] [--profile] [--trace FILE]
-//!        [--metrics FILE]
+//!        [--metrics FILE] [--compare BASELINE] [--obs-ring-capacity N]
 //! ```
 //!
 //! `--profile` prints the hybrid run's stall/utilization table plus
 //! compiler-stage timings; `--trace` writes a Chrome/Perfetto
 //! `trace_event` JSON (open at <https://ui.perfetto.dev>) with the
 //! compiler stages and the cycle-level simulator timeline; `--metrics`
-//! writes the structured metrics report as JSON.
+//! writes the structured metrics report as JSON; `--compare` diffs the
+//! hybrid run against the matching entry of a recorded baseline
+//! (`BENCH_baseline.json`) and prints the ranked cycle-delta attribution;
+//! `--obs-ring-capacity` bounds the `--trace` event ring (default 2^20).
 
 use std::process::ExitCode;
 use twill::Compiler;
@@ -30,6 +33,8 @@ struct Args {
     profile: bool,
     trace: Option<String>,
     metrics: Option<String>,
+    compare: Option<String>,
+    ring_capacity: usize,
 }
 
 fn usage() -> ! {
@@ -37,7 +42,8 @@ fn usage() -> ! {
         "usage: twillc <program.c> [--partitions N] [--sw-fraction F] \
          [--queue-depth D] [--allow-recursion] [--run] [--input a,b,c] \
          [--emit-verilog FILE] [--emit-ir FILE] [--stats] [--profile] \
-         [--trace FILE] [--metrics FILE]"
+         [--trace FILE] [--metrics FILE] [--compare BASELINE] \
+         [--obs-ring-capacity N]"
     );
     std::process::exit(2);
 }
@@ -57,6 +63,8 @@ fn parse_args() -> Args {
         profile: false,
         trace: None,
         metrics: None,
+        compare: None,
+        ring_capacity: 1 << 20,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -88,6 +96,11 @@ fn parse_args() -> Args {
             "--profile" => args.profile = true,
             "--trace" => args.trace = Some(it.next().unwrap_or_else(|| usage())),
             "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage())),
+            "--compare" => args.compare = Some(it.next().unwrap_or_else(|| usage())),
+            "--obs-ring-capacity" => {
+                args.ring_capacity =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && args.source.is_none() => {
                 args.source = Some(other.to_string())
@@ -163,12 +176,14 @@ fn main() -> ExitCode {
         println!("hardware-thread Verilog written to {f}");
     }
 
-    let observing = args.profile || args.trace.is_some() || args.metrics.is_some();
+    let observing =
+        args.profile || args.trace.is_some() || args.metrics.is_some() || args.compare.is_some();
     if args.run || observing {
-        // One hybrid run serves --run, --profile, --trace and --metrics;
-        // the event recorder is only armed when a trace was requested.
+        // One hybrid run serves --run, --profile, --trace, --metrics and
+        // --compare; the event recorder is only armed when a trace was
+        // requested.
         let cfg = twill::SimulationConfig {
-            trace_events: if args.trace.is_some() { 1 << 20 } else { 0 },
+            trace_events: if args.trace.is_some() { args.ring_capacity } else { 0 },
             ..build.sim_config()
         };
         let tw = match build.simulate_hybrid_with(args.input.clone(), &cfg) {
@@ -211,13 +226,37 @@ fn main() -> ExitCode {
         }
 
         if args.profile {
-            println!("{}", tw.metrics().profile_table());
             let c = build.graph().counters();
-            println!("compiler stages (wall clock):");
-            for s in build.graph().spans() {
-                println!("  {:<10} {:>9.2} ms", s.name, s.dur_ns as f64 / 1e6);
+            let spans = build.graph().spans();
+            println!(
+                "{}",
+                twill_obs::profile_report(
+                    &name,
+                    &tw.metrics(),
+                    Some(twill_obs::StageSection { spans: &spans, runs: c.runs(), hits: c.hits() }),
+                )
+            );
+        }
+
+        if let Some(f) = &args.compare {
+            let baseline = match twill_obs::Baseline::load(std::path::Path::new(f)) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("twillc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(entry) = baseline.find(&name, "hybrid") else {
+                eprintln!("twillc: no `{name} hybrid` entry in {f}");
+                return ExitCode::FAILURE;
+            };
+            let d = twill_obs::diff(&entry.metrics, &tw.metrics());
+            let label = format!("{name} hybrid");
+            if d.is_zero() {
+                println!("compare {label}: identical to baseline ({} cycles)", entry.cycles());
+            } else {
+                print!("{}", d.render_text(&label));
             }
-            println!("  {} stage run(s), {} cache hit(s)", c.runs(), c.hits());
         }
 
         if let Some(f) = &args.trace {

@@ -1,0 +1,77 @@
+//! Shared human-readable rendering of a profiled run: the one formatter
+//! behind `twillc --profile`, `twill-bench profile`, and the compare
+//! report, so every surface prints the same header, stall/utilization
+//! table, and compiler-stage timing section.
+
+use crate::metrics::SimMetrics;
+use crate::span::Span;
+use std::fmt::Write as _;
+
+/// Compiler-side timing data to append to a profile report: the stage
+/// execution spans plus the `StageCounts` run/hit totals.
+#[derive(Debug, Clone, Copy)]
+pub struct StageSection<'a> {
+    pub spans: &'a [Span],
+    /// Stage executions (cache misses — the work actually done).
+    pub runs: usize,
+    /// Demands answered from a memoization cache.
+    pub hits: usize,
+}
+
+/// Render one run's profile: `=== title (N cycles) ===`, the per-thread
+/// stall/utilization table, and (when provided) the wall-clock compiler
+/// stage timings.
+pub fn profile_report(title: &str, m: &SimMetrics, stages: Option<StageSection<'_>>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {title} ({} cycles) ===", m.cycles);
+    out.push_str(&m.profile_table());
+    if let Some(s) = stages {
+        out.push_str("compiler stages (wall clock):\n");
+        for span in s.spans {
+            let _ = writeln!(out, "  {:<10} {:>9.2} ms", span.name, span.dur_ns as f64 / 1e6);
+        }
+        let _ = writeln!(out, "  {} stage run(s), {} cache hit(s)", s.runs, s.hits);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ThreadMetrics;
+
+    fn metrics() -> SimMetrics {
+        SimMetrics {
+            cycles: 500,
+            threads: vec![ThreadMetrics {
+                name: "cpu".into(),
+                busy: 400,
+                idle: 100,
+                ..Default::default()
+            }],
+            queues: vec![],
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn header_table_and_stage_section() {
+        let spans = [Span { name: "dswp".into(), start_ns: 0, dur_ns: 2_500_000 }];
+        let r = profile_report(
+            "aes",
+            &metrics(),
+            Some(StageSection { spans: &spans, runs: 3, hits: 1 }),
+        );
+        assert!(r.starts_with("=== aes (500 cycles) ==="), "{r}");
+        assert!(r.contains("busy%"), "{r}");
+        assert!(r.contains("dswp"), "{r}");
+        assert!(r.contains("2.50 ms"), "{r}");
+        assert!(r.contains("3 stage run(s), 1 cache hit(s)"), "{r}");
+    }
+
+    #[test]
+    fn stage_section_is_optional() {
+        let r = profile_report("aes", &metrics(), None);
+        assert!(!r.contains("compiler stages"), "{r}");
+    }
+}

@@ -5,7 +5,11 @@
 //! exporters (Chrome/Perfetto `trace_event` JSON, metrics JSON, profile
 //! tables). `twill-rt` threads these hooks through the cycle simulator
 //! behind its `obs` feature; `twill` (core) adds compiler-stage spans on
-//! the same timeline.
+//! the same timeline. On top of the metrics sit the perf-regression
+//! tools (DESIGN.md §9): the versioned [`baseline`] store
+//! (`BENCH_baseline.json`), the [`diff`] engine that attributes a cycle
+//! delta to stall classes / queues / critical-stage shifts, and the
+//! shared [`fmt`] profile renderer.
 //!
 //! Design constraints (DESIGN.md §8):
 //! * **Zero cost when disabled** — the simulator's hot path only ever
@@ -20,14 +24,20 @@
 //!   ([`Ring::dropped`], `SimReport::dropped_events`, and the
 //!   `otherData.dropped_events` field of the Perfetto export).
 
+pub mod baseline;
+pub mod diff;
 pub mod event;
+pub mod fmt;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
 pub mod ring;
 pub mod span;
 
+pub use baseline::{Baseline, BaselineEntry, StageTimings};
+pub use diff::{diff, MetricsDiff};
 pub use event::{Event, EventKind, OpClass};
+pub use fmt::{profile_report, StageSection};
 pub use metrics::{MetricsSummary, QueueMetrics, SimMetrics, ThreadMetrics};
 pub use perfetto::TraceBuilder;
 pub use ring::Ring;

@@ -220,6 +220,61 @@ impl SimMetrics {
         out
     }
 
+    /// Parse a metrics document produced by [`SimMetrics::to_json`] (or
+    /// embedded in a baseline file) back into a `SimMetrics`. Derived
+    /// fields (`utilization`, `mean_occupancy`, `critical_thread`) are
+    /// recomputed, not read.
+    pub fn from_json(doc: &json::Json) -> Result<SimMetrics, String> {
+        let u64_field = |obj: &json::Json, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("metrics: missing or non-integer field {key:?}"))
+        };
+        let str_field = |obj: &json::Json, key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("metrics: missing or non-string field {key:?}"))
+        };
+        let mut m = SimMetrics {
+            cycles: u64_field(doc, "cycles")?,
+            dropped_events: u64_field(doc, "dropped_events")?,
+            ..Default::default()
+        };
+        for t in doc.get("threads").and_then(|v| v.as_arr()).unwrap_or(&[]) {
+            m.threads.push(ThreadMetrics {
+                name: str_field(t, "name")?,
+                busy: u64_field(t, "busy")?,
+                queue_full: u64_field(t, "queue_full")?,
+                queue_empty: u64_field(t, "queue_empty")?,
+                sem: u64_field(t, "sem")?,
+                mem_bus: u64_field(t, "mem_bus")?,
+                module_bus: u64_field(t, "module_bus")?,
+                idle: u64_field(t, "idle")?,
+            });
+        }
+        for q in doc.get("queues").and_then(|v| v.as_arr()).unwrap_or(&[]) {
+            let hist = q
+                .get("occupancy_hist")
+                .and_then(|v| v.as_arr())
+                .ok_or("metrics: queue missing occupancy_hist")?
+                .iter()
+                .map(|n| n.as_u64().ok_or("metrics: non-integer histogram bin"))
+                .collect::<Result<Vec<u64>, _>>()?;
+            m.queues.push(QueueMetrics {
+                name: str_field(q, "name")?,
+                depth: u64_field(q, "depth")? as u32,
+                pushes: u64_field(q, "pushes")?,
+                pops: u64_field(q, "pops")?,
+                high_water: u64_field(q, "high_water")? as u32,
+                full_stalls: u64_field(q, "full_stalls")?,
+                empty_stalls: u64_field(q, "empty_stalls")?,
+                occupancy_hist: hist,
+            });
+        }
+        Ok(m)
+    }
+
     /// The `twillc --profile` stall/utilization table.
     pub fn profile_table(&self) -> String {
         let mut out = String::new();
@@ -370,6 +425,20 @@ mod tests {
         let q = &doc.get("queues").unwrap().as_arr().unwrap()[0];
         assert_eq!(q.get("high_water").unwrap().as_u64(), Some(6));
         assert_eq!(q.get("occupancy_hist").unwrap().as_arr().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn json_round_trips_to_equal_metrics() {
+        let m = sample();
+        let doc = crate::json::parse(&m.to_json()).unwrap();
+        assert_eq!(SimMetrics::from_json(&doc).unwrap(), m);
+    }
+
+    #[test]
+    fn from_json_reports_missing_fields() {
+        let doc = crate::json::parse(r#"{"cycles": 10}"#).unwrap();
+        let err = SimMetrics::from_json(&doc).unwrap_err();
+        assert!(err.contains("dropped_events"), "{err}");
     }
 
     #[test]

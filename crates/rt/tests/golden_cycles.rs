@@ -1,30 +1,40 @@
 //! Golden cycle-count regression for the observability layer: with tracing
 //! disabled (the default `SimConfig`), adding the metrics counters and
-//! event hooks must not change simulated timing by even one cycle. These
-//! numbers were captured from the simulator before the tracing layer
-//! landed; any drift means an instrumentation hook leaked into the cycle
-//! math.
+//! event hooks must not change simulated timing by even one cycle. The
+//! expected numbers live in the committed `BENCH_baseline.json` at the
+//! repo root (recorded with `twill-bench baseline`); any drift means
+//! either an instrumentation hook leaked into the cycle math or a real
+//! behaviour change that needs a deliberately re-recorded baseline.
 
 use twill_dswp::{run_dswp, DswpOptions};
 use twill_rt::{simulate_hybrid, simulate_pure_hw, simulate_pure_sw, SimConfig};
 
+/// Loads the committed baseline and returns
 /// (benchmark, sw cycles, pure-hw cycles, hybrid cycles) at scale 1.
-const GOLDEN: &[(&str, u64, u64, u64)] = &[
-    ("mips", 123_324, 24_206, 24_833),
-    ("adpcm", 31_370, 2_419, 2_433),
-    ("aes", 24_541, 2_181, 1_736),
-    ("blowfish", 370_249, 74_319, 102_567),
-    ("gsm", 19_221, 4_351, 4_365),
-    ("jpeg", 77_393, 18_006, 25_325),
-    ("motion", 8_719_931, 1_636_795, 1_927_860),
-    ("sha", 22_341, 3_361, 3_375),
-];
+fn golden_from_baseline() -> Vec<(String, u64, u64, u64)> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_baseline.json");
+    let base = twill_obs::Baseline::load(&path).expect("load committed BENCH_baseline.json");
+    chstone::all()
+        .iter()
+        .map(|b| {
+            let cycles = |mode: &str| {
+                let e = base
+                    .find(b.name, mode)
+                    .unwrap_or_else(|| panic!("{} {mode} missing from baseline", b.name));
+                assert_eq!(e.scale, 1, "{} {mode}: golden test expects scale-1 entries", b.name);
+                e.cycles()
+            };
+            (b.name.to_string(), cycles("sw"), cycles("hw"), cycles("hybrid"))
+        })
+        .collect()
+}
 
 #[test]
-fn cycle_counts_match_pre_instrumentation_golden() {
+fn cycle_counts_match_committed_baseline() {
     let cfg = SimConfig::default();
     assert_eq!(cfg.trace_events, 0, "golden run must have tracing disabled");
-    for &(name, sw_gold, hw_gold, hy_gold) in GOLDEN {
+    for (name, sw_gold, hw_gold, hy_gold) in golden_from_baseline() {
+        let name = name.as_str();
         let b = chstone::by_name(name).unwrap();
         let m = chstone::compile_and_prepare(&b);
         let input = chstone::input_for(b.name, 1);
