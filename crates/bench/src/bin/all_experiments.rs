@@ -67,9 +67,11 @@ fn main() {
         if let Some(f) = &trace {
             let json = rep.trace_builder().spans(graph.spans()).build();
             std::fs::write(f, json).expect("write trace");
-            println!(
-                "Perfetto trace written to {f} ({} event(s), {} dropped)",
-                rep.events.len(),
+            println!("Perfetto trace written to {f} ({} event(s))", rep.events.len());
+        }
+        if rep.dropped_events > 0 {
+            eprintln!(
+                "all_experiments: WARN: trace truncated: {} event(s) dropped — raise --obs-ring-capacity",
                 rep.dropped_events
             );
         }

@@ -2,7 +2,8 @@
 //!
 //! ```console
 //! profile [BENCH] [--scale N] [--trace FILE] [--metrics FILE]
-//!         [--obs-ring-capacity N]
+//!         [--annotate-out FILE] [--folded-out FILE]
+//!         [--obs-ring-capacity N] [--strict-obs]
 //! ```
 //!
 //! With no benchmark name, profiles all eight. Prints the per-thread
@@ -10,9 +11,12 @@
 //! memory-bus / module-bus / idle) and names the critical pipeline stage;
 //! `--trace` writes a Chrome/Perfetto `trace_event` JSON of the run
 //! (compiler stages + cycle timeline, open at <https://ui.perfetto.dev>),
-//! `--metrics` writes the structured metrics report as JSON.
-//! `--obs-ring-capacity` bounds the event ring used with `--trace`
-//! (default 2^22 events; overflow is reported, never silent).
+//! `--metrics` writes the structured metrics report as JSON,
+//! `--annotate-out` writes the benchmark's C source annotated with the
+//! per-line cycles/stall gutter, `--folded-out` writes folded-stack lines
+//! for flamegraph tooling. `--obs-ring-capacity` bounds the event ring
+//! used with `--trace` (default 2^22 events; overflow warns on stderr,
+//! never silent — and exits non-zero under `--strict-obs`).
 
 use twill::experiments::benchmark_graph;
 use twill::Compiler;
@@ -20,7 +24,8 @@ use twill::Compiler;
 fn usage() -> ! {
     eprintln!(
         "usage: profile [BENCH] [--scale N] [--trace FILE] [--metrics FILE] \
-         [--obs-ring-capacity N]"
+         [--annotate-out FILE] [--folded-out FILE] [--obs-ring-capacity N] \
+         [--strict-obs]"
     );
     std::process::exit(2);
 }
@@ -30,7 +35,10 @@ fn main() {
     let mut scale: Option<u32> = None;
     let mut trace: Option<String> = None;
     let mut metrics: Option<String> = None;
+    let mut annotate_out: Option<String> = None;
+    let mut folded_out: Option<String> = None;
     let mut ring_capacity: usize = 1 << 22;
+    let mut strict_obs = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -39,9 +47,12 @@ fn main() {
             }
             "--trace" => trace = Some(it.next().unwrap_or_else(|| usage())),
             "--metrics" => metrics = Some(it.next().unwrap_or_else(|| usage())),
+            "--annotate-out" => annotate_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--folded-out" => folded_out = Some(it.next().unwrap_or_else(|| usage())),
             "--obs-ring-capacity" => {
                 ring_capacity = twill_bench::parse_ring_capacity(&mut it).unwrap_or_else(|| usage())
             }
+            "--strict-obs" => strict_obs = true,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && bench.is_none() => bench = Some(other.to_string()),
             _ => usage(),
@@ -57,17 +68,21 @@ fn main() {
         }
         None => chstone::all(),
     };
-    if benches.len() > 1 && (trace.is_some() || metrics.is_some()) {
-        eprintln!("profile: --trace/--metrics need a single benchmark");
+    if benches.len() > 1
+        && (trace.is_some() || metrics.is_some() || annotate_out.is_some() || folded_out.is_some())
+    {
+        eprintln!("profile: --trace/--metrics/--annotate-out/--folded-out need a single benchmark");
         std::process::exit(2);
     }
 
+    let mut obs_data_lost = false;
     for b in &benches {
         let graph = benchmark_graph(b);
         let build = Compiler::new().partitions(b.partitions).build_on(&graph);
         let input = chstone::input_for(b.name, scale.unwrap_or(b.default_scale));
         let cfg = twill::SimulationConfig {
             trace_events: if trace.is_some() { ring_capacity } else { 0 },
+            profile: annotate_out.is_some() || folded_out.is_some(),
             ..build.sim_config()
         };
         let rep = build.simulate_hybrid_with(input, &cfg).expect("hybrid simulation");
@@ -85,15 +100,38 @@ fn main() {
         if let Some(f) = &trace {
             let json = rep.trace_builder().spans(graph.spans()).build();
             std::fs::write(f, json).expect("write trace");
-            println!(
-                "Perfetto trace written to {f} ({} event(s), {} dropped)",
-                rep.events.len(),
-                rep.dropped_events
-            );
+            println!("Perfetto trace written to {f} ({} event(s))", rep.events.len());
         }
         if let Some(f) = &metrics {
             std::fs::write(f, rep.metrics().to_json()).expect("write metrics");
             println!("metrics JSON written to {f}");
         }
+        if annotate_out.is_some() || folded_out.is_some() {
+            let sp = rep
+                .source_profile(&build.dswp().module)
+                .expect("source profile requested but missing");
+            if let Some(f) = &annotate_out {
+                let mut text = sp.annotate_source(b.source);
+                text.push('\n');
+                text.push_str(&sp.report(10));
+                std::fs::write(f, text).expect("write annotated source");
+                println!("annotated source written to {f}");
+            }
+            if let Some(f) = &folded_out {
+                std::fs::write(f, sp.folded_stacks()).expect("write folded stacks");
+                println!("folded stacks written to {f} (feed to flamegraph.pl / inferno)");
+            }
+        }
+        if rep.dropped_events > 0 {
+            obs_data_lost = true;
+            eprintln!(
+                "profile: WARN: trace truncated for {}: {} event(s) dropped — raise --obs-ring-capacity",
+                b.name, rep.dropped_events
+            );
+        }
+    }
+    if strict_obs && obs_data_lost {
+        eprintln!("profile: --strict-obs: observability data was lost");
+        std::process::exit(1);
     }
 }

@@ -3,18 +3,29 @@
 //! ```console
 //! twillc program.c [--partitions N] [--sw-fraction F] [--queue-depth D]
 //!        [--allow-recursion] [--run] [--input 1,2,3] [--emit-verilog FILE]
-//!        [--emit-ir FILE] [--stats] [--profile] [--trace FILE]
-//!        [--metrics FILE] [--compare BASELINE] [--obs-ring-capacity N]
+//!        [--emit-ir FILE] [--stats] [--profile] [--annotate]
+//!        [--folded FILE] [--profile-json FILE] [--trace FILE]
+//!        [--metrics FILE] [--compare BASELINE]
+//!        [--compare-profile PROFILE.json] [--obs-ring-capacity N]
+//!        [--strict-obs]
 //! ```
 //!
 //! `--profile` prints the hybrid run's stall/utilization table plus
-//! compiler-stage timings; `--trace` writes a Chrome/Perfetto
+//! compiler-stage timings; `--annotate` reprints the C source with a
+//! per-line cycles/stall-class gutter (plus the top stall sites);
+//! `--folded` writes folded-stack lines for flamegraph tooling;
+//! `--profile-json` writes the line-granular profile as JSON (feed it to
+//! a later `--compare-profile`); `--trace` writes a Chrome/Perfetto
 //! `trace_event` JSON (open at <https://ui.perfetto.dev>) with the
 //! compiler stages and the cycle-level simulator timeline; `--metrics`
 //! writes the structured metrics report as JSON; `--compare` diffs the
 //! hybrid run against the matching entry of a recorded baseline
-//! (`BENCH_baseline.json`) and prints the ranked cycle-delta attribution;
-//! `--obs-ring-capacity` bounds the `--trace` event ring (default 2^20).
+//! (`BENCH_baseline.json`) and prints the ranked cycle-delta attribution
+//! — add `--compare-profile` with a previously saved `--profile-json`
+//! file and the diff also names the source line the regression comes
+//! from; `--obs-ring-capacity` bounds the `--trace` event ring (default
+//! 2^20). `--strict-obs` turns observability data loss (trace
+//! truncation) into a non-zero exit instead of just a warning.
 
 use std::process::ExitCode;
 use twill::Compiler;
@@ -31,10 +42,15 @@ struct Args {
     emit_ir: Option<String>,
     stats: bool,
     profile: bool,
+    annotate: bool,
+    folded: Option<String>,
+    profile_json: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
     compare: Option<String>,
+    compare_profile: Option<String>,
     ring_capacity: usize,
+    strict_obs: bool,
 }
 
 fn usage() -> ! {
@@ -42,8 +58,10 @@ fn usage() -> ! {
         "usage: twillc <program.c> [--partitions N] [--sw-fraction F] \
          [--queue-depth D] [--allow-recursion] [--run] [--input a,b,c] \
          [--emit-verilog FILE] [--emit-ir FILE] [--stats] [--profile] \
+         [--annotate] [--folded FILE] [--profile-json FILE] \
          [--trace FILE] [--metrics FILE] [--compare BASELINE] \
-         [--obs-ring-capacity N]"
+         [--compare-profile PROFILE.json] [--obs-ring-capacity N] \
+         [--strict-obs]"
     );
     std::process::exit(2);
 }
@@ -61,10 +79,15 @@ fn parse_args() -> Args {
         emit_ir: None,
         stats: false,
         profile: false,
+        annotate: false,
+        folded: None,
+        profile_json: None,
         trace: None,
         metrics: None,
         compare: None,
+        compare_profile: None,
         ring_capacity: 1 << 20,
+        strict_obs: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -94,9 +117,16 @@ fn parse_args() -> Args {
             "--emit-ir" => args.emit_ir = Some(it.next().unwrap_or_else(|| usage())),
             "--stats" => args.stats = true,
             "--profile" => args.profile = true,
+            "--annotate" => args.annotate = true,
+            "--folded" => args.folded = Some(it.next().unwrap_or_else(|| usage())),
+            "--profile-json" => args.profile_json = Some(it.next().unwrap_or_else(|| usage())),
             "--trace" => args.trace = Some(it.next().unwrap_or_else(|| usage())),
             "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage())),
             "--compare" => args.compare = Some(it.next().unwrap_or_else(|| usage())),
+            "--compare-profile" => {
+                args.compare_profile = Some(it.next().unwrap_or_else(|| usage()))
+            }
+            "--strict-obs" => args.strict_obs = true,
             "--obs-ring-capacity" => {
                 args.ring_capacity =
                     it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
@@ -176,14 +206,24 @@ fn main() -> ExitCode {
         println!("hardware-thread Verilog written to {f}");
     }
 
-    let observing =
-        args.profile || args.trace.is_some() || args.metrics.is_some() || args.compare.is_some();
+    let line_profiling = args.annotate
+        || args.folded.is_some()
+        || args.profile_json.is_some()
+        || args.compare_profile.is_some();
+    let observing = args.profile
+        || args.trace.is_some()
+        || args.metrics.is_some()
+        || args.compare.is_some()
+        || line_profiling;
+    let mut obs_data_lost = false;
     if args.run || observing {
-        // One hybrid run serves --run, --profile, --trace, --metrics and
-        // --compare; the event recorder is only armed when a trace was
-        // requested.
+        // One hybrid run serves --run, --profile, --annotate, --folded,
+        // --trace, --metrics and --compare; the event recorder is only
+        // armed when a trace was requested, and per-instruction cycle
+        // attribution only when a line-granular view was.
         let cfg = twill::SimulationConfig {
             trace_events: if args.trace.is_some() { args.ring_capacity } else { 0 },
+            profile: line_profiling,
             ..build.sim_config()
         };
         let tw = match build.simulate_hybrid_with(args.input.clone(), &cfg) {
@@ -238,6 +278,33 @@ fn main() -> ExitCode {
             );
         }
 
+        let source_profile = tw.source_profile(&build.dswp().module);
+
+        if args.annotate {
+            let sp = source_profile.as_ref().expect("profiling was enabled");
+            print!("{}", sp.annotate_source(&src));
+            println!();
+            print!("{}", sp.report(10));
+        }
+
+        if let Some(f) = &args.folded {
+            let sp = source_profile.as_ref().expect("profiling was enabled");
+            if let Err(e) = std::fs::write(f, sp.folded_stacks()) {
+                eprintln!("twillc: cannot write {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("folded stacks written to {f} (feed to flamegraph.pl / inferno)");
+        }
+
+        if let Some(f) = &args.profile_json {
+            let sp = source_profile.as_ref().expect("profiling was enabled");
+            if let Err(e) = std::fs::write(f, sp.to_json()) {
+                eprintln!("twillc: cannot write {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("line-granular profile written to {f}");
+        }
+
         if let Some(f) = &args.compare {
             let baseline = match twill_obs::Baseline::load(std::path::Path::new(f)) {
                 Ok(b) => b,
@@ -250,12 +317,35 @@ fn main() -> ExitCode {
                 eprintln!("twillc: no `{name} hybrid` entry in {f}");
                 return ExitCode::FAILURE;
             };
+            // With a saved line-granular profile, name the source line
+            // the regression comes from.
+            let hint = args.compare_profile.as_ref().and_then(|pf| {
+                let text = match std::fs::read_to_string(pf) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("twillc: cannot read {pf}: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                let base_profile = twill_obs::json::parse(&text)
+                    .and_then(|doc| twill_obs::SourceProfile::from_json(&doc))
+                    .unwrap_or_else(|e| {
+                        eprintln!("twillc: {pf}: {e}");
+                        std::process::exit(1);
+                    });
+                let cur = source_profile.as_ref().expect("profiling was enabled");
+                twill_obs::line_regression(&base_profile, cur)
+            });
             let d = twill_obs::diff(&entry.metrics, &tw.metrics());
             let label = format!("{name} hybrid");
             if d.is_zero() {
                 println!("compare {label}: identical to baseline ({} cycles)", entry.cycles());
             } else {
-                print!("{}", d.render_text(&label));
+                let file = std::path::Path::new(&path)
+                    .file_name()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or(&path);
+                print!("{}", d.render_text_with_line_hint(&label, hint.map(|(l, c)| (file, l, c))));
             }
         }
 
@@ -279,6 +369,19 @@ fn main() -> ExitCode {
             }
             println!("metrics JSON written to {f}");
         }
+
+        if tw.dropped_events > 0 {
+            obs_data_lost = true;
+            eprintln!(
+                "twillc: WARN: trace truncated: {} event(s) dropped — \
+                 raise --obs-ring-capacity",
+                tw.dropped_events
+            );
+        }
+    }
+    if args.strict_obs && obs_data_lost {
+        eprintln!("twillc: --strict-obs: observability data was lost");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

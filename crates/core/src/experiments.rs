@@ -45,6 +45,16 @@ fn input(b: &Benchmark, scale: Option<u32>) -> Vec<i32> {
     chstone::input_for(b.name, scale.unwrap_or(b.default_scale))
 }
 
+/// Fan-out width for the Fig 6.3–6.6 sweeps: each sweep point's hybrid
+/// simulation runs on its own thread. Points share the memoized build
+/// artifacts read-only (`&DswpResult` / `&ModuleSchedule`) and each writes
+/// only its own row slot, so any width produces rows byte-identical to the
+/// serial loop (see `twill_passes::par`; pinned by
+/// `sweep_rows_identical_serial_vs_parallel`).
+fn sweep_threads() -> usize {
+    twill_passes::par::default_threads()
+}
+
 // ---------------------------------------------------------------------------
 // Table 6.1
 // ---------------------------------------------------------------------------
@@ -244,27 +254,45 @@ pub struct SplitSweepRow {
 /// Sweep the targeted SW/HW split point for a benchmark with 2 partitions
 /// (Fig 6.3: mips, Fig 6.4: blowfish).
 pub fn fig_6_3_4(bench_name: &str, scale: Option<u32>) -> Vec<SplitSweepRow> {
+    fig_6_3_4_with_threads(bench_name, scale, sweep_threads())
+}
+
+/// [`fig_6_3_4`] with an explicit fan-out width (`threads <= 1` runs the
+/// plain serial loop).
+pub fn fig_6_3_4_with_threads(
+    bench_name: &str,
+    scale: Option<u32>,
+    threads: usize,
+) -> Vec<SplitSweepRow> {
     let b = chstone::by_name(bench_name).expect("unknown benchmark");
     let graph = benchmark_graph(&b);
     let inp = input(&b, scale);
     let sw_cycles = twill_rt::simulate_pure_sw(graph.prepared(), inp.clone(), &Default::default())
         .expect("pure SW sim")
         .cycles;
-    let mut rows = Vec::new();
-    for pct in [10u32, 20, 30, 40, 50, 60, 70, 80, 90] {
-        let frac = pct as f64 / 100.0;
-        let build =
-            Compiler::new().partitions(2).split_points(vec![frac, 1.0 - frac]).build_on(&graph);
+    // Compile every point serially first — the graph memoizes per split
+    // point and the stage-span log keeps a deterministic order — so the
+    // fan-out below is simulation-only.
+    let points: Vec<(u32, TwillBuild)> = [10u32, 20, 30, 40, 50, 60, 70, 80, 90]
+        .into_iter()
+        .map(|pct| {
+            let frac = pct as f64 / 100.0;
+            let build =
+                Compiler::new().partitions(2).split_points(vec![frac, 1.0 - frac]).build_on(&graph);
+            build.hybrid_schedule();
+            (pct, build)
+        })
+        .collect();
+    twill_passes::par::par_map(&points, threads, |_, (pct, build)| {
         let rep = build.simulate_hybrid(inp.clone()).expect("hybrid sim");
-        rows.push(SplitSweepRow {
-            sw_target_percent: pct,
+        SplitSweepRow {
+            sw_target_percent: *pct,
             cycles: rep.cycles,
             queues: build.stats().queues,
             speedup_vs_sw: sw_cycles as f64 / rep.cycles as f64,
             metrics: rep.metrics().summary(),
-        });
-    }
-    rows
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -284,24 +312,30 @@ pub struct LatencySweepRow {
 pub const LATENCY_POINTS: [u32; 7] = [2, 4, 8, 16, 32, 64, 128];
 
 pub fn fig_6_5(scale: Option<u32>) -> Vec<LatencySweepRow> {
+    fig_6_5_with_threads(scale, sweep_threads())
+}
+
+/// [`fig_6_5`] with an explicit fan-out width (`threads <= 1` runs the
+/// plain serial loop).
+pub fn fig_6_5_with_threads(scale: Option<u32>, threads: usize) -> Vec<LatencySweepRow> {
     chstone::all()
         .iter()
         .map(|b| {
             let build = build_benchmark(b);
             let inp = input(b, scale);
-            let mut cycles = Vec::new();
-            let mut metrics = Vec::new();
-            for lat in LATENCY_POINTS {
+            // Warm the DSWP artifact and schedule cache serially; the
+            // latency points then only simulate.
+            build.hybrid_schedule();
+            let runs = twill_passes::par::par_map(&LATENCY_POINTS, threads, |_, &lat| {
                 let cfg = twill_rt::SimConfig { queue_latency: lat, ..build.sim_config() };
                 let rep = build.simulate_hybrid_with(inp.clone(), &cfg).expect("sim");
-                cycles.push(rep.cycles);
-                metrics.push(rep.metrics().summary());
-            }
-            let base = cycles[0] as f64;
+                (rep.cycles, rep.metrics().summary())
+            });
+            let base = runs[0].0 as f64;
             LatencySweepRow {
                 name: b.name.into(),
-                normalized: cycles.iter().map(|&c| base / c as f64).collect(),
-                metrics,
+                normalized: runs.iter().map(|r| base / r.0 as f64).collect(),
+                metrics: runs.into_iter().map(|r| r.1).collect(),
             }
         })
         .collect()
@@ -326,36 +360,41 @@ pub struct SizeSweepRow {
 pub const SIZE_POINTS: [u32; 5] = [2, 4, 8, 16, 32];
 
 pub fn fig_6_6(scale: Option<u32>) -> Vec<SizeSweepRow> {
+    fig_6_6_with_threads(scale, sweep_threads())
+}
+
+/// [`fig_6_6`] with an explicit fan-out width (`threads <= 1` runs the
+/// plain serial loop).
+pub fn fig_6_6_with_threads(scale: Option<u32>, threads: usize) -> Vec<SizeSweepRow> {
     chstone::all()
         .iter()
         .map(|b| {
             let build = build_benchmark(b);
             let inp = input(b, scale);
-            let mut cycles = Vec::new();
-            let mut fits = Vec::new();
-            let mut metrics = Vec::new();
-            for depth in SIZE_POINTS {
+            // Warm the artifacts serially; the per-depth area math below is
+            // pure, so the depth points are simulation + arithmetic only.
+            build.hybrid_schedule();
+            let hw_threads = build.dswp().threads.iter().filter(|t| t.is_hw).count() as u32;
+            let hw_area = build.area().twill_hw_threads;
+            let runs = twill_passes::par::par_map(&SIZE_POINTS, threads, |_, &depth| {
                 let cfg = twill_rt::SimConfig { queue_depth: Some(depth), ..build.sim_config() };
                 let rep = build.simulate_hybrid_with(inp.clone(), &cfg).expect("sim");
-                metrics.push(rep.metrics().summary());
-                cycles.push(rep.cycles);
                 // Area with this queue depth.
                 let mut m2 = build.dswp().module.clone();
                 for q in &mut m2.queues {
                     q.depth = depth;
                 }
-                let hw_threads = build.dswp().threads.iter().filter(|t| t.is_hw).count() as u32;
-                let mut area = build.area().twill_hw_threads;
+                let mut area = hw_area;
                 area.add(twill_hls::area::runtime_area(&m2, hw_threads, 1));
                 area.add(twill_hls::area::microblaze_area());
-                fits.push(twill_hls::area::fits_device(&area));
-            }
-            let base = cycles[2] as f64; // depth 8 is the paper baseline
+                (rep.cycles, twill_hls::area::fits_device(&area), rep.metrics().summary())
+            });
+            let base = runs[2].0 as f64; // depth 8 is the paper baseline
             SizeSweepRow {
                 name: b.name.into(),
-                normalized: cycles.iter().map(|&c| base / c as f64).collect(),
-                fits_device: fits,
-                metrics,
+                normalized: runs.iter().map(|r| base / r.0 as f64).collect(),
+                fits_device: runs.iter().map(|r| r.1).collect(),
+                metrics: runs.into_iter().map(|r| r.2).collect(),
             }
         })
         .collect()
@@ -460,6 +499,24 @@ mod tests {
             assert!(twill < 1.0, "{}: Twill should be below SW", row.name);
             assert!(hw <= twill + 1e-9, "{}: pure HW lowest", row.name);
         }
+    }
+
+    #[test]
+    fn sweep_rows_identical_serial_vs_parallel() {
+        // The sweep fan-out must be invisible: any thread count yields rows
+        // byte-identical to the serial loop (same artifacts, same sims,
+        // same slot order).
+        let serial = fig_6_3_4_with_threads("mips", Some(1), 1);
+        let parallel = fig_6_3_4_with_threads("mips", Some(1), 4);
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+
+        let serial = fig_6_5_with_threads(Some(1), 1);
+        let parallel = fig_6_5_with_threads(Some(1), 5);
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+
+        let serial = fig_6_6_with_threads(Some(1), 1);
+        let parallel = fig_6_6_with_threads(Some(1), 3);
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
     }
 
     #[test]

@@ -1055,7 +1055,7 @@ fn build_partition_function(
                                 )
                             })
                             .collect();
-                        let nid = nf.create_inst(Op::Phi(inc), inst.ty);
+                        let nid = nf.create_inst_at(Op::Phi(inc), inst.ty, f.loc(iid));
                         // Phis form the prefix; push at front section.
                         let nphis = nf
                             .block(nb)
@@ -1095,7 +1095,7 @@ fn build_partition_function(
                                 )
                             })
                             .collect();
-                        let nid = nf.create_inst(Op::Phi(inc), inst.ty);
+                        let nid = nf.create_inst_at(Op::Phi(inc), inst.ty, f.loc(iid));
                         let nphis = nf
                             .block(nb)
                             .insts
@@ -1106,15 +1106,22 @@ fn build_partition_function(
                         vmap.insert(iid, Value::Inst(nid));
                     } else if needed.contains(&iid) {
                         let q = qmap[&QKey::Data(fid.0, iid, p)];
-                        let nid =
-                            nf.create_inst(Op::Intrin(Intr::Dequeue(q), vec![]), dq_ty(inst.ty));
+                        let nid = nf.create_inst_at(
+                            Op::Intrin(Intr::Dequeue(q), vec![]),
+                            dq_ty(inst.ty),
+                            f.loc(iid),
+                        );
                         cursor.push(nid);
                         vmap.insert(iid, Value::Inst(nid));
                     }
                     if let Some(prods) = tokens.get(&iid) {
                         for &prod in prods {
                             let q = qmap[&QKey::Token(fid.0, iid, prod, p)];
-                            let nid = nf.create_inst(Op::Intrin(Intr::Dequeue(q), vec![]), Ty::I1);
+                            let nid = nf.create_inst_at(
+                                Op::Intrin(Intr::Dequeue(q), vec![]),
+                                Ty::I1,
+                                f.loc(iid),
+                            );
                             cursor.push(nid);
                         }
                     }
@@ -1135,8 +1142,11 @@ fn build_partition_function(
                         } else {
                             Ty::Void
                         };
-                        let nid =
-                            nf.create_inst(Op::Call(func_ids[callee.index()][p], cargs), crets);
+                        let nid = nf.create_inst_at(
+                            Op::Call(func_ids[callee.index()][p], cargs),
+                            crets,
+                            f.loc(iid),
+                        );
                         cursor.push(nid);
                         if crets != Ty::Void {
                             vmap.insert(iid, Value::Inst(nid));
@@ -1163,6 +1173,7 @@ fn build_partition_function(
                                 p,
                                 qmap,
                                 &token_consumers,
+                                f,
                             );
                         }
                     }
@@ -1170,15 +1181,22 @@ fn build_partition_function(
                     // not result-owning here).
                     if !vmap.contains_key(&iid) && needed.contains(&iid) {
                         let q = qmap[&QKey::Data(fid.0, iid, p)];
-                        let nid =
-                            nf.create_inst(Op::Intrin(Intr::Dequeue(q), vec![]), dq_ty(inst.ty));
+                        let nid = nf.create_inst_at(
+                            Op::Intrin(Intr::Dequeue(q), vec![]),
+                            dq_ty(inst.ty),
+                            f.loc(iid),
+                        );
                         cursor.push(nid);
                         vmap.insert(iid, Value::Inst(nid));
                     }
                     if let Some(prods) = tokens.get(&iid) {
                         for &prod in prods {
                             let q = qmap[&QKey::Token(fid.0, iid, prod, p)];
-                            let nid = nf.create_inst(Op::Intrin(Intr::Dequeue(q), vec![]), Ty::I1);
+                            let nid = nf.create_inst_at(
+                                Op::Intrin(Intr::Dequeue(q), vec![]),
+                                Ty::I1,
+                                f.loc(iid),
+                            );
                             cursor.push(nid);
                         }
                     }
@@ -1192,7 +1210,7 @@ fn build_partition_function(
                         if let Op::FuncAddr(t) = &mut new_op {
                             *t = func_ids[t.index()][0];
                         }
-                        let nid = nf.create_inst(new_op, inst.ty);
+                        let nid = nf.create_inst_at(new_op, inst.ty, f.loc(iid));
                         cursor.push(nid);
                         if inst.ty != Ty::Void {
                             vmap.insert(iid, Value::Inst(nid));
@@ -1216,21 +1234,27 @@ fn build_partition_function(
                             // already mapped earlier in RPO.
                             let mut new_op = op.clone();
                             new_op.for_each_value_mut(|v| *v = remap(*v, &vmap));
-                            let nid = nf.create_inst(new_op, inst.ty);
+                            let nid = nf.create_inst_at(new_op, inst.ty, f.loc(iid));
                             cursor.push(nid);
                             vmap.insert(iid, Value::Inst(nid));
                         } else if needed.contains(&iid) {
                             let q = qmap[&QKey::Data(fid.0, iid, p)];
-                            let nid = nf
-                                .create_inst(Op::Intrin(Intr::Dequeue(q), vec![]), dq_ty(inst.ty));
+                            let nid = nf.create_inst_at(
+                                Op::Intrin(Intr::Dequeue(q), vec![]),
+                                dq_ty(inst.ty),
+                                f.loc(iid),
+                            );
                             cursor.push(nid);
                             vmap.insert(iid, Value::Inst(nid));
                         }
                         if let Some(prods) = tokens.get(&iid) {
                             for &prod in prods {
                                 let q = qmap[&QKey::Token(fid.0, iid, prod, p)];
-                                let nid =
-                                    nf.create_inst(Op::Intrin(Intr::Dequeue(q), vec![]), Ty::I1);
+                                let nid = nf.create_inst_at(
+                                    Op::Intrin(Intr::Dequeue(q), vec![]),
+                                    Ty::I1,
+                                    f.loc(iid),
+                                );
                                 cursor.push(nid);
                             }
                         }
@@ -1262,7 +1286,7 @@ fn build_partition_function(
             (Op::Switch(..), None) => panic!("switch must be lowered before DSWP"),
             (other, None) => panic!("unexpected terminator {other:?}"),
         };
-        let tid = nf.create_inst(new_term, Ty::Void);
+        let tid = nf.create_inst_at(new_term, Ty::Void, f.loc(term));
         cursor.push(tid);
         nf.block_mut(nb).insts.extend(cursor);
     }
@@ -1312,25 +1336,32 @@ fn emit_enqueues(
     qmap: &BTreeMap<QKey, QueueId>,
     data_consumers: &HashMap<InstId, Vec<usize>>,
     token_consumers: &HashMap<InstId, Vec<usize>>,
-    _f: &Function,
+    f: &Function,
 ) {
+    // Queue traffic attributes to the line of the value it forwards.
+    let loc = f.loc(def);
     if let Some(cs) = data_consumers.get(&def) {
         for &c in cs {
             let q = qmap[&QKey::Data(fid.0, def, c)];
-            let e = nf.create_inst(Op::Intrin(Intr::Enqueue(q), vec![val]), Ty::Void);
+            let e = nf.create_inst_at(Op::Intrin(Intr::Enqueue(q), vec![val]), Ty::Void, loc);
             cursor.push(e);
         }
     }
     if let Some(cs) = token_consumers.get(&def) {
         for &c in cs {
             let q = qmap[&QKey::Token(fid.0, def, p, c)];
-            let e = nf.create_inst(Op::Intrin(Intr::Enqueue(q), vec![Value::imm1(true)]), Ty::Void);
+            let e = nf.create_inst_at(
+                Op::Intrin(Intr::Enqueue(q), vec![Value::imm1(true)]),
+                Ty::Void,
+                loc,
+            );
             cursor.push(e);
         }
     }
 }
 
 /// Token-only producer signalling (void calls).
+#[allow(clippy::too_many_arguments)]
 fn emit_token_enqueues(
     cursor: &mut Vec<InstId>,
     nf: &mut Function,
@@ -1339,11 +1370,17 @@ fn emit_token_enqueues(
     p: usize,
     qmap: &BTreeMap<QKey, QueueId>,
     token_consumers: &HashMap<InstId, Vec<usize>>,
+    f: &Function,
 ) {
+    let loc = f.loc(def);
     if let Some(cs) = token_consumers.get(&def) {
         for &c in cs {
             let q = qmap[&QKey::Token(fid.0, def, p, c)];
-            let e = nf.create_inst(Op::Intrin(Intr::Enqueue(q), vec![Value::imm1(true)]), Ty::Void);
+            let e = nf.create_inst_at(
+                Op::Intrin(Intr::Enqueue(q), vec![Value::imm1(true)]),
+                Ty::Void,
+                loc,
+            );
             cursor.push(e);
         }
     }
@@ -1362,21 +1399,24 @@ fn emit_queue_ops_after_def(
     qmap: &BTreeMap<QKey, QueueId>,
     data_consumers: &HashMap<InstId, Vec<usize>>,
     token_consumers: &HashMap<InstId, Vec<usize>>,
-    _f: &Function,
+    f: &Function,
 ) {
+    let loc = f.loc(def);
     let mut pending: Vec<InstId> = Vec::new();
     if let Some(cs) = data_consumers.get(&def) {
         for &c in cs {
             let q = qmap[&QKey::Data(fid.0, def, c)];
-            pending.push(nf.create_inst(Op::Intrin(Intr::Enqueue(q), vec![val]), Ty::Void));
+            pending.push(nf.create_inst_at(Op::Intrin(Intr::Enqueue(q), vec![val]), Ty::Void, loc));
         }
     }
     if let Some(cs) = token_consumers.get(&def) {
         for &c in cs {
             let q = qmap[&QKey::Token(fid.0, def, p, c)];
-            pending.push(
-                nf.create_inst(Op::Intrin(Intr::Enqueue(q), vec![Value::imm1(true)]), Ty::Void),
-            );
+            pending.push(nf.create_inst_at(
+                Op::Intrin(Intr::Enqueue(q), vec![Value::imm1(true)]),
+                Ty::Void,
+                loc,
+            ));
         }
     }
     if pending.is_empty() {

@@ -228,6 +228,8 @@ impl Lower<'_> {
         let entry = self.b.create_block("entry");
         self.b.func.entry = entry;
         self.b.switch_to(entry);
+        // Prologue instructions attribute to the function definition line.
+        self.b.set_line(f.line);
         self.scopes.push(HashMap::new());
 
         // Spill parameters to allocas (mem2reg promotes them back).
@@ -265,7 +267,28 @@ impl Lower<'_> {
         Ok(())
     }
 
+    /// The source line a statement starts on (containers defer to their
+    /// contents).
+    fn stmt_line(s: &Stmt) -> Option<usize> {
+        match s {
+            Stmt::Block(_) | Stmt::DeclGroup(_) => None,
+            Stmt::Expr(e) => Some(e.line()),
+            Stmt::Decl(.., line)
+            | Stmt::Return(.., line)
+            | Stmt::If(.., line)
+            | Stmt::While(.., line)
+            | Stmt::DoWhile(.., line)
+            | Stmt::For(.., line)
+            | Stmt::Switch(.., line)
+            | Stmt::Break(line)
+            | Stmt::Continue(line) => Some(*line),
+        }
+    }
+
     fn lower_stmt(&mut self, s: &Stmt) -> Result<(), CError> {
+        if let Some(line) = Self::stmt_line(s) {
+            self.b.set_line(line);
+        }
         match s {
             Stmt::Block(items) => {
                 self.scopes.push(HashMap::new());
@@ -436,7 +459,7 @@ impl Lower<'_> {
             self.b.alloca(size)
         } else {
             // Insert the alloca at the end of entry's leading alloca run.
-            let id = self.b.func.create_inst(Op::Alloca(size), Ty::Ptr);
+            let id = self.b.func.create_inst_at(Op::Alloca(size), Ty::Ptr, self.b.cur_loc());
             let lead = self
                 .b
                 .func
@@ -563,6 +586,7 @@ impl Lower<'_> {
 
     /// Compute the lvalue (address) of an expression.
     fn lvalue(&mut self, e: &Expr) -> Result<LV, CError> {
+        self.b.set_line(e.line());
         match e {
             Expr::Ident(name, line) => {
                 if let Some(var) = self.find_var(name) {
@@ -618,6 +642,7 @@ impl Lower<'_> {
     }
 
     fn rvalue(&mut self, e: &Expr) -> Result<RV, CError> {
+        self.b.set_line(e.line());
         match e {
             Expr::IntLit(v, _) => Ok(RV { v: Value::imm32(*v), ty: CTy::INT }),
             Expr::Ident(name, _)
@@ -1177,6 +1202,24 @@ int main() {
             vec![],
         );
         assert_eq!(out, vec![10, 0, 7]);
+    }
+
+    #[test]
+    fn lowering_stamps_source_lines() {
+        let src = "int main() {\n  int s = 0;\n  for (int i = 0; i < 4; i++)\n    s += i;\n  out(s);\n  return s;\n}\n";
+        let m = compile("t", src).unwrap();
+        let f = m.func(m.find_func("main").unwrap());
+        // Every live instruction carries a location inside the source.
+        let n_lines = src.lines().count() as u32;
+        for (_, i) in f.inst_ids_in_layout() {
+            let loc = f.loc(i);
+            assert!(loc.is_some(), "unlocated instruction {:?}", f.inst(i).op);
+            assert!(loc.line <= n_lines, "line {} out of range", loc.line);
+        }
+        // The loop body (line 4) and the output call (line 5) both appear.
+        let lines = f.live_loc_lines();
+        assert!(lines.contains(&4), "{lines:?}");
+        assert!(lines.contains(&5), "{lines:?}");
     }
 
     #[test]

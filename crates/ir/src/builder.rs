@@ -3,23 +3,40 @@
 
 use crate::entities::{BlockId, FuncId, GlobalId, QueueId, SemId};
 use crate::inst::{BinOp, CastOp, CmpOp, Intr, Op, Value};
-use crate::module::{Function, Ty};
+use crate::module::{Function, SrcLoc, Ty};
 
 /// A positioned builder over a [`Function`]. Instructions are appended to
 /// the current block; terminators seal the block and require explicit
-/// repositioning before further insertion.
+/// repositioning before further insertion. Every emitted instruction is
+/// stamped with the builder's current source location (set with
+/// [`FuncBuilder::set_loc`]; defaults to [`SrcLoc::NONE`]).
 pub struct FuncBuilder {
     pub func: Function,
     cur: Option<BlockId>,
+    cur_loc: SrcLoc,
 }
 
 impl FuncBuilder {
     pub fn new(name: impl Into<String>, params: Vec<Ty>, ret: Ty) -> Self {
-        FuncBuilder { func: Function::new(name, params, ret), cur: None }
+        FuncBuilder { func: Function::new(name, params, ret), cur: None, cur_loc: SrcLoc::NONE }
     }
 
     pub fn from_function(func: Function) -> Self {
-        FuncBuilder { func, cur: None }
+        FuncBuilder { func, cur: None, cur_loc: SrcLoc::NONE }
+    }
+
+    /// Set the source location stamped on subsequently emitted instructions.
+    pub fn set_loc(&mut self, loc: SrcLoc) {
+        self.cur_loc = loc;
+    }
+
+    /// Set the stamped location from a 1-based source line number.
+    pub fn set_line(&mut self, line: usize) {
+        self.cur_loc = SrcLoc::new(line as u32);
+    }
+
+    pub fn cur_loc(&self) -> SrcLoc {
+        self.cur_loc
     }
 
     /// Finish and return the built function.
@@ -59,7 +76,7 @@ impl FuncBuilder {
             self.func.block(b).name,
             self.func.name
         );
-        let id = self.func.create_inst(op, ty);
+        let id = self.func.create_inst_at(op, ty, self.cur_loc);
         self.func.block_mut(b).insts.push(id);
         Value::Inst(id)
     }
@@ -182,7 +199,7 @@ impl FuncBuilder {
     pub fn phi(&mut self, ty: Ty, incoming: Vec<(BlockId, Value)>) -> Value {
         // PHIs must be a prefix of the block: insert after existing PHIs.
         let b = self.current_block();
-        let id = self.func.create_inst(Op::Phi(incoming), ty);
+        let id = self.func.create_inst_at(Op::Phi(incoming), ty, self.cur_loc);
         let at = self
             .func
             .block(b)

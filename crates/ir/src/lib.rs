@@ -31,4 +31,4 @@ pub use builder::FuncBuilder;
 pub use entities::{BlockId, FuncId, GlobalId, InstId, QueueId, SemId};
 pub use inst::{BinOp, CastOp, CmpOp, Intr, Op, Value};
 pub use interp::{ExecError, Interp, Machine};
-pub use module::{Block, Function, Global, Module, QueueDecl, SemDecl, Ty};
+pub use module::{Block, Function, Global, Module, QueueDecl, SemDecl, SrcLoc, Ty};

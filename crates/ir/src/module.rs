@@ -101,6 +101,36 @@ pub struct InstData {
     pub ty: Ty,
 }
 
+/// Source location of an instruction: the 1-based line of the C statement
+/// or expression it was lowered from. Line 0 ([`SrcLoc::NONE`]) marks
+/// compiler-synthesized instructions (edge splits, runtime plumbing).
+///
+/// Locations live in a side table on [`Function`] parallel to the `insts`
+/// arena rather than in [`InstData`], so passes that clone or rewrite
+/// `InstData` in place inherit the location for free and only *new*
+/// instructions need an explicit decision (DESIGN.md §10).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SrcLoc {
+    pub line: u32,
+}
+
+impl SrcLoc {
+    /// "No location": synthesized by the compiler, not traceable to source.
+    pub const NONE: SrcLoc = SrcLoc { line: 0 };
+
+    pub fn new(line: u32) -> SrcLoc {
+        SrcLoc { line }
+    }
+
+    pub fn is_none(self) -> bool {
+        self.line == 0
+    }
+
+    pub fn is_some(self) -> bool {
+        self.line != 0
+    }
+}
+
 /// A function definition. Instructions live in the `insts` arena and are
 /// referenced from blocks by id; dead arena slots (after edits) are tolerated
 /// and skipped by iteration helpers.
@@ -111,6 +141,10 @@ pub struct Function {
     pub ret: Ty,
     pub blocks: Vec<Block>,
     pub insts: Vec<InstData>,
+    /// Source-location side table, parallel to `insts` (same indices).
+    /// May lag `insts` in length for hand-built functions; [`Function::loc`]
+    /// treats missing entries as [`SrcLoc::NONE`].
+    pub locs: Vec<SrcLoc>,
     pub entry: BlockId,
 }
 
@@ -122,6 +156,7 @@ impl Function {
             ret,
             blocks: Vec::new(),
             insts: Vec::new(),
+            locs: Vec::new(),
             entry: BlockId(0),
         }
     }
@@ -199,10 +234,43 @@ impl Function {
     }
 
     /// Append a fresh instruction to the arena (not yet placed in a block).
+    /// The instruction starts with no source location; use
+    /// [`Function::create_inst_at`] or [`Function::set_loc`] to attach one.
     pub fn create_inst(&mut self, op: Op, ty: Ty) -> InstId {
+        self.create_inst_at(op, ty, SrcLoc::NONE)
+    }
+
+    /// [`Function::create_inst`] with an explicit source location.
+    pub fn create_inst_at(&mut self, op: Op, ty: Ty, loc: SrcLoc) -> InstId {
         let id = InstId::new(self.insts.len());
         self.insts.push(InstData { op, ty });
+        self.locs.resize(self.insts.len() - 1, SrcLoc::NONE);
+        self.locs.push(loc);
         id
+    }
+
+    /// Source location of an instruction ([`SrcLoc::NONE`] if untracked).
+    pub fn loc(&self, id: InstId) -> SrcLoc {
+        self.locs.get(id.index()).copied().unwrap_or(SrcLoc::NONE)
+    }
+
+    /// Set an instruction's source location (grows the side table if the
+    /// function was built without one).
+    pub fn set_loc(&mut self, id: InstId, loc: SrcLoc) {
+        if self.locs.len() < self.insts.len() {
+            self.locs.resize(self.insts.len(), SrcLoc::NONE);
+        }
+        self.locs[id.index()] = loc;
+    }
+
+    /// The set of distinct source lines referenced by live instructions
+    /// (used by tests to check that passes never invent locations).
+    pub fn live_loc_lines(&self) -> std::collections::BTreeSet<u32> {
+        self.inst_ids_in_layout()
+            .into_iter()
+            .map(|(_, i)| self.loc(i).line)
+            .filter(|&l| l != 0)
+            .collect()
     }
 
     /// Append a fresh empty block.
@@ -424,6 +492,23 @@ mod tests {
         f.block_mut(b1).insts = vec![ret];
         let preds = f.predecessors();
         assert_eq!(preds[1].len(), 2);
+    }
+
+    #[test]
+    fn loc_side_table_tracks_arena() {
+        let mut f = Function::new("t", vec![], Ty::Void);
+        let a = f.create_inst(Op::Ret(None), Ty::Void);
+        let b = f.create_inst_at(Op::Ret(None), Ty::Void, SrcLoc::new(7));
+        assert!(f.loc(a).is_none());
+        assert_eq!(f.loc(b).line, 7);
+        f.set_loc(a, SrcLoc::new(3));
+        assert_eq!(f.loc(a).line, 3);
+        // A function built without a table tolerates queries and late sets.
+        let mut bare = Function::new("u", vec![], Ty::Void);
+        bare.insts.push(InstData { op: Op::Ret(None), ty: Ty::Void });
+        assert!(bare.loc(InstId(0)).is_none());
+        bare.set_loc(InstId(0), SrcLoc::new(9));
+        assert_eq!(bare.loc(InstId(0)).line, 9);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::entities::{BlockId, FuncId, InstId, QueueId, SemId};
 use crate::inst::{BinOp, CastOp, CmpOp, Intr, Op, Value};
-use crate::module::{Block, Function, Global, InstData, Module, QueueDecl, SemDecl, Ty};
+use crate::module::{Block, Function, Global, InstData, Module, QueueDecl, SemDecl, SrcLoc, Ty};
 use std::collections::HashMap;
 
 /// Parse error with 1-based line number.
@@ -576,8 +576,23 @@ pub fn parse_module(text: &str) -> PResult<Module> {
                     bl.clone()
                 };
                 let _ = raw;
+                // Split off a trailing ` !N` source-location marker (the
+                // printer's loc syntax; `;` comments never survive to here).
+                let (bodytext, loc) = match bodytext.rsplit_once(" !") {
+                    Some((pre, num))
+                        if !num.is_empty() && num.bytes().all(|c| c.is_ascii_digit()) =>
+                    {
+                        let n: u32 = num.parse().map_err(|_| ParseError {
+                            line: *ln,
+                            msg: "bad source-location marker".into(),
+                        })?;
+                        (pre.trim_end().to_string(), SrcLoc::new(n))
+                    }
+                    _ => (bodytext, SrcLoc::NONE),
+                };
                 placements.push((b, id, *ln, bodytext));
                 f.insts.push(InstData { op: Op::Ret(None), ty: Ty::Void }); // placeholder
+                f.locs.push(loc); // parallel side table stays in sync
             }
 
             // Second sub-pass: parse each op now that all ids are known.
@@ -654,6 +669,31 @@ bb2:
         let m2 = parse_module(&text1).unwrap();
         let text2 = print_module(&m2);
         assert_eq!(text1, text2);
+    }
+
+    #[test]
+    fn source_locations_roundtrip() {
+        let src = "func @f(i32) -> i32 {\nbb0:\n  %0 = add i32 %a0, 1:i32 !3\n  %1 = mul i32 %0, %0 !4\n  ret %1 !5\n}\n";
+        let m = parse_module(src).unwrap();
+        let f = &m.funcs[0];
+        assert_eq!(f.loc(InstId(0)), SrcLoc::new(3));
+        assert_eq!(f.loc(InstId(1)), SrcLoc::new(4));
+        assert_eq!(f.loc(InstId(2)), SrcLoc::new(5));
+        let text = print_module(&m);
+        assert!(text.contains("add i32 %a0, 1:i32 !3"), "{text}");
+        let m2 = parse_module(&text).unwrap();
+        assert_eq!(print_module(&m2), text);
+    }
+
+    #[test]
+    fn missing_locations_stay_absent() {
+        let m = parse_module(SAMPLE).unwrap();
+        let main = m.func(m.find_func("main").unwrap());
+        for (_, i) in main.inst_ids_in_layout() {
+            assert!(main.loc(i).is_none());
+        }
+        // And the printer emits no markers for them.
+        assert!(!print_module(&m).contains(" !"));
     }
 
     #[test]

@@ -98,7 +98,14 @@ pub fn print_function(m: &Module, f: &Function) -> String {
         }
         for &i in &blk.insts {
             let inst = f.inst(i);
-            writeln!(out, "  {}", print_inst(m, &inst.op, inst.ty, i.0)).unwrap();
+            let loc = f.loc(i);
+            if loc.is_some() {
+                // ` !N` = source line N; parsed back by crate::parser (a
+                // `;` comment would be stripped and not round-trip).
+                writeln!(out, "  {} !{}", print_inst(m, &inst.op, inst.ty, i.0), loc.line).unwrap();
+            } else {
+                writeln!(out, "  {}", print_inst(m, &inst.op, inst.ty, i.0)).unwrap();
+            }
         }
     }
     out.push_str("}\n");

@@ -306,6 +306,27 @@ impl MetricsDiff {
         out
     }
 
+    /// `render_text` plus the source-line attribution hint, for callers
+    /// that captured line-granular profiles of both runs (see
+    /// [`crate::profile::line_regression`]): names the single source line
+    /// whose cycles grew the most, e.g. "regression comes from line 42 of
+    /// blowfish.c".
+    pub fn render_text_with_line_hint(
+        &self,
+        label: &str,
+        hint: Option<(&str, u32, i64)>,
+    ) -> String {
+        let mut out = self.render_text(label);
+        if let Some((file, line, delta)) = hint {
+            let _ = writeln!(
+                out,
+                "  regression comes from line {line} of {file} ({} cycles)",
+                human_delta(delta)
+            );
+        }
+        out
+    }
+
     /// Machine-readable form of the same explanation (parses back with
     /// [`crate::json`]).
     pub fn to_json(&self, label: &str) -> String {

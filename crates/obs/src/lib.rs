@@ -31,6 +31,7 @@ pub mod fmt;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
+pub mod profile;
 pub mod ring;
 pub mod span;
 
@@ -40,5 +41,6 @@ pub use event::{Event, EventKind, OpClass};
 pub use fmt::{profile_report, StageSection};
 pub use metrics::{MetricsSummary, QueueMetrics, SimMetrics, ThreadMetrics};
 pub use perfetto::TraceBuilder;
+pub use profile::{line_regression, CycleBreakdown, SiteSample, SourceProfile};
 pub use ring::Ring;
 pub use span::{now_ns, Span};

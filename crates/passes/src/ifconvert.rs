@@ -121,7 +121,8 @@ pub fn ifconvert(f: &mut Function) -> bool {
                     let vf = from(arm_f.unwrap_or(b));
                     (vt, vf, inst.ty)
                 };
-                let sel = f.create_inst(Op::Select(cond, vt, vf), ty);
+                // The select inherits the merged phi's source line.
+                let sel = f.create_inst_at(Op::Select(cond, vt, vf), ty, f.loc(phi));
                 f.block_mut(b).insts.insert(insert_at, sel);
                 insert_at += 1;
                 // Phi becomes dead; replace its uses.

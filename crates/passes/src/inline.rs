@@ -139,10 +139,10 @@ fn inline_site(caller: &mut Function, block: BlockId, call: InstId, callee: &Fun
         debug_assert_eq!(nb.index(), block_off + bi);
         let _ = cb;
     }
-    // Create instruction clones.
+    // Create instruction clones, carrying each callee line over.
     for (_, iid) in callee.inst_ids_in_layout() {
         let data = callee.inst(iid);
-        let nid = caller.create_inst(data.op.clone(), data.ty);
+        let nid = caller.create_inst_at(data.op.clone(), data.ty, callee.loc(iid));
         inst_map.insert(iid, nid);
     }
     // Remap operands / blocks, fill block inst lists.
@@ -182,7 +182,8 @@ fn inline_site(caller: &mut Function, block: BlockId, call: InstId, callee: &Fun
     hoist_allocas(caller, cloned_entry);
 
     // 4. Wire control flow: block -> cloned entry; cloned ret -> tail.
-    let br = caller.create_inst(Op::Br(cloned_entry), Ty::Void);
+    // The splice branch attributes to the call site's line.
+    let br = caller.create_inst_at(Op::Br(cloned_entry), Ty::Void, caller.loc(call));
     caller.block_mut(block).insts.push(br);
     let (_, ret_val) = ret_info.expect("callee has no return");
     if let Some(rv) = ret_val {
@@ -213,18 +214,22 @@ fn hoist_allocas(caller: &mut Function, from_block: BlockId) {
     let mut zero_stores: Vec<(usize, Vec<InstId>)> = Vec::new();
     for &(a, size) in &allocas {
         let pos = caller.block(from_block).insts.iter().position(|&i| i == a).unwrap();
+        let a_loc = caller.loc(a);
         let words = size.div_ceil(4);
         let mut stores = Vec::new();
         for w in 0..words {
             let addr = if w == 0 {
                 Value::Inst(a)
             } else {
-                let gep =
-                    caller.create_inst(Op::Gep(Value::Inst(a), Value::imm32(w as i64), 4), Ty::Ptr);
+                let gep = caller.create_inst_at(
+                    Op::Gep(Value::Inst(a), Value::imm32(w as i64), 4),
+                    Ty::Ptr,
+                    a_loc,
+                );
                 stores.push(gep);
                 Value::Inst(gep)
             };
-            let st = caller.create_inst(Op::Store(Value::imm32(0), addr), Ty::I32);
+            let st = caller.create_inst_at(Op::Store(Value::imm32(0), addr), Ty::I32, a_loc);
             stores.push(st);
         }
         zero_stores.push((pos, stores));

@@ -268,7 +268,8 @@ fn reroute_edges_through(f: &mut Function, preds: &[BlockId], target: BlockId, v
             // All the same value: no phi needed in `via`.
             moved[0].1
         } else {
-            let new_phi = f.create_inst(Op::Phi(std::mem::take(&mut moved)), ty);
+            // The merge phi inherits the target phi's source line.
+            let new_phi = f.create_inst_at(Op::Phi(std::mem::take(&mut moved)), ty, f.loc(phi));
             f.block_mut(via).insts.insert(0, new_phi);
             twill_ir::Value::Inst(new_phi)
         };
@@ -277,8 +278,14 @@ fn reroute_edges_through(f: &mut Function, preds: &[BlockId], target: BlockId, v
             incoming.push((via, new_value));
         }
     }
-    // Terminate `via` with a branch to target (append after any phis).
-    let br = f.create_inst(Op::Br(target), Ty::Void);
+    // Terminate `via` with a branch to target (append after any phis); it
+    // attributes to the first rerouted predecessor's terminator line.
+    let br_loc = preds
+        .first()
+        .and_then(|&p| f.block(p).terminator())
+        .map(|t| f.loc(t))
+        .unwrap_or(twill_ir::SrcLoc::NONE);
+    let br = f.create_inst_at(Op::Br(target), Ty::Void, br_loc);
     f.block_mut(via).insts.push(br);
     // Retarget each pred's terminator edge.
     for &p in preds {

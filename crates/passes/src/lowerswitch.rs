@@ -37,11 +37,14 @@ pub fn lowerswitch(f: &mut Function) -> bool {
         for i in 1..cases.len() {
             test_blocks.push(f.create_block(format!("switch.{}.{}", b.0, i)));
         }
+        // Every compare/branch in the chain attributes to the switch's line.
+        let sw_loc = f.loc(iid);
         for (i, (k, target)) in cases.iter().enumerate() {
             let this = test_blocks[i];
             let next = if i + 1 < cases.len() { test_blocks[i + 1] } else { default };
-            let cmp = f.create_inst(Op::Cmp(CmpOp::Eq, v, Value::Imm(*k, vty)), Ty::I1);
-            let br = f.create_inst(Op::CondBr(Value::Inst(cmp), *target, next), Ty::Void);
+            let cmp = f.create_inst_at(Op::Cmp(CmpOp::Eq, v, Value::Imm(*k, vty)), Ty::I1, sw_loc);
+            let br =
+                f.create_inst_at(Op::CondBr(Value::Inst(cmp), *target, next), Ty::Void, sw_loc);
             if i == 0 {
                 // Replace the switch in-place.
                 let pos = f.block(b).insts.iter().position(|&x| x == iid).unwrap();

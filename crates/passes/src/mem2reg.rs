@@ -49,7 +49,8 @@ pub fn mem2reg(f: &mut Function) -> bool {
             for &frontier_block in &dt.frontier[b.index()] {
                 if has_phi.insert(frontier_block) {
                     // Placeholder phi; incoming filled during renaming.
-                    let phi = f.create_inst(Op::Phi(Vec::new()), *ty);
+                    // Attributes to the promoted variable's declaration line.
+                    let phi = f.create_inst_at(Op::Phi(Vec::new()), *ty, f.loc(*alloca));
                     f.block_mut(frontier_block).insts.insert(0, phi);
                     phi_for.insert((frontier_block, slot), phi);
                     work.push(frontier_block);

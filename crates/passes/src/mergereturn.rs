@@ -19,12 +19,14 @@ pub fn mergereturn(f: &mut Function) -> bool {
     }
 
     let exit = f.create_block("unified.exit");
+    // The merged return attributes to the first original return's line.
+    let ret_loc = f.loc(f.block(ret_blocks[0]).terminator().unwrap());
     if f.ret == Ty::Void {
         for &b in &ret_blocks {
             let t = f.block(b).terminator().unwrap();
             f.inst_mut(t).op = Op::Br(exit);
         }
-        let ret = f.create_inst(Op::Ret(None), Ty::Void);
+        let ret = f.create_inst_at(Op::Ret(None), Ty::Void, ret_loc);
         f.block_mut(exit).insts.push(ret);
     } else {
         let mut incoming: Vec<(twill_ir::BlockId, Value)> = Vec::new();
@@ -37,8 +39,8 @@ pub fn mergereturn(f: &mut Function) -> bool {
             incoming.push((b, v));
             f.inst_mut(t).op = Op::Br(exit);
         }
-        let phi = f.create_inst(Op::Phi(incoming), f.ret);
-        let ret = f.create_inst(Op::Ret(Some(Value::Inst(phi))), Ty::Void);
+        let phi = f.create_inst_at(Op::Phi(incoming), f.ret, ret_loc);
+        let ret = f.create_inst_at(Op::Ret(Some(Value::Inst(phi))), Ty::Void, ret_loc);
         f.block_mut(exit).insts.push(phi);
         f.block_mut(exit).insts.push(ret);
     }

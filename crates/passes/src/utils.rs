@@ -118,10 +118,11 @@ pub fn retarget_phi_pred(f: &mut Function, tgt: BlockId, old_pred: BlockId, new_
 /// a branch. Returns the new block. Handles phi retargeting in `to`.
 pub fn split_edge(f: &mut Function, from: BlockId, to: BlockId) -> BlockId {
     let mid = f.create_block(format!("split.{}.{}", from.0, to.0));
-    let br = f.create_inst(Op::Br(to), Ty::Void);
+    // The bridge branch attributes to the edge's source terminator.
+    let term = f.block(from).terminator().expect("block without terminator");
+    let br = f.create_inst_at(Op::Br(to), Ty::Void, f.loc(term));
     f.block_mut(mid).insts.push(br);
     // Retarget the terminator edge(s) from -> to onto mid.
-    let term = f.block(from).terminator().expect("block without terminator");
     f.inst_mut(term).op.for_each_successor_mut(|b| {
         if *b == to {
             *b = mid;

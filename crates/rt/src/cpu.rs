@@ -39,6 +39,9 @@ pub struct Cpu {
     /// Consecutive cycles the active thread's op has been resource-blocked
     /// (the HW scheduler snoops the bus for this, §4.4).
     blocked_streak: u32,
+    /// Instruction the current/most recent cycle belongs to (profiling);
+    /// `None` during runtime overhead (startup, context switches).
+    attr_site: Option<(usize, usize)>,
     pub busy_cycles: u64,
     pub blocked_cycles: u64,
     pub finish_cycle: u64,
@@ -59,6 +62,7 @@ impl Cpu {
             pending: None,
             ready: None,
             blocked_streak: 0,
+            attr_site: None,
             busy_cycles: 0,
             blocked_cycles: 0,
             finish_cycle: 0,
@@ -81,6 +85,11 @@ impl Cpu {
     /// Attribution for a cycle this agent reported [`Progress::Blocked`].
     pub fn stall_class(&self) -> StallClass {
         self.pending.as_ref().map(|p| p.stall_class()).unwrap_or(StallClass::Busy)
+    }
+
+    /// Instruction site the cycle just ticked belongs to (profiling).
+    pub fn attr_site(&self) -> Option<(usize, usize)> {
+        self.attr_site
     }
 
     /// One simulated cycle.
@@ -119,6 +128,7 @@ impl Cpu {
                                 rec!(shared, EventKind::ContextSwitch { to: next as u16 });
                                 self.active = next;
                                 self.blocked_streak = 0;
+                                self.attr_site = None;
                                 self.charge = CONTEXT_SWITCH_CYCLES.saturating_sub(1);
                                 self.busy_cycles += 1;
                                 return Progress::Busy;
@@ -141,6 +151,7 @@ impl Cpu {
             if let Some(next) = self.next_runnable() {
                 rec!(shared, EventKind::ContextSwitch { to: next as u16 });
                 self.active = next;
+                self.attr_site = None;
                 self.charge = CONTEXT_SWITCH_CYCLES.saturating_sub(1);
                 self.busy_cycles += 1;
                 return Progress::Busy;
@@ -158,6 +169,7 @@ impl Cpu {
 
         match ev {
             Ok(StepEvent::Executed(fid, iid)) => {
+                self.attr_site = Some((fid.index(), iid.index()));
                 let op = &m.func(fid).inst(iid).op;
                 let cycles = match op {
                     // Queue/sem cost was paid through the pending op;
@@ -171,15 +183,17 @@ impl Cpu {
                 self.busy_cycles += 1;
                 Progress::Busy
             }
-            Ok(StepEvent::Blocked(..)) => {
+            Ok(StepEvent::Blocked(fid, iid)) => {
                 // The adapter started (or is still waiting on) a runtime
                 // op; the issue cycle counts as busy.
+                self.attr_site = Some((fid.index(), iid.index()));
                 self.busy_cycles += 1;
                 Progress::Busy
             }
             Ok(StepEvent::Finished(_)) => {
                 self.threads[self.active].finished = true;
                 self.finish_cycle = sh.cycle;
+                self.attr_site = None;
                 if let Some(next) = self.next_runnable() {
                     rec!(sh, EventKind::ContextSwitch { to: next as u16 });
                     self.active = next;

@@ -37,6 +37,9 @@ pub struct HwThread {
     pending: Option<(InstId, Pending, u32 /*ticks so far*/, u32 /*issue offset*/)>,
     /// Pipelined-loop gap waiver (depth - II) granted per back edge.
     waive_credit: u32,
+    /// Instruction the current/most recent cycle belongs to (profiling);
+    /// `None` before the start message arrives.
+    attr_site: Option<(usize, usize)>,
     finished: bool,
     /// Stack bump pointer for allocas (pure-HW runs of whole programs).
     sp: u32,
@@ -65,6 +68,7 @@ impl HwThread {
             charge: 0,
             pending: None,
             waive_credit: 0,
+            attr_site: None,
             finished: false,
             sp: stack.0,
             stack_limit: stack.1,
@@ -86,6 +90,11 @@ impl HwThread {
     /// Delay execution until the master's StartThread message arrives.
     pub fn set_start_delay(&mut self, cycles: u32) {
         self.charge += cycles;
+    }
+
+    /// Instruction site the cycle just ticked belongs to (profiling).
+    pub fn attr_site(&self) -> Option<(usize, usize)> {
+        self.attr_site
     }
 
     fn eval(&self, m: &Module, v: Value) -> i64 {
@@ -156,6 +165,8 @@ impl HwThread {
                 gap -= w;
                 self.frames.last_mut().unwrap().cur_offset = start;
                 if gap > 0 {
+                    // Gap cycles are dependence latency before `iid` issues.
+                    self.attr_site = Some((func.index(), iid.index()));
                     self.charge = gap - 1;
                     self.busy_cycles += 1;
                     return Progress::Busy;
@@ -289,6 +300,7 @@ impl HwThread {
                 Op::Call(callee, args) => {
                     let argv: Vec<i64> = args.iter().map(|a| self.eval(m, *a)).collect();
                     let cf = m.func(*callee);
+                    self.attr_site = Some((func.index(), iid.index()));
                     self.frames.last_mut().unwrap().pending_call = Some(iid);
                     self.frames.push(HwFrame {
                         func: *callee,
@@ -307,6 +319,7 @@ impl HwThread {
                 }
                 Op::Ret(v) => {
                     let val = v.map(|x| self.eval(m, x));
+                    self.attr_site = Some((func.index(), iid.index()));
                     let done = self.frames.pop().unwrap();
                     self.sp = done.sp_save;
                     self.waive_credit = 0;
@@ -331,11 +344,13 @@ impl HwThread {
                     }
                 }
                 Op::Br(t) => {
+                    self.attr_site = Some((func.index(), iid.index()));
                     return self.take_branch(m, sched, *t, block);
                 }
                 Op::CondBr(c, t, e) => {
                     let cond = self.eval(m, *c) & 1 != 0;
                     let target = if cond { *t } else { *e };
+                    self.attr_site = Some((func.index(), iid.index()));
                     return self.take_branch(m, sched, target, block);
                 }
                 Op::Switch(..) => panic!("switch reaches HW executor"),
@@ -364,6 +379,7 @@ impl HwThread {
         issue_offset: u32,
         shared: &mut Shared,
     ) -> Progress {
+        self.attr_site = Some((self.frames.last().unwrap().func.index(), dst.index()));
         // The issue cycle itself polls once (grant can happen same cycle).
         let p = shared.poll(p);
         if let PendState::Done(v) = p.state {

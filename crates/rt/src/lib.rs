@@ -28,9 +28,11 @@
 
 pub mod cpu;
 pub mod hwthread;
+pub mod profile;
 pub mod shared;
 pub mod system;
 
+pub use profile::{AgentProfile, SimProfile};
 pub use shared::{ClassCycles, QueueStat, Shared, SimStats, StallClass};
 pub use system::{
     simulate_hybrid, simulate_hybrid_scheduled, simulate_pure_hw, simulate_pure_hw_scheduled,

@@ -1,0 +1,55 @@
+//! Optional per-instruction cycle attribution.
+//!
+//! When [`crate::SimConfig::profile`] is set, the run loop asks each agent
+//! which instruction occupied the cycle just simulated and charges that
+//! cycle — under its [`StallClass`] — to a per-agent site table. Cycles
+//! with no instruction in flight (startup charges, context switches,
+//! post-finish idling) land in an explicit `overhead` bucket so the table
+//! still sums exactly to the run's cycle count (asserted in debug builds,
+//! mirroring the aggregate `ClassCycles` invariant).
+//!
+//! Attribution is observation-only: it never feeds back into timing, so
+//! profiled and unprofiled runs produce identical cycle counts.
+
+use crate::shared::{ClassCycles, StallClass};
+use std::collections::BTreeMap;
+
+/// An attribution site: `(function index, instruction index)` in the
+/// simulated module.
+pub type Site = (usize, usize);
+
+/// One agent's cycle attribution, keyed by instruction site.
+#[derive(Debug, Clone, Default)]
+pub struct AgentProfile {
+    /// Per-site cycle breakdown. BTreeMap keeps report order deterministic.
+    pub sites: BTreeMap<Site, ClassCycles>,
+    /// Cycles with no instruction in flight.
+    pub overhead: ClassCycles,
+}
+
+impl AgentProfile {
+    pub fn record(&mut self, site: Option<Site>, class: StallClass) {
+        match site {
+            Some(s) => self.sites.entry(s).or_default().add(class),
+            None => self.overhead.add(class),
+        }
+    }
+
+    /// Total attributed cycles (equals the run's cycle count).
+    pub fn total(&self) -> u64 {
+        self.sites.values().map(|c| c.total()).sum::<u64>() + self.overhead.total()
+    }
+}
+
+/// Cycle attribution for a whole run, one entry per agent in
+/// [`crate::SimReport::agent_names`] order.
+#[derive(Debug, Clone, Default)]
+pub struct SimProfile {
+    pub agents: Vec<AgentProfile>,
+}
+
+impl SimProfile {
+    pub fn new(agents: usize) -> SimProfile {
+        SimProfile { agents: vec![AgentProfile::default(); agents] }
+    }
+}

@@ -21,6 +21,9 @@ pub struct SimConfig {
     /// Keep the most recent N runtime events in the trace ring buffer
     /// (0 = tracing off; requires the `obs` cargo feature to take effect).
     pub trace_events: usize,
+    /// Attribute every agent cycle to the instruction occupying it
+    /// (observation-only: cycle counts are identical either way).
+    pub profile: bool,
 }
 
 impl Default for SimConfig {
@@ -32,6 +35,7 @@ impl Default for SimConfig {
             max_cycles: 3_000_000_000,
             hls: HlsOptions::default(),
             trace_events: 0,
+            profile: false,
         }
     }
 }
@@ -56,6 +60,8 @@ pub struct SimReport {
     /// Trace events lost to the ring-buffer bound (0 when tracing was off
     /// or nothing was dropped). Never silently truncated.
     pub dropped_events: u64,
+    /// Per-instruction cycle attribution (when `SimConfig::profile`).
+    pub profile: Option<crate::profile::SimProfile>,
     /// Typed runtime event trace (when `SimConfig::trace_events > 0`).
     #[cfg(feature = "obs")]
     pub events: Vec<twill_obs::Event>,
@@ -102,6 +108,52 @@ impl SimReport {
                 .collect(),
             dropped_events: self.dropped_events,
         }
+    }
+
+    /// Fold the per-instruction cycle attribution into a source-level
+    /// profile (requires `SimConfig::profile`; `m` must be the simulated
+    /// module). Overhead cycles appear as a `<runtime>` pseudo-site so the
+    /// profile still sums to `agents × cycles`.
+    #[cfg(feature = "obs")]
+    pub fn source_profile(&self, m: &Module) -> Option<twill_obs::SourceProfile> {
+        fn breakdown(c: &crate::shared::ClassCycles) -> twill_obs::CycleBreakdown {
+            twill_obs::CycleBreakdown {
+                busy: c.busy,
+                queue_full: c.queue_full,
+                queue_empty: c.queue_empty,
+                sem: c.sem,
+                mem_bus: c.mem_bus,
+                module_bus: c.module_bus,
+                idle: c.idle,
+            }
+        }
+        let prof = self.profile.as_ref()?;
+        let mut samples = Vec::new();
+        for (aid, agent) in prof.agents.iter().enumerate() {
+            let thread = &self.agent_names[aid];
+            for (&(fi, ii), c) in &agent.sites {
+                let f = &m.funcs[fi];
+                let iid = twill_ir::InstId::new(ii);
+                let inst = f.inst(iid);
+                samples.push(twill_obs::SiteSample {
+                    thread: thread.clone(),
+                    func: f.name.clone(),
+                    line: f.loc(iid).line,
+                    inst: twill_ir::printer::print_inst(m, &inst.op, inst.ty, iid.0),
+                    cycles: breakdown(c),
+                });
+            }
+            if agent.overhead.total() > 0 {
+                samples.push(twill_obs::SiteSample {
+                    thread: thread.clone(),
+                    func: "<runtime>".to_string(),
+                    line: 0,
+                    inst: String::new(),
+                    cycles: breakdown(&agent.overhead),
+                });
+            }
+        }
+        Some(twill_obs::SourceProfile { name: m.name.clone(), samples })
     }
 
     /// A Perfetto trace builder pre-loaded with this run's tracks, queue
@@ -165,7 +217,8 @@ pub fn simulate_pure_sw(
         shared.enable_recorder(cfg.trace_events);
     }
     let mut cpu = Cpu::new(0, m, &[main], &stacks);
-    run_loop(m, None, &mut shared, Some(&mut cpu), &mut [], cfg)?;
+    let mut profile = cfg.profile.then(|| crate::profile::SimProfile::new(1));
+    run_loop(m, None, &mut shared, Some(&mut cpu), &mut [], cfg, &mut profile)?;
     let cycles = shared.cycle;
     #[cfg(feature = "obs")]
     let (events, dropped_events) = shared.take_recorder();
@@ -179,6 +232,7 @@ pub fn simulate_pure_sw(
         hw_threads: 0,
         agent_names: vec!["cpu".to_string()],
         dropped_events,
+        profile,
         #[cfg(feature = "obs")]
         events,
     })
@@ -214,7 +268,8 @@ pub fn simulate_pure_hw_scheduled(
         shared.enable_recorder(cfg.trace_events);
     }
     let mut hw = vec![HwThread::new(0, m, main, stacks[0])];
-    run_loop(m, Some(sched), &mut shared, None, &mut hw, cfg)?;
+    let mut profile = cfg.profile.then(|| crate::profile::SimProfile::new(1));
+    run_loop(m, Some(sched), &mut shared, None, &mut hw, cfg, &mut profile)?;
     let cycles = shared.cycle;
     #[cfg(feature = "obs")]
     let (events, dropped_events) = shared.take_recorder();
@@ -228,6 +283,7 @@ pub fn simulate_pure_hw_scheduled(
         hw_threads: 1,
         agent_names: vec!["hw0".to_string()],
         dropped_events,
+        profile,
         #[cfg(feature = "obs")]
         events,
     })
@@ -280,7 +336,8 @@ pub fn simulate_hybrid_scheduled(
             h
         })
         .collect();
-    run_loop(m, Some(sched), &mut shared, Some(&mut cpu), &mut hw, cfg)?;
+    let mut profile = cfg.profile.then(|| crate::profile::SimProfile::new(total));
+    run_loop(m, Some(sched), &mut shared, Some(&mut cpu), &mut hw, cfg, &mut profile)?;
     let cycles = shared.cycle;
     #[cfg(feature = "obs")]
     let (events, dropped_events) = shared.take_recorder();
@@ -296,6 +353,7 @@ pub fn simulate_hybrid_scheduled(
         hw_threads: hw.len(),
         agent_names,
         dropped_events,
+        profile,
         #[cfg(feature = "obs")]
         events,
     })
@@ -303,6 +361,7 @@ pub fn simulate_hybrid_scheduled(
 
 /// The global cycle loop: CPU ticks first (module-bus priority, §4.1),
 /// then the hardware threads in rotating order (longest-waiting fairness).
+#[allow(clippy::too_many_arguments)]
 fn run_loop(
     m: &Module,
     sched: Option<&ModuleSchedule>,
@@ -310,6 +369,7 @@ fn run_loop(
     mut cpu: Option<&mut Cpu>,
     hw: &mut [HwThread],
     cfg: &SimConfig,
+    profile: &mut Option<crate::profile::SimProfile>,
 ) -> Result<(), SimError> {
     let mut rotation = 0usize;
     let mut last_progress_cycle = 0u64;
@@ -327,6 +387,17 @@ fn run_loop(
                         "cycle accounting broke for agent {i}: {c:?}"
                     );
                 }
+                // Same invariant at instruction granularity: per-site
+                // attributed cycles sum exactly to each agent's total.
+                if let Some(p) = profile.as_ref() {
+                    for (i, a) in p.agents.iter().enumerate() {
+                        debug_assert_eq!(
+                            a.total(),
+                            shared.cycle,
+                            "instruction attribution broke for agent {i}"
+                        );
+                    }
+                }
             }
             return Ok(());
         }
@@ -337,19 +408,22 @@ fn run_loop(
         let mut progressed = false;
         if let Some(c) = cpu.as_deref_mut() {
             shared.set_agent(c.agent_id as u16);
-            match c.tick(m, shared) {
+            let class = match c.tick(m, shared) {
                 Progress::Busy => {
                     progressed = true;
                     shared.stats.agent_busy[c.agent_id] += 1;
-                    shared.stats.agent_cycles[c.agent_id].add(StallClass::Busy);
+                    StallClass::Busy
                 }
                 Progress::Blocked => {
                     shared.stats.agent_blocked[c.agent_id] += 1;
-                    shared.stats.agent_cycles[c.agent_id].add(c.stall_class());
+                    c.stall_class()
                 }
-                Progress::Finished => {
-                    shared.stats.agent_cycles[c.agent_id].add(StallClass::Idle);
-                }
+                Progress::Finished => StallClass::Idle,
+            };
+            shared.stats.agent_cycles[c.agent_id].add(class);
+            if let Some(p) = profile.as_mut() {
+                let site = if class == StallClass::Idle { None } else { c.attr_site() };
+                p.agents[c.agent_id].record(site, class);
             }
         }
         let n = hw.len();
@@ -359,19 +433,22 @@ fn run_loop(
                 let idx = (rotation + i) % n;
                 let aid = hw[idx].agent_id;
                 shared.set_agent(aid as u16);
-                match hw[idx].tick(m, sched, shared) {
+                let class = match hw[idx].tick(m, sched, shared) {
                     Progress::Busy => {
                         progressed = true;
                         shared.stats.agent_busy[aid] += 1;
-                        shared.stats.agent_cycles[aid].add(StallClass::Busy);
+                        StallClass::Busy
                     }
                     Progress::Blocked => {
                         shared.stats.agent_blocked[aid] += 1;
-                        shared.stats.agent_cycles[aid].add(hw[idx].stall_class());
+                        hw[idx].stall_class()
                     }
-                    Progress::Finished => {
-                        shared.stats.agent_cycles[aid].add(StallClass::Idle);
-                    }
+                    Progress::Finished => StallClass::Idle,
+                };
+                shared.stats.agent_cycles[aid].add(class);
+                if let Some(p) = profile.as_mut() {
+                    let site = if class == StallClass::Idle { None } else { hw[idx].attr_site() };
+                    p.agents[aid].record(site, class);
                 }
             }
             rotation = (rotation + 1) % n;
@@ -474,6 +551,42 @@ int main() {
                 .unwrap();
         assert_eq!(base.output, tiny.output);
         assert!(tiny.cycles >= base.cycles);
+    }
+
+    #[test]
+    fn profiling_is_observation_only_and_sums_to_cycles() {
+        let m = prepare(PROGRAM);
+        let d = run_dswp(
+            &m,
+            &DswpOptions {
+                num_partitions: 2,
+                split_points: Some(vec![0.5, 0.5]),
+                ..Default::default()
+            },
+        );
+        let plain = simulate_hybrid(&d, vec![], &SimConfig::default()).unwrap();
+        let rep = simulate_hybrid(&d, vec![], &SimConfig { profile: true, ..Default::default() })
+            .unwrap();
+        // Attribution must not perturb timing or results.
+        assert_eq!(rep.cycles, plain.cycles);
+        assert_eq!(rep.output, plain.output);
+        assert!(plain.profile.is_none());
+        // Per-agent attributed cycles sum exactly to the run's cycles.
+        let p = rep.profile.as_ref().unwrap();
+        assert_eq!(p.agents.len(), rep.agent_names.len());
+        for (i, a) in p.agents.iter().enumerate() {
+            assert_eq!(a.total(), rep.cycles, "agent {i}");
+        }
+        // Folding to source lines loses nothing per thread.
+        #[cfg(feature = "obs")]
+        {
+            let sp = rep.source_profile(&d.module).unwrap();
+            for (name, total) in sp.thread_totals() {
+                assert_eq!(total, rep.cycles, "thread {name}");
+            }
+            // The loop body carries real source lines (not all synthetic).
+            assert!(sp.samples.iter().any(|s| s.line != 0 && s.cycles.total() > 0));
+        }
     }
 
     #[test]
