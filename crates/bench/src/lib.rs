@@ -2,6 +2,8 @@
 //! baseline collector (`twill-bench baseline` / `compare` / the CI perf
 //! gate all measure through [`collect_baseline`]), and common CLI flags.
 
+pub mod campaign;
+
 pub use twill::experiments;
 pub use twill::report::format_table;
 

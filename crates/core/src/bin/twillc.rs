@@ -7,8 +7,17 @@
 //!        [--folded FILE] [--profile-json FILE] [--trace FILE]
 //!        [--metrics FILE] [--compare BASELINE]
 //!        [--compare-profile PROFILE.json] [--obs-ring-capacity N]
-//!        [--strict-obs]
+//!        [--strict-obs] [--fault-rate R] [--fault-seed N]
+//!        [--watchdog CYCLES] [--resilient]
 //! ```
+//!
+//! `--fault-rate` injects deterministic faults (queue bit flips, drops,
+//! duplications, transient hardware-thread stalls, memory upsets) at the
+//! given per-cycle rate, seeded by `--fault-seed` (default 1) — same
+//! seed, same faults; `--watchdog` sets the no-progress window before a
+//! hung run is diagnosed into a wait-for-graph hang report; `--resilient`
+//! retries a failing hybrid with fresh seeds and degrades to pure
+//! software instead of failing.
 //!
 //! `--profile` prints the hybrid run's stall/utilization table plus
 //! compiler-stage timings; `--annotate` reprints the C source with a
@@ -51,7 +60,14 @@ struct Args {
     compare_profile: Option<String>,
     ring_capacity: usize,
     strict_obs: bool,
+    fault_rate: Option<f64>,
+    fault_seed: u64,
+    watchdog: Option<u64>,
+    resilient: bool,
 }
+
+/// Hybrid attempts before `--resilient` degrades to pure software.
+const RESILIENT_ATTEMPTS: u32 = 3;
 
 fn usage() -> ! {
     eprintln!(
@@ -61,7 +77,8 @@ fn usage() -> ! {
          [--annotate] [--folded FILE] [--profile-json FILE] \
          [--trace FILE] [--metrics FILE] [--compare BASELINE] \
          [--compare-profile PROFILE.json] [--obs-ring-capacity N] \
-         [--strict-obs]"
+         [--strict-obs] [--fault-rate R] [--fault-seed N] \
+         [--watchdog CYCLES] [--resilient]"
     );
     std::process::exit(2);
 }
@@ -88,6 +105,10 @@ fn parse_args() -> Args {
         compare_profile: None,
         ring_capacity: 1 << 20,
         strict_obs: false,
+        fault_rate: None,
+        fault_seed: 1,
+        watchdog: None,
+        resilient: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -127,6 +148,18 @@ fn parse_args() -> Args {
                 args.compare_profile = Some(it.next().unwrap_or_else(|| usage()))
             }
             "--strict-obs" => args.strict_obs = true,
+            "--fault-rate" => {
+                args.fault_rate =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--fault-seed" => {
+                args.fault_seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--watchdog" => {
+                args.watchdog =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--resilient" => args.resilient = true,
             "--obs-ring-capacity" => {
                 args.ring_capacity =
                     it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
@@ -221,16 +254,41 @@ fn main() -> ExitCode {
         // --trace, --metrics and --compare; the event recorder is only
         // armed when a trace was requested, and per-instruction cycle
         // attribution only when a line-granular view was.
-        let cfg = twill::SimulationConfig {
+        let mut cfg = twill::SimulationConfig {
             trace_events: if args.trace.is_some() { args.ring_capacity } else { 0 },
             profile: line_profiling,
+            fault: args
+                .fault_rate
+                .map(|r| twill::FaultPlan::new(args.fault_seed, twill::FaultSpec::uniform(r))),
             ..build.sim_config()
         };
-        let tw = match build.simulate_hybrid_with(args.input.clone(), &cfg) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("twillc: hybrid simulation failed: {e}");
-                return ExitCode::FAILURE;
+        if let Some(w) = args.watchdog {
+            cfg.watchdog_window = w;
+        }
+        let tw = if args.resilient {
+            match build.run_resilient(args.input.clone(), &cfg, RESILIENT_ATTEMPTS) {
+                Ok(outcome) => {
+                    for f in &outcome.failures {
+                        eprintln!("twillc: {f}");
+                    }
+                    println!("resilient run served by {}", outcome.served_by);
+                    outcome.report
+                }
+                Err(e) => {
+                    eprintln!("twillc: resilient run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            match build.simulate_hybrid_with(args.input.clone(), &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("twillc: hybrid simulation failed: {e}");
+                    if let Some(hang) = e.hang_report() {
+                        eprintln!("{hang}");
+                    }
+                    return ExitCode::FAILURE;
+                }
             }
         };
 
@@ -240,7 +298,13 @@ fn main() -> ExitCode {
             match (sw, hw) {
                 (Ok(sw), Ok(hw)) => {
                     if sw.output != tw.output || sw.output != hw.output {
-                        eprintln!("twillc: CONFIGURATION OUTPUTS DIVERGED (bug!)");
+                        if cfg.fault.is_some() {
+                            // Expected failure mode under injection: the
+                            // cross-configuration check caught it.
+                            eprintln!("twillc: injected faults corrupted the output");
+                        } else {
+                            eprintln!("twillc: CONFIGURATION OUTPUTS DIVERGED (bug!)");
+                        }
                         return ExitCode::FAILURE;
                     }
                     println!("output: {:?}", tw.output);

@@ -52,13 +52,47 @@ use twill_dswp::DswpResult;
 use twill_frontend::CError;
 use twill_hls::schedule::{HlsOptions, ModuleSchedule};
 use twill_ir::Module;
-use twill_rt::{SimConfig, SimError, SimReport};
+use twill_rt::{SimConfig, SimReport};
 
 pub use artifacts::StageCounts;
 pub use twill_dswp::DswpOptions;
 pub use twill_hls::area::AreaReport;
 pub use twill_obs::MetricsSummary;
 pub use twill_rt::SimConfig as SimulationConfig;
+pub use twill_rt::{
+    ConfigError, FaultPlan, FaultRecord, FaultSite, FaultSpec, HangReport, PinnedFault, SimError,
+    WaitState,
+};
+
+/// Which execution path ultimately served a [`TwillBuild::run_resilient`]
+/// request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// A hybrid attempt completed with correct output (0-based attempt).
+    Hybrid { attempt: u32 },
+    /// Every hybrid attempt failed; the pure-software fallback served the
+    /// run (with fault injection disabled).
+    PureSw,
+}
+
+impl std::fmt::Display for ServedBy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServedBy::Hybrid { attempt } => write!(f, "hybrid (attempt {})", attempt + 1),
+            ServedBy::PureSw => write!(f, "pure-SW fallback"),
+        }
+    }
+}
+
+/// Outcome of a [`TwillBuild::run_resilient`] run: the report that served
+/// the request, the path that produced it, and what went wrong on the way.
+#[derive(Debug)]
+pub struct ResilientOutcome {
+    pub report: SimReport,
+    pub served_by: ServedBy,
+    /// Human-readable failure description per abandoned hybrid attempt.
+    pub failures: Vec<String>,
+}
 
 /// The Twill compiler front door.
 #[derive(Clone, Debug)]
@@ -254,6 +288,54 @@ impl TwillBuild {
         let art = self.dswp_artifact().clone();
         let sched = self.graph.schedule_for(&art.result.module, art.module_hash, &cfg.hls);
         twill_rt::simulate_hybrid_scheduled(&art.result, &sched, input, cfg)
+    }
+
+    /// Graceful degradation: run the hybrid under `cfg`, retrying up to
+    /// `max_attempts` times (each retry derives a fresh fault seed from the
+    /// plan), and fall back to a fault-free pure-software run when every
+    /// hybrid attempt deadlocks, times out, or corrupts its output.
+    ///
+    /// An attempt's output is checked against the interpreter's golden
+    /// reference, so silently corrupted runs (e.g. an injected bit flip
+    /// that survives to the output) are retried rather than returned.
+    /// Configuration errors abort immediately — no retry can fix them.
+    pub fn run_resilient(
+        &self,
+        input: Vec<i32>,
+        cfg: &SimConfig,
+        max_attempts: u32,
+    ) -> Result<ResilientOutcome, SimError> {
+        let mut failures = Vec::new();
+        let golden = self.run_reference(input.clone()).ok();
+        for attempt in 0..max_attempts {
+            let attempt_cfg =
+                SimConfig { fault: cfg.fault.as_ref().map(|p| p.reseeded(attempt)), ..cfg.clone() };
+            match self.simulate_hybrid_with(input.clone(), &attempt_cfg) {
+                Ok(report) => {
+                    if let Some(expect) = &golden {
+                        if &report.output != expect {
+                            failures.push(format!(
+                                "attempt {}: output corrupted ({} fault(s) injected)",
+                                attempt + 1,
+                                report.stats.faults.total()
+                            ));
+                            continue;
+                        }
+                    }
+                    return Ok(ResilientOutcome {
+                        report,
+                        served_by: ServedBy::Hybrid { attempt },
+                        failures,
+                    });
+                }
+                Err(e @ SimError::Config(_)) => return Err(e),
+                Err(e) => failures.push(format!("attempt {}: {e}", attempt + 1)),
+            }
+        }
+        // Degraded path: the whole program on the soft CPU, injection off.
+        let sw_cfg = SimConfig { fault: None, ..cfg.clone() };
+        let report = twill_rt::simulate_pure_sw(self.prepared(), input, &sw_cfg)?;
+        Ok(ResilientOutcome { report, served_by: ServedBy::PureSw, failures })
     }
 
     /// DSWP statistics (queues/semaphores/HW threads — Table 6.1).

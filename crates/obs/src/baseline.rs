@@ -224,7 +224,7 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{QueueMetrics, ThreadMetrics};
+    use crate::metrics::{FaultMetrics, QueueMetrics, ThreadMetrics};
 
     fn sample() -> Baseline {
         Baseline {
@@ -254,6 +254,7 @@ mod tests {
                         occupancy_hist: vec![5, 30, 5],
                     }],
                     dropped_events: 0,
+                    faults: FaultMetrics::default(),
                 },
             }],
             stages: vec![StageTimings {

@@ -387,7 +387,7 @@ impl MetricsDiff {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::QueueMetrics;
+    use crate::metrics::{FaultMetrics, QueueMetrics};
 
     fn thread(name: &str, classes: [u64; 7]) -> ThreadMetrics {
         ThreadMetrics {
@@ -424,6 +424,7 @@ mod tests {
             ],
             queues: vec![queue("q0", 10, 20), queue("q1", 0, 5)],
             dropped_events: 0,
+            faults: FaultMetrics::default(),
         }
     }
 

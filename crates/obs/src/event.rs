@@ -37,6 +37,35 @@ impl OpClass {
     }
 }
 
+/// Classification of an injected fault (mirrors `twill-rt`'s fault model;
+/// plain so this crate stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// A queue payload had one bit flipped in flight.
+    QueueBitFlip,
+    /// A queue message was silently lost between producer and consumer.
+    QueueDrop,
+    /// A queue message was delivered twice.
+    QueueDup,
+    /// A hardware thread was frozen for N cycles.
+    HwStall,
+    /// A single-event upset flipped one bit of shared memory.
+    MemUpset,
+}
+
+impl FaultClass {
+    /// Stable lowercase name (used in Perfetto instants and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::QueueBitFlip => "queue-bit-flip",
+            FaultClass::QueueDrop => "queue-drop",
+            FaultClass::QueueDup => "queue-dup",
+            FaultClass::HwStall => "hw-stall",
+            FaultClass::MemUpset => "mem-upset",
+        }
+    }
+}
+
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
@@ -64,6 +93,10 @@ pub enum EventKind {
     ContextSwitch { to: u16 },
     /// A word was written to the output stream.
     Output { value: i32 },
+    /// The fault layer injected a fault. `unit` names the affected
+    /// resource: the queue index for queue faults, the agent index for
+    /// stalls, the byte address for memory upsets.
+    Fault { fault: FaultClass, unit: u32 },
 }
 
 /// One traced occurrence: when, where, what.
@@ -99,6 +132,9 @@ pub fn format_events(events: &[Event]) -> String {
             EventKind::SemSignal { sem, value } => writeln!(out, "signal  sem{sem} -> {value}"),
             EventKind::ContextSwitch { to } => writeln!(out, "switch  -> sw-thread {to}"),
             EventKind::Output { value } => writeln!(out, "out     {value}"),
+            EventKind::Fault { fault, unit } => {
+                writeln!(out, "fault   {} unit={unit}", fault.name())
+            }
         };
     }
     out
@@ -120,5 +156,24 @@ mod tests {
         assert_eq!(text.lines().count(), 4);
         assert!(text.contains("push    q0"));
         assert!(text.contains("out     -7"));
+    }
+
+    #[test]
+    fn fault_events_render_class_and_unit() {
+        let events = [
+            Event {
+                cycle: 5,
+                track: 1,
+                kind: EventKind::Fault { fault: FaultClass::QueueDrop, unit: 2 },
+            },
+            Event {
+                cycle: 6,
+                track: 0,
+                kind: EventKind::Fault { fault: FaultClass::MemUpset, unit: 0x2000 },
+            },
+        ];
+        let text = format_events(&events);
+        assert!(text.contains("fault   queue-drop unit=2"), "{text}");
+        assert!(text.contains("fault   mem-upset unit=8192"), "{text}");
     }
 }

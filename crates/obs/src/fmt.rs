@@ -38,7 +38,7 @@ pub fn profile_report(title: &str, m: &SimMetrics, stages: Option<StageSection<'
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::ThreadMetrics;
+    use crate::metrics::{FaultMetrics, ThreadMetrics};
 
     fn metrics() -> SimMetrics {
         SimMetrics {
@@ -51,6 +51,7 @@ mod tests {
             }],
             queues: vec![],
             dropped_events: 0,
+            faults: FaultMetrics::default(),
         }
     }
 

@@ -37,9 +37,9 @@ pub mod span;
 
 pub use baseline::{Baseline, BaselineEntry, StageTimings};
 pub use diff::{diff, MetricsDiff};
-pub use event::{Event, EventKind, OpClass};
+pub use event::{Event, EventKind, FaultClass, OpClass};
 pub use fmt::{profile_report, StageSection};
-pub use metrics::{MetricsSummary, QueueMetrics, SimMetrics, ThreadMetrics};
+pub use metrics::{FaultMetrics, MetricsSummary, QueueMetrics, SimMetrics, ThreadMetrics};
 pub use perfetto::TraceBuilder;
 pub use profile::{line_regression, CycleBreakdown, SiteSample, SourceProfile};
 pub use ring::Ring;

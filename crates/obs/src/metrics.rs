@@ -104,6 +104,28 @@ impl QueueMetrics {
     }
 }
 
+/// Counts of injected faults by class (all zero unless a fault plan was
+/// configured — the fault layer is strictly opt-in).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultMetrics {
+    /// Queue payloads that had a bit flipped in flight.
+    pub bit_flips: u64,
+    /// Queue messages silently lost between producer and consumer.
+    pub drops: u64,
+    /// Queue messages delivered twice.
+    pub dups: u64,
+    /// Transient hardware-thread stalls injected.
+    pub stalls: u64,
+    /// Single-event upsets applied to shared memory.
+    pub mem_upsets: u64,
+}
+
+impl FaultMetrics {
+    pub fn total(&self) -> u64 {
+        self.bit_flips + self.drops + self.dups + self.stalls + self.mem_upsets
+    }
+}
+
 /// The full metrics report for one simulation.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimMetrics {
@@ -113,6 +135,8 @@ pub struct SimMetrics {
     /// Trace events lost to the ring-buffer bound (0 when tracing was
     /// disabled or nothing was dropped).
     pub dropped_events: u64,
+    /// Injected-fault counters (zero without a fault plan).
+    pub faults: FaultMetrics,
 }
 
 /// A compact per-sweep-point digest (what the experiment runner records
@@ -172,6 +196,18 @@ impl SimMetrics {
         out.push_str("{\n");
         let _ = writeln!(out, "  \"cycles\": {},", self.cycles);
         let _ = writeln!(out, "  \"dropped_events\": {},", self.dropped_events);
+        if self.faults.total() > 0 {
+            // Only emitted when faults were injected: unfaulted runs keep
+            // producing byte-identical documents (e.g. the committed
+            // baseline), and `from_json` defaults a missing block to zero.
+            let f = &self.faults;
+            let _ = writeln!(
+                out,
+                "  \"faults\": {{\"bit_flips\": {}, \"drops\": {}, \"dups\": {}, \
+                 \"stalls\": {}, \"mem_upsets\": {}}},",
+                f.bit_flips, f.drops, f.dups, f.stalls, f.mem_upsets,
+            );
+        }
         let _ = writeln!(
             out,
             "  \"critical_thread\": {},",
@@ -241,6 +277,17 @@ impl SimMetrics {
             dropped_events: u64_field(doc, "dropped_events")?,
             ..Default::default()
         };
+        // Optional block: documents written before fault injection existed
+        // (and unfaulted runs) simply omit it.
+        if let Some(f) = doc.get("faults") {
+            m.faults = FaultMetrics {
+                bit_flips: u64_field(f, "bit_flips")?,
+                drops: u64_field(f, "drops")?,
+                dups: u64_field(f, "dups")?,
+                stalls: u64_field(f, "stalls")?,
+                mem_upsets: u64_field(f, "mem_upsets")?,
+            };
+        }
         for t in doc.get("threads").and_then(|v| v.as_arr()).unwrap_or(&[]) {
             m.threads.push(ThreadMetrics {
                 name: str_field(t, "name")?,
@@ -337,6 +384,20 @@ impl SimMetrics {
                 );
             }
         }
+        if self.faults.total() > 0 {
+            let f = &self.faults;
+            let _ = writeln!(
+                out,
+                "\nfaults injected: {} (bit-flips {}, drops {}, dups {}, stalls {}, \
+                 mem-upsets {})",
+                f.total(),
+                f.bit_flips,
+                f.drops,
+                f.dups,
+                f.stalls,
+                f.mem_upsets,
+            );
+        }
         if self.dropped_events > 0 {
             let _ = writeln!(out, "\ntrace truncated: {} events dropped", self.dropped_events);
         }
@@ -388,6 +449,7 @@ mod tests {
                 occupancy_hist: vec![10, 20, 30, 40, 0, 0, 0, 0, 0],
             }],
             dropped_events: 3,
+            faults: FaultMetrics::default(),
         }
     }
 
@@ -439,6 +501,21 @@ mod tests {
         let doc = crate::json::parse(r#"{"cycles": 10}"#).unwrap();
         let err = SimMetrics::from_json(&doc).unwrap_err();
         assert!(err.contains("dropped_events"), "{err}");
+    }
+
+    #[test]
+    fn faults_round_trip_and_default_when_missing() {
+        let mut m = sample();
+        // Unfaulted runs emit no "faults" block (baseline stays stable).
+        assert!(!m.to_json().contains("\"faults\""));
+        m.faults = FaultMetrics { bit_flips: 1, drops: 2, dups: 3, stalls: 4, mem_upsets: 5 };
+        assert_eq!(m.faults.total(), 15);
+        let doc = crate::json::parse(&m.to_json()).unwrap();
+        assert_eq!(SimMetrics::from_json(&doc).unwrap(), m);
+        assert!(m.profile_table().contains("faults injected: 15"));
+        // Pre-fault-layer documents parse with zeroed counters.
+        let old = crate::json::parse(r#"{"cycles": 1, "dropped_events": 0}"#).unwrap();
+        assert_eq!(SimMetrics::from_json(&old).unwrap().faults.total(), 0);
     }
 
     #[test]

@@ -181,6 +181,9 @@ impl TraceBuilder {
                 EventKind::Output { value } => {
                     ev.push(instant(&format!("out {value}"), tid, e.cycle));
                 }
+                EventKind::Fault { fault, unit } => {
+                    ev.push(instant(&format!("fault: {} unit={unit}", fault.name()), tid, e.cycle));
+                }
             }
         }
 

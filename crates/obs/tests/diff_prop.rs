@@ -12,7 +12,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use twill_obs::diff::diff;
-use twill_obs::{QueueMetrics, SimMetrics, ThreadMetrics};
+use twill_obs::{FaultMetrics, QueueMetrics, SimMetrics, ThreadMetrics};
 
 /// Split `total` into 7 parts via 6 sorted cut points.
 fn split7(total: u64, mut cuts: Vec<u64>) -> [u64; 7] {
@@ -65,6 +65,7 @@ fn run(cycles: u64, thread_cuts: Vec<Vec<u64>>, queue_stats: Vec<(u64, u64, u64)
             })
             .collect(),
         dropped_events: 0,
+        faults: FaultMetrics::default(),
     }
 }
 

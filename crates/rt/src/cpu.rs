@@ -28,6 +28,8 @@ struct SwThread {
 /// The CPU with its software threads.
 pub struct Cpu {
     pub agent_id: usize,
+    /// Entry function of each software thread (wait-for-graph analysis).
+    entries: Vec<FuncId>,
     threads: Vec<SwThread>,
     active: usize,
     /// Busy cycles left for the current instruction.
@@ -56,6 +58,7 @@ impl Cpu {
             .collect();
         Cpu {
             agent_id,
+            entries: entries.to_vec(),
             threads,
             active: 0,
             charge: 0,
@@ -90,6 +93,16 @@ impl Cpu {
     /// Instruction site the cycle just ticked belongs to (profiling).
     pub fn attr_site(&self) -> Option<(usize, usize)> {
         self.attr_site
+    }
+
+    /// The kind of the in-flight runtime op, if any (hang diagnosis).
+    pub fn pending_kind(&self) -> Option<OpKind> {
+        self.pending.as_ref().map(|p| p.kind)
+    }
+
+    /// Entry functions of the software threads (hang diagnosis).
+    pub fn entries(&self) -> &[FuncId] {
+        &self.entries
     }
 
     /// One simulated cycle.

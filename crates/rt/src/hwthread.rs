@@ -30,6 +30,8 @@ struct HwFrame {
 /// One hardware thread executing a (partition) entry function.
 pub struct HwThread {
     pub agent_id: usize,
+    /// The partition entry function (wait-for-graph analysis).
+    entry: FuncId,
     frames: Vec<HwFrame>,
     /// Idle cycles left to burn (schedule gaps).
     charge: u32,
@@ -54,6 +56,7 @@ impl HwThread {
         let f = m.func(entry);
         HwThread {
             agent_id,
+            entry,
             frames: vec![HwFrame {
                 func: entry,
                 block: f.entry,
@@ -95,6 +98,22 @@ impl HwThread {
     /// Instruction site the cycle just ticked belongs to (profiling).
     pub fn attr_site(&self) -> Option<(usize, usize)> {
         self.attr_site
+    }
+
+    /// The kind of the in-flight runtime op, if any (hang diagnosis).
+    pub fn pending_kind(&self) -> Option<OpKind> {
+        self.pending.as_ref().map(|(_, p, _, _)| p.kind)
+    }
+
+    /// The partition entry function (hang diagnosis).
+    pub fn entry(&self) -> FuncId {
+        self.entry
+    }
+
+    /// Freeze this thread for `cycles` extra cycles (fault injection:
+    /// a transient stall, attributed as busy time like any other charge).
+    pub fn inject_stall(&mut self, cycles: u32) {
+        self.charge += cycles;
     }
 
     fn eval(&self, m: &Module, v: Value) -> i64 {

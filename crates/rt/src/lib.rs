@@ -27,16 +27,20 @@
 //!   initiate every II cycles.
 
 pub mod cpu;
+pub mod fault;
+pub mod hang;
 pub mod hwthread;
 pub mod profile;
 pub mod shared;
 pub mod system;
 
+pub use fault::{FaultCounts, FaultPlan, FaultRecord, FaultSite, FaultSpec, PinnedFault};
+pub use hang::{AgentWait, HangReport, WaitState};
 pub use profile::{AgentProfile, SimProfile};
 pub use shared::{ClassCycles, QueueStat, Shared, SimStats, StallClass};
 pub use system::{
     simulate_hybrid, simulate_hybrid_scheduled, simulate_pure_hw, simulate_pure_hw_scheduled,
-    simulate_pure_sw, SimConfig, SimError, SimReport,
+    simulate_pure_sw, ConfigError, SimConfig, SimError, SimReport,
 };
 
 /// Re-export of the observability layer (event model, Perfetto export,

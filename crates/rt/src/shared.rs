@@ -11,6 +11,7 @@
 //!   Perfetto export. Disabled at compile time the hooks vanish entirely;
 //!   disabled at run time they are a `None` check.
 
+use crate::fault::{EnqueueFaults, FaultCounts, FaultPlan, FaultRecord, FaultSite, FaultState};
 use std::collections::VecDeque;
 use twill_ir::{Module, QueueId, SemId};
 
@@ -202,11 +203,15 @@ pub struct SimStats {
     pub queue_peak: Vec<u32>,
     /// Per-queue traffic, stall, and occupancy statistics.
     pub queue_stats: Vec<QueueStat>,
+    /// Injected-fault counters (all zero unless a fault plan is installed).
+    pub faults: FaultCounts,
 }
 
 struct SimQueue {
     items: VecDeque<i64>,
     cap: usize,
+    /// Payload width in bits (bounds injected bit flips).
+    width_bits: u32,
 }
 
 /// Central shared state.
@@ -230,6 +235,9 @@ pub struct Shared {
     /// Which agent's events are being recorded (set by the system loop
     /// before each agent's tick; 0 for direct harnesses).
     cur_agent: u16,
+    /// Fault-injection state (None = injection off; the strictly-opt-in
+    /// default, one pointer test on the hot path).
+    faults: Option<Box<FaultState>>,
     /// Bounded event recorder (None = tracing disabled).
     #[cfg(feature = "obs")]
     recorder: Option<Ring>,
@@ -252,12 +260,15 @@ impl Shared {
             input,
             in_pos: 0,
             output: Vec::new(),
-            queues: caps
+            queues: m
+                .queues
                 .iter()
-                .map(|&cap| SimQueue {
+                .zip(&caps)
+                .map(|(q, &cap)| SimQueue {
                     // Reserve up front: queue traffic must not allocate.
                     items: VecDeque::with_capacity(cap as usize),
                     cap: cap as usize,
+                    width_bits: q.width.bits().max(1),
                 })
                 .collect(),
             sems: m.sems.iter().map(|s| s.initial).collect(),
@@ -281,8 +292,23 @@ impl Shared {
                 ..Default::default()
             },
             cur_agent: 0,
+            faults: None,
             #[cfg(feature = "obs")]
             recorder: None,
+        }
+    }
+
+    /// Install a fault-injection plan for this run (see [`crate::fault`]).
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.faults = Some(Box::new(FaultState::new(plan)));
+    }
+
+    /// Detach the fault log: `(records in order, dropped count)`. Empty
+    /// when no plan was installed.
+    pub fn take_fault_log(&mut self) -> (Vec<FaultRecord>, u64) {
+        match self.faults.as_deref_mut() {
+            Some(fs) => fs.take_log(),
+            None => (Vec::new(), 0),
         }
     }
 
@@ -319,6 +345,64 @@ impl Shared {
         self.stats.cycles = self.cycle;
         self.module_bus_left = 1;
         self.mem_bus_left = 1;
+        if self.faults.is_some() {
+            self.cycle_faults();
+        }
+    }
+
+    /// Per-cycle fault work: arm pinned faults that came due, apply memory
+    /// single-event upsets (pinned and rate-driven). Memory is upset before
+    /// agents tick so the flip is visible this cycle.
+    fn cycle_faults(&mut self) {
+        let cycle = self.cycle;
+        if let Some(fs) = self.faults.as_deref_mut() {
+            fs.arm(cycle);
+        }
+        while let Some(site) = self.faults.as_deref_mut().and_then(|fs| fs.pop_armed_mem()) {
+            if let FaultSite::MemUpset { addr, bit } = site {
+                if (addr as usize) < self.mem.len() {
+                    self.mem[addr as usize] ^= 1 << (bit & 7);
+                }
+            }
+            self.note_fault(site);
+        }
+        let mem_len = self.mem.len() as u32;
+        let upset = self.faults.as_deref_mut().and_then(|fs| {
+            if mem_len > 0 && fs.rng.chance(fs.spec.mem_upset_rate) {
+                let addr = fs.rng.below(mem_len);
+                let bit = fs.rng.below(8) as u8;
+                Some(FaultSite::MemUpset { addr, bit })
+            } else {
+                None
+            }
+        });
+        if let Some(site) = upset {
+            if let FaultSite::MemUpset { addr, bit } = site {
+                self.mem[addr as usize] ^= 1 << bit;
+            }
+            self.note_fault(site);
+        }
+    }
+
+    /// Injected stall length for agent `agent`'s tick this cycle, if one
+    /// fires (the system loop freezes the agent for that many cycles).
+    pub fn fault_stall(&mut self, agent: usize) -> Option<u32> {
+        let fs = self.faults.as_deref_mut()?;
+        let n = fs.stall_for(agent as u32)?;
+        self.note_fault(FaultSite::HwStall { agent: agent as u32, cycles: n });
+        Some(n)
+    }
+
+    /// The single accounting point for an injected fault: bumps the
+    /// always-on counter, appends to the bounded fault log, and (with the
+    /// `obs` feature) records the typed trace event.
+    fn note_fault(&mut self, site: FaultSite) {
+        self.stats.faults.bump(site);
+        let cycle = self.cycle;
+        if let Some(fs) = self.faults.as_deref_mut() {
+            fs.log(cycle, site);
+        }
+        rec!(self, EventKind::Fault { fault: site.obs_class(), unit: site.unit() });
     }
 
     /// Start a new operation (agent had none in flight).
@@ -378,17 +462,31 @@ impl Shared {
     fn try_serve(&mut self, mut p: Pending, first: bool) -> Pending {
         let ok = match p.kind {
             OpKind::Enqueue(q, v) => {
-                let qq = &mut self.queues[q.index()];
-                if qq.items.len() < qq.cap {
-                    qq.items.push_back(v);
-                    let occ = qq.items.len() as u32;
-                    let peak = &mut self.stats.queue_peak[q.index()];
-                    *peak = (*peak).max(occ);
-                    let qs = &mut self.stats.queue_stats[q.index()];
-                    qs.pushes += 1;
-                    let slot = (occ as usize).min(qs.occupancy_hist.len() - 1);
-                    qs.occupancy_hist[slot] += 1;
-                    rec!(self, EventKind::QueuePush { queue: q.index() as u16, occupancy: occ });
+                let qi = q.index();
+                if self.queues[qi].items.len() < self.queues[qi].cap {
+                    let width_bits = self.queues[qi].width_bits;
+                    let ef = match self.faults.as_deref_mut() {
+                        Some(fs) => fs.enqueue_faults(qi, width_bits),
+                        None => EnqueueFaults::default(),
+                    };
+                    if ef.drop {
+                        // The producer sees success; the message is lost in
+                        // flight (not counted as a push — it never landed).
+                        self.note_fault(FaultSite::QueueDrop { queue: qi as u32 });
+                    } else {
+                        let mut v = v;
+                        if let Some(bit) = ef.flip_bit {
+                            v ^= 1 << bit;
+                            self.note_fault(FaultSite::QueueBitFlip { queue: qi as u32, bit });
+                        }
+                        self.push_queue(qi, v);
+                        // A duplicate is one more message on the wire; it
+                        // only fits if the queue has room for both.
+                        if ef.dup && self.queues[qi].items.len() < self.queues[qi].cap {
+                            self.push_queue(qi, v);
+                            self.note_fault(FaultSite::QueueDup { queue: qi as u32 });
+                        }
+                    }
                     true
                 } else {
                     false
@@ -427,6 +525,20 @@ impl Shared {
             p.state = PendState::WaitResource;
         }
         p
+    }
+
+    /// Land one value in queue `qi` with full accounting (peak, push
+    /// count, occupancy histogram, trace event).
+    fn push_queue(&mut self, qi: usize, v: i64) {
+        self.queues[qi].items.push_back(v);
+        let occ = self.queues[qi].items.len() as u32;
+        let peak = &mut self.stats.queue_peak[qi];
+        *peak = (*peak).max(occ);
+        let qs = &mut self.stats.queue_stats[qi];
+        qs.pushes += 1;
+        let slot = (occ as usize).min(qs.occupancy_hist.len() - 1);
+        qs.occupancy_hist[slot] += 1;
+        rec!(self, EventKind::QueuePush { queue: qi as u16, occupancy: occ });
     }
 
     /// The single accounting point for a blocked service attempt: bumps

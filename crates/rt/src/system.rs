@@ -1,6 +1,8 @@
 //! System assembly and the three experiment configurations.
 
 use crate::cpu::Cpu;
+use crate::fault::{FaultPlan, FaultRecord};
+use crate::hang::{build_hang_report, AgentSnapshot, HangReport, WaitState};
 use crate::hwthread::{HwThread, Progress};
 use crate::shared::{Shared, StallClass};
 use twill_dswp::DswpResult;
@@ -24,6 +26,12 @@ pub struct SimConfig {
     /// Attribute every agent cycle to the instruction occupying it
     /// (observation-only: cycle counts are identical either way).
     pub profile: bool,
+    /// Deterministic fault-injection plan (`None` = injection off, the
+    /// strictly-opt-in default; see [`crate::fault`]).
+    pub fault: Option<FaultPlan>,
+    /// No-progress window, in cycles, before the watchdog declares the
+    /// system hung and renders a [`HangReport`].
+    pub watchdog_window: u64,
 }
 
 impl Default for SimConfig {
@@ -36,6 +44,8 @@ impl Default for SimConfig {
             hls: HlsOptions::default(),
             trace_events: 0,
             profile: false,
+            fault: None,
+            watchdog_window: 1_000_000,
         }
     }
 }
@@ -62,6 +72,9 @@ pub struct SimReport {
     pub dropped_events: u64,
     /// Per-instruction cycle attribution (when `SimConfig::profile`).
     pub profile: Option<crate::profile::SimProfile>,
+    /// Injected faults in order (bounded at `fault::FAULT_LOG_CAP`; empty
+    /// when no fault plan was configured).
+    pub fault_log: Vec<FaultRecord>,
     /// Typed runtime event trace (when `SimConfig::trace_events > 0`).
     #[cfg(feature = "obs")]
     pub events: Vec<twill_obs::Event>,
@@ -107,6 +120,13 @@ impl SimReport {
                 })
                 .collect(),
             dropped_events: self.dropped_events,
+            faults: twill_obs::FaultMetrics {
+                bit_flips: self.stats.faults.bit_flips,
+                drops: self.stats.faults.drops,
+                dups: self.stats.faults.dups,
+                stalls: self.stats.faults.stalls,
+                mem_upsets: self.stats.faults.mem_upsets,
+            },
         }
     }
 
@@ -168,26 +188,134 @@ impl SimReport {
     }
 }
 
+/// Invalid `SimConfig`/module combinations, rejected before the run
+/// starts (instead of panicking deep inside the simulator).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `queue_depth: Some(0)` — queues need at least one slot.
+    ZeroQueueDepth,
+    /// `mem_size` cannot hold the globals plus per-agent stacks.
+    MemTooSmall { required: u32, got: u32 },
+    /// The module has no `@main`.
+    NoMain,
+    /// `watchdog_window: 0` would trip on the first blocked cycle.
+    ZeroWatchdog,
+    /// A fault rate outside `[0, 1]` (or NaN).
+    BadFaultRate { field: &'static str, value: f64 },
+    /// A nonzero stall rate with `hw_stall_cycles: 0` injects nothing.
+    ZeroStallCycles,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroQueueDepth => {
+                write!(f, "queue_depth override of 0: queues need at least one slot")
+            }
+            ConfigError::MemTooSmall { required, got } => write!(
+                f,
+                "mem_size {got:#x} too small: need at least {required:#x} \
+                 for globals plus per-agent stacks"
+            ),
+            ConfigError::NoMain => write!(f, "module has no @main function"),
+            ConfigError::ZeroWatchdog => {
+                write!(f, "watchdog_window of 0 would trip immediately; use a positive window")
+            }
+            ConfigError::BadFaultRate { field, value } => {
+                write!(f, "fault rate {field} = {value} is outside [0, 1]")
+            }
+            ConfigError::ZeroStallCycles => {
+                write!(f, "hw_stall_cycles of 0 with a nonzero hw_stall_rate injects nothing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 #[derive(Debug)]
 pub enum SimError {
-    /// No agent made progress for a long window.
-    Deadlock { cycle: u64, detail: String },
-    /// `max_cycles` exceeded.
-    Timeout(u64),
+    /// The watchdog saw no agent progress for a whole window. Carries the
+    /// structured wait-for diagnosis and everything the run learned.
+    Deadlock { report: HangReport, partial: Box<SimReport> },
+    /// `max_cycles` exceeded; the partial report is attached so callers
+    /// can still render output, metrics, and profile.
+    Timeout { max_cycles: u64, partial: Box<SimReport> },
+    /// The configuration was rejected before the run started.
+    Config(ConfigError),
+}
+
+impl SimError {
+    /// The partial report, when the run got far enough to produce one.
+    pub fn partial_report(&self) -> Option<&SimReport> {
+        match self {
+            SimError::Deadlock { partial, .. } | SimError::Timeout { partial, .. } => Some(partial),
+            SimError::Config(_) => None,
+        }
+    }
+
+    /// The hang diagnosis, when this is a deadlock.
+    pub fn hang_report(&self) -> Option<&HangReport> {
+        match self {
+            SimError::Deadlock { report, .. } => Some(report),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Deadlock { cycle, detail } => {
-                write!(f, "deadlock at cycle {cycle}: {detail}")
+            SimError::Deadlock { report, .. } => {
+                write!(f, "deadlock at cycle {}", report.cycle)?;
+                if !report.chain.is_empty() {
+                    write!(f, ": {}", report.chain.join(" -> "))?;
+                }
+                Ok(())
             }
-            SimError::Timeout(c) => write!(f, "simulation exceeded {c} cycles"),
+            SimError::Timeout { max_cycles, .. } => {
+                write!(f, "simulation exceeded {max_cycles} cycles")
+            }
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> SimError {
+        SimError::Config(e)
+    }
+}
+
+/// Reject configurations the simulator would otherwise panic on.
+fn validate_config(m: &Module, cfg: &SimConfig, n_agents: usize) -> Result<(), ConfigError> {
+    if cfg.queue_depth == Some(0) {
+        return Err(ConfigError::ZeroQueueDepth);
+    }
+    if cfg.watchdog_window == 0 {
+        return Err(ConfigError::ZeroWatchdog);
+    }
+    if let Some(plan) = &cfg.fault {
+        if let Some((field, value)) = plan.spec.invalid_rate() {
+            return Err(ConfigError::BadFaultRate { field, value });
+        }
+        if plan.spec.hw_stall_cycles == 0 && plan.spec.hw_stall_rate > 0.0 {
+            return Err(ConfigError::ZeroStallCycles);
+        }
+    }
+    // Each agent needs a usable stack region above the globals (the 128
+    // floor keeps `stack_regions` arithmetic in range).
+    let globals_end =
+        m.globals.iter().map(|g| g.addr + g.size).max().unwrap_or(layout::GLOBAL_BASE);
+    let base = (globals_end + 63) & !63;
+    let required = base.saturating_add(128 * n_agents.max(1) as u32);
+    if cfg.mem_size < required {
+        return Err(ConfigError::MemTooSmall { required, got: cfg.mem_size });
+    }
+    Ok(())
+}
 
 /// Carve per-thread stack regions out of the memory above the globals.
 fn stack_regions(m: &Module, mem_size: u32, n: usize) -> Vec<(u32, u32)> {
@@ -203,28 +331,53 @@ fn stack_regions(m: &Module, mem_size: u32, n: usize) -> Vec<(u32, u32)> {
         .collect()
 }
 
+/// How a run halted internally; the public [`SimError`] attaches the
+/// partial report to these in the simulate wrappers.
+enum RunHalt {
+    Timeout(u64),
+    Deadlock(HangReport),
+}
+
+/// Attach the (possibly partial) report to the run's outcome.
+fn wrap(halt: Result<(), RunHalt>, report: SimReport) -> Result<SimReport, SimError> {
+    match halt {
+        Ok(()) => Ok(report),
+        Err(RunHalt::Timeout(max_cycles)) => {
+            Err(SimError::Timeout { max_cycles, partial: Box::new(report) })
+        }
+        Err(RunHalt::Deadlock(hang)) => {
+            Err(SimError::Deadlock { report: hang, partial: Box::new(report) })
+        }
+    }
+}
+
 /// Pure-software configuration: the whole program runs on the Microblaze.
 pub fn simulate_pure_sw(
     m: &Module,
     input: Vec<i32>,
     cfg: &SimConfig,
 ) -> Result<SimReport, SimError> {
-    let main = m.find_func("main").expect("needs @main");
+    validate_config(m, cfg, 1)?;
+    let main = m.find_func("main").ok_or(ConfigError::NoMain)?;
     let stacks = stack_regions(m, cfg.mem_size, 1);
     let mut shared = Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, 1);
+    if let Some(plan) = &cfg.fault {
+        shared.install_faults(plan);
+    }
     #[cfg(feature = "obs")]
     if cfg.trace_events > 0 {
         shared.enable_recorder(cfg.trace_events);
     }
     let mut cpu = Cpu::new(0, m, &[main], &stacks);
     let mut profile = cfg.profile.then(|| crate::profile::SimProfile::new(1));
-    run_loop(m, None, &mut shared, Some(&mut cpu), &mut [], cfg, &mut profile)?;
+    let halt = run_loop(m, None, &mut shared, Some(&mut cpu), &mut [], cfg, &mut profile);
     let cycles = shared.cycle;
     #[cfg(feature = "obs")]
     let (events, dropped_events) = shared.take_recorder();
     #[cfg(not(feature = "obs"))]
     let dropped_events = 0;
-    Ok(SimReport {
+    let (fault_log, _) = shared.take_fault_log();
+    let report = SimReport {
         cycles,
         output: shared.output.clone(),
         cpu_busy_fraction: cpu.busy_cycles as f64 / cycles.max(1) as f64,
@@ -233,9 +386,11 @@ pub fn simulate_pure_sw(
         agent_names: vec!["cpu".to_string()],
         dropped_events,
         profile,
+        fault_log,
         #[cfg(feature = "obs")]
         events,
-    })
+    };
+    wrap(halt, report)
 }
 
 /// Pure-hardware configuration: the LegUp translation of the whole program
@@ -260,22 +415,27 @@ pub fn simulate_pure_hw_scheduled(
     input: Vec<i32>,
     cfg: &SimConfig,
 ) -> Result<SimReport, SimError> {
-    let main = m.find_func("main").expect("needs @main");
+    validate_config(m, cfg, 1)?;
+    let main = m.find_func("main").ok_or(ConfigError::NoMain)?;
     let stacks = stack_regions(m, cfg.mem_size, 1);
     let mut shared = Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, 1);
+    if let Some(plan) = &cfg.fault {
+        shared.install_faults(plan);
+    }
     #[cfg(feature = "obs")]
     if cfg.trace_events > 0 {
         shared.enable_recorder(cfg.trace_events);
     }
     let mut hw = vec![HwThread::new(0, m, main, stacks[0])];
     let mut profile = cfg.profile.then(|| crate::profile::SimProfile::new(1));
-    run_loop(m, Some(sched), &mut shared, None, &mut hw, cfg, &mut profile)?;
+    let halt = run_loop(m, Some(sched), &mut shared, None, &mut hw, cfg, &mut profile);
     let cycles = shared.cycle;
     #[cfg(feature = "obs")]
     let (events, dropped_events) = shared.take_recorder();
     #[cfg(not(feature = "obs"))]
     let dropped_events = 0;
-    Ok(SimReport {
+    let (fault_log, _) = shared.take_fault_log();
+    let report = SimReport {
         cycles,
         output: shared.output.clone(),
         cpu_busy_fraction: 0.0,
@@ -284,9 +444,11 @@ pub fn simulate_pure_hw_scheduled(
         agent_names: vec!["hw0".to_string()],
         dropped_events,
         profile,
+        fault_log,
         #[cfg(feature = "obs")]
         events,
-    })
+    };
+    wrap(halt, report)
 }
 
 /// The Twill hybrid: partition 0 on the CPU, the rest as HW threads.
@@ -316,8 +478,12 @@ pub fn simulate_hybrid_scheduled(
         dswp.threads.iter().filter(|t| !t.is_hw).map(|t| t.entry).collect();
     let hw_specs: Vec<&twill_dswp::ThreadSpec> = dswp.threads.iter().filter(|t| t.is_hw).collect();
     let total = sw_entries.len() + hw_specs.len();
+    validate_config(m, cfg, total)?;
     let stacks = stack_regions(m, cfg.mem_size, total);
     let mut shared = Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, total);
+    if let Some(plan) = &cfg.fault {
+        shared.install_faults(plan);
+    }
     #[cfg(feature = "obs")]
     if cfg.trace_events > 0 {
         shared.enable_recorder(cfg.trace_events);
@@ -337,15 +503,16 @@ pub fn simulate_hybrid_scheduled(
         })
         .collect();
     let mut profile = cfg.profile.then(|| crate::profile::SimProfile::new(total));
-    run_loop(m, Some(sched), &mut shared, Some(&mut cpu), &mut hw, cfg, &mut profile)?;
+    let halt = run_loop(m, Some(sched), &mut shared, Some(&mut cpu), &mut hw, cfg, &mut profile);
     let cycles = shared.cycle;
     #[cfg(feature = "obs")]
     let (events, dropped_events) = shared.take_recorder();
     #[cfg(not(feature = "obs"))]
     let dropped_events = 0;
+    let (fault_log, _) = shared.take_fault_log();
     let mut agent_names = vec!["cpu".to_string()];
     agent_names.extend((1..=hw.len()).map(|i| format!("hw{i}")));
-    Ok(SimReport {
+    let report = SimReport {
         cycles,
         output: shared.output.clone(),
         cpu_busy_fraction: cpu.busy_cycles as f64 / cycles.max(1) as f64,
@@ -354,9 +521,11 @@ pub fn simulate_hybrid_scheduled(
         agent_names,
         dropped_events,
         profile,
+        fault_log,
         #[cfg(feature = "obs")]
         events,
-    })
+    };
+    wrap(halt, report)
 }
 
 /// The global cycle loop: CPU ticks first (module-bus priority, §4.1),
@@ -370,7 +539,7 @@ fn run_loop(
     hw: &mut [HwThread],
     cfg: &SimConfig,
     profile: &mut Option<crate::profile::SimProfile>,
-) -> Result<(), SimError> {
+) -> Result<(), RunHalt> {
     let mut rotation = 0usize;
     let mut last_progress_cycle = 0u64;
     loop {
@@ -402,7 +571,7 @@ fn run_loop(
             return Ok(());
         }
         if shared.cycle >= cfg.max_cycles {
-            return Err(SimError::Timeout(cfg.max_cycles));
+            return Err(RunHalt::Timeout(cfg.max_cycles));
         }
         shared.begin_cycle();
         let mut progressed = false;
@@ -433,6 +602,13 @@ fn run_loop(
                 let idx = (rotation + i) % n;
                 let aid = hw[idx].agent_id;
                 shared.set_agent(aid as u16);
+                // Injected transient stall: charged as busy latency so the
+                // thread rides it out (and the watchdog sees progress).
+                if !hw[idx].is_finished() {
+                    if let Some(cycles) = shared.fault_stall(aid) {
+                        hw[idx].inject_stall(cycles);
+                    }
+                }
                 let class = match hw[idx].tick(m, sched, shared) {
                     Progress::Busy => {
                         progressed = true;
@@ -455,12 +631,28 @@ fn run_loop(
         }
         if progressed {
             last_progress_cycle = shared.cycle;
-        } else if shared.cycle - last_progress_cycle > 1_000_000 {
-            let detail = format!(
-                "cpu_done={cpu_done} hw_done={hw_done} queues_empty={}",
-                shared.all_queues_empty()
-            );
-            return Err(SimError::Deadlock { cycle: shared.cycle, detail });
+        } else if shared.cycle - last_progress_cycle > cfg.watchdog_window {
+            // The watchdog fired: snapshot every agent's blocked state and
+            // walk the wait-for graph into a structured diagnosis.
+            let mut snaps: Vec<AgentSnapshot> = Vec::new();
+            if let Some(c) = cpu.as_deref() {
+                snaps.push(AgentSnapshot {
+                    name: "cpu".to_string(),
+                    entries: c.entries().to_vec(),
+                    state: WaitState::classify(c.pending_kind(), c.stall_class(), c.is_finished()),
+                    site: c.attr_site(),
+                });
+            }
+            for h in hw.iter() {
+                snaps.push(AgentSnapshot {
+                    name: format!("hw{}", h.agent_id),
+                    entries: vec![h.entry()],
+                    state: WaitState::classify(h.pending_kind(), h.stall_class(), h.is_finished()),
+                    site: h.attr_site(),
+                });
+            }
+            let report = build_hang_report(m, shared.cycle, cfg.watchdog_window, &snaps);
+            return Err(RunHalt::Deadlock(report));
         }
     }
 }

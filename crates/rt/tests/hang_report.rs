@@ -1,0 +1,142 @@
+//! End-to-end golden tests for the watchdog's hang diagnosis: a crafted
+//! two-thread program whose queues form a circular wait must produce a
+//! [`HangReport`] that names the blocked agents, walks the wait-for cycle,
+//! and points at the C source lines — and a lost-message variant must be
+//! reported as a dead-ended chain into the finished producer.
+
+use twill_dswp::{DswpResult, ThreadSpec};
+use twill_rt::{simulate_hybrid, HangReport, SimConfig, SimError, WaitState};
+
+/// `@master` (software) and `@worker` (hardware) each dequeue first from
+/// the queue the *other* one fills: a textbook circular wait. The `!N`
+/// markers are 1-based C source lines.
+const CYCLIC_IR: &str = r#"
+module "cyclic"
+queue q0 i32 x 4
+queue q1 i32 x 4
+
+func @master() {
+bb0:
+  %0 = dequeue i32 q1 !3
+  enqueue q0, 1:i32 !4
+  ret
+}
+
+func @worker() {
+bb0:
+  %0 = dequeue i32 q0 !8
+  enqueue q1, 2:i32 !9
+  ret
+}
+"#;
+
+/// `@master` sends one message and exits; `@worker` expects two. The
+/// second dequeue waits forever on a queue nobody will ever fill again.
+const LOST_IR: &str = r#"
+module "lost"
+queue q0 i32 x 4
+
+func @master() {
+bb0:
+  enqueue q0, 7:i32 !2
+  ret
+}
+
+func @worker() {
+bb0:
+  %0 = dequeue i32 q0 !6
+  %1 = dequeue i32 q0 !7
+  ret
+}
+"#;
+
+/// Build the two-thread hybrid by hand (partition 0 on the CPU, partition
+/// 1 as a hardware thread), bypassing DSWP extraction.
+fn two_thread(ir: &str) -> DswpResult {
+    let module = twill_ir::parser::parse_module(ir).expect("test IR parses");
+    let master = module.find_func("master").expect("@master");
+    let worker = module.find_func("worker").expect("@worker");
+    DswpResult {
+        module,
+        threads: vec![
+            ThreadSpec { entry: master, partition: 0, is_hw: false },
+            ThreadSpec { entry: worker, partition: 1, is_hw: true },
+        ],
+        stats: Default::default(),
+    }
+}
+
+fn expect_hang(d: &DswpResult) -> HangReport {
+    let cfg = SimConfig { watchdog_window: 5_000, ..Default::default() };
+    match simulate_hybrid(d, vec![], &cfg) {
+        Err(SimError::Deadlock { report, partial }) => {
+            assert_eq!(partial.cycles, report.cycle, "partial report must cover the hung run");
+            report
+        }
+        Ok(_) => panic!("crafted deadlock completed"),
+        Err(e) => panic!("expected a deadlock, got {e}"),
+    }
+}
+
+#[test]
+fn cyclic_queue_wait_yields_golden_hang_report() {
+    let report = expect_hang(&two_thread(CYCLIC_IR));
+
+    // The watchdog fired after the no-progress window.
+    assert_eq!(report.window, 5_000);
+    assert!(report.cycle > 0);
+
+    // Both agents are named, blocked on the right queues.
+    assert_eq!(report.agents.len(), 2);
+    let cpu = &report.agents[0];
+    let hw1 = &report.agents[1];
+    assert_eq!(cpu.name, "cpu");
+    assert_eq!(cpu.state, WaitState::QueueEmpty { queue: 1 });
+    assert_eq!(cpu.site, Some(("master".to_string(), 3)));
+    assert_eq!(hw1.name, "hw1");
+    assert_eq!(hw1.state, WaitState::QueueEmpty { queue: 0 });
+    assert_eq!(hw1.site, Some(("worker".to_string(), 8)));
+
+    // The wait-for walk closes into the circular wait.
+    assert!(report.wait_cycle, "chain = {:?}", report.chain);
+    assert_eq!(report.chain, ["cpu", "q1", "hw1", "q0", "cpu"]);
+
+    // Implicated C source lines: the two blocked dequeues.
+    assert_eq!(report.source_lines(), [3, 8]);
+
+    // Golden rendering, line for line.
+    let text = report.render();
+    assert!(text.contains("wait-for cycle: cpu -> q1 -> hw1 -> q0 -> cpu"), "{text}");
+    assert!(text.contains("  cpu: blocked: dequeue on empty q1 at C line 3 (@master)"), "{text}");
+    assert!(text.contains("  hw1: blocked: dequeue on empty q0 at C line 8 (@worker)"), "{text}");
+}
+
+#[test]
+fn lost_message_dead_ends_in_the_finished_producer() {
+    let report = expect_hang(&two_thread(LOST_IR));
+
+    // The producer is done; the consumer waits on its second message.
+    assert_eq!(report.agents[0].state, WaitState::Finished);
+    assert_eq!(report.agents[1].state, WaitState::QueueEmpty { queue: 0 });
+    assert_eq!(report.agents[1].site, Some(("worker".to_string(), 7)));
+
+    // The walk dead-ends in the finished agent instead of cycling — the
+    // lost-message signature.
+    assert!(!report.wait_cycle);
+    assert_eq!(report.chain, ["hw1", "q0", "cpu"]);
+
+    let text = report.render();
+    assert!(text.contains("wait-for chain: hw1 -> q0 -> cpu"), "{text}");
+    assert!(text.contains("cpu: finished"), "{text}");
+}
+
+/// The diagnosis is a pure function of the run: byte-identical twice.
+#[test]
+fn hang_report_is_deterministic() {
+    let d = two_thread(CYCLIC_IR);
+    let a = expect_hang(&d);
+    let b = expect_hang(&d);
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a.cycle, b.cycle);
+    assert_eq!(a.chain, b.chain);
+}

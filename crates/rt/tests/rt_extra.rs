@@ -260,7 +260,20 @@ bb0:
     twill_ir::layout::assign_global_addrs(&mut m);
     let err = twill_rt::simulate_pure_sw(&m, vec![], &SimConfig::default()).unwrap_err();
     match err {
-        twill_rt::SimError::Deadlock { cycle, .. } => assert!(cycle > 0),
+        twill_rt::SimError::Deadlock { report, partial } => {
+            assert!(report.cycle > 0);
+            // The lone agent is reported stuck on the never-filled queue.
+            assert!(
+                report
+                    .agents
+                    .iter()
+                    .any(|a| a.state == twill_rt::WaitState::QueueEmpty { queue: 0 }),
+                "{}",
+                report.render()
+            );
+            // The partial report still carries the run so far.
+            assert_eq!(partial.cycles, report.cycle);
+        }
         other => panic!("expected deadlock, got {other}"),
     }
 }
@@ -280,7 +293,14 @@ int main() {
     twill_passes::run_standard_pipeline(&mut m, &Default::default());
     let cfg = SimConfig { max_cycles: 50, ..Default::default() };
     let err = twill_rt::simulate_pure_sw(&m, vec![], &cfg).unwrap_err();
-    assert!(matches!(err, twill_rt::SimError::Timeout(50)), "{err}");
+    match err {
+        twill_rt::SimError::Timeout { max_cycles, partial } => {
+            assert_eq!(max_cycles, 50);
+            // The partial report covers the truncated run.
+            assert_eq!(partial.cycles, 50);
+        }
+        other => panic!("expected timeout, got {other}"),
+    }
 }
 
 /// The configured queue depth bounds occupancy, and shrinking it never

@@ -1,0 +1,97 @@
+//! Break it on purpose: inject deterministic faults into the simulated
+//! hardware, watch the watchdog diagnose the resulting deadlock down to C
+//! source lines, and let graceful degradation serve the right answer
+//! anyway.
+//!
+//! Run with: `cargo run --release --example fault_drill`
+
+use twill::{Compiler, FaultPlan, FaultSite, FaultSpec, PinnedFault, SimError, SimulationConfig};
+
+const SOURCE: &str = r#"
+/* Same pipeline as the quickstart: three mixing stages DSWP spreads
+ * across hardware threads, talking through queues we can now sabotage. */
+unsigned int mix(unsigned int x, unsigned int k) {
+  x = (x ^ k) * 2654435761u;
+  x = (x >> 13) ^ x;
+  return (x * 2246822519u) + k;
+}
+int main() {
+  int n = in();
+  unsigned int acc = 0;
+  for (int i = 0; i < n; i++) {
+    unsigned int s = (unsigned int) in();
+    unsigned int a = mix(mix(s, 0x9E3779B9), 0x85EBCA6B);
+    unsigned int b = mix(mix(a, 0xC2B2AE35), 0x27D4EB2F);
+    acc = acc * 31 + b;
+  }
+  out((int) acc);
+  return 0;
+}
+"#;
+
+fn main() {
+    let build = Compiler::new().partitions(3).compile("fault_drill", SOURCE).expect("compile");
+    let mut input = vec![200];
+    let mut x = 0x5EEDu32;
+    for _ in 0..200 {
+        x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+        input.push((x >> 20) as i32 - 2048);
+    }
+    let golden = build.run_reference(input.clone()).expect("reference run");
+
+    // 1. Sweep per-cycle fault rates. Same seed + spec → same faults,
+    //    every run, forever: a failure seen once is a failure kept.
+    println!("rate      faults  outcome");
+    for rate in [1e-6, 1e-5, 1e-4, 1e-3] {
+        let cfg = SimulationConfig {
+            fault: Some(FaultPlan::new(7, FaultSpec::uniform(rate))),
+            watchdog_window: 100_000,
+            max_cycles: 50_000_000,
+            ..build.sim_config()
+        };
+        let line = match build.simulate_hybrid_with(input.clone(), &cfg) {
+            Ok(rep) => format!(
+                "{:>6}  {}",
+                rep.stats.faults.total(),
+                if rep.output == golden { "survived" } else { "output corrupted" }
+            ),
+            Err(SimError::Deadlock { partial, .. }) => {
+                format!("{:>6}  hang (diagnosed)", partial.stats.faults.total())
+            }
+            Err(SimError::Timeout { partial, .. }) => {
+                format!("{:>6}  timeout", partial.stats.faults.total())
+            }
+            Err(e) => panic!("{e}"),
+        };
+        println!("{rate:<8}  {line}");
+    }
+
+    // 2. Lose exactly one message and read the diagnosis: the watchdog
+    //    walks the queue wait-for graph and names the C lines involved.
+    let lossy = SimulationConfig {
+        fault: Some(FaultPlan::new(
+            7,
+            FaultSpec {
+                pinned: vec![PinnedFault { cycle: 0, site: FaultSite::QueueDrop { queue: 0 } }],
+                ..Default::default()
+            },
+        )),
+        watchdog_window: 50_000,
+        ..build.sim_config()
+    };
+    println!("\ndropping the first message on q0:");
+    match build.simulate_hybrid_with(input.clone(), &lossy) {
+        Err(SimError::Deadlock { report, .. }) => print!("{}", report.render()),
+        other => panic!("expected a diagnosed hang, got {other:?}"),
+    }
+
+    // 3. Graceful degradation: retry with fresh seeds, fall back to pure
+    //    software, and still hand back the correct output.
+    let outcome = build.run_resilient(input, &lossy, 3).expect("resilient run");
+    println!();
+    for f in &outcome.failures {
+        println!("abandoned {f}");
+    }
+    assert_eq!(outcome.report.output, golden);
+    println!("served by {} — output correct", outcome.served_by);
+}

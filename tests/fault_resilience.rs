@@ -1,0 +1,87 @@
+//! Acceptance test for the fault story on a real benchmark: a pinned
+//! message drop deadlocks the CHStone blowfish hybrid, the watchdog
+//! diagnoses the hang down to C source lines, and `run_resilient` still
+//! serves the correct answer over the pure-software fallback — reporting
+//! which path served and why the hybrid was abandoned.
+
+use twill::{
+    Compiler, FaultPlan, FaultSite, FaultSpec, PinnedFault, ServedBy, SimError, SimulationConfig,
+};
+
+fn blowfish() -> (twill::TwillBuild, Vec<i32>, Vec<i32>) {
+    let b = chstone::by_name("blowfish").unwrap();
+    let build = Compiler::new().partitions(b.partitions).compile(b.name, b.source).unwrap();
+    let input = chstone::input_for(b.name, 1);
+    let golden = build.run_reference(input.clone()).unwrap();
+    (build, input, golden)
+}
+
+/// A message silently lost on q0 in every attempt (pinned faults fire
+/// regardless of the retry reseed), with a small watchdog so the hang is
+/// diagnosed quickly.
+fn lossy_cfg(build: &twill::TwillBuild) -> SimulationConfig {
+    let spec = FaultSpec {
+        pinned: vec![PinnedFault { cycle: 0, site: FaultSite::QueueDrop { queue: 0 } }],
+        ..Default::default()
+    };
+    SimulationConfig {
+        fault: Some(FaultPlan::new(42, spec)),
+        watchdog_window: 100_000,
+        max_cycles: 50_000_000,
+        ..build.sim_config()
+    }
+}
+
+#[test]
+fn dropped_message_is_diagnosed_and_survived() {
+    let (build, input, golden) = blowfish();
+    let cfg = lossy_cfg(&build);
+
+    // 1. The faulted hybrid hangs, and the watchdog explains it.
+    let err = build.simulate_hybrid_with(input.clone(), &cfg).unwrap_err();
+    let report = match &err {
+        SimError::Deadlock { report, partial } => {
+            assert_eq!(partial.stats.faults.drops, 1, "the pinned drop was injected");
+            report
+        }
+        other => panic!("expected the lost message to hang the pipeline, got {other}"),
+    };
+    assert!(!report.agents.is_empty(), "agents must be named");
+    assert!(
+        report
+            .agents
+            .iter()
+            .any(|a| !matches!(a.state, twill::WaitState::Running | twill::WaitState::Finished)),
+        "at least one agent is resource-blocked: {:?}",
+        report.agents
+    );
+    assert!(!report.chain.is_empty(), "the wait-for walk found the dependency chain");
+    assert!(
+        !report.source_lines().is_empty(),
+        "the diagnosis points at C source lines: {}",
+        report.render()
+    );
+    // The top-level error message carries the chain too.
+    assert!(err.to_string().contains(" -> "), "{err}");
+
+    // 2. Graceful degradation: every hybrid attempt fails the same way,
+    //    and the pure-SW fallback serves the golden output.
+    let outcome = build.run_resilient(input.clone(), &cfg, 3).unwrap();
+    assert_eq!(outcome.served_by, ServedBy::PureSw);
+    assert_eq!(outcome.served_by.to_string(), "pure-SW fallback");
+    assert_eq!(outcome.failures.len(), 3, "one failure per abandoned attempt");
+    assert!(outcome.failures.iter().all(|f| f.contains("deadlock")), "{:?}", outcome.failures);
+    assert_eq!(outcome.report.output, golden, "the served output is correct");
+    assert_eq!(outcome.report.stats.faults.total(), 0, "fallback runs with injection off");
+
+    // 3. Happy path: an armed-but-inert plan serves from the first hybrid
+    //    attempt and reports it.
+    let quiet = SimulationConfig {
+        fault: Some(FaultPlan::new(42, FaultSpec::uniform(0.0))),
+        ..build.sim_config()
+    };
+    let outcome = build.run_resilient(input, &quiet, 3).unwrap();
+    assert_eq!(outcome.served_by, ServedBy::Hybrid { attempt: 0 });
+    assert!(outcome.failures.is_empty());
+    assert_eq!(outcome.report.output, golden);
+}
