@@ -29,6 +29,39 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
+/// Stall-dominated pipeline: 2-slot queues and 512-cycle queue operations
+/// skew every producer/consumer pair far apart, so nearly every simulated
+/// cycle is part of a blocked, charge, or latency span — the workload
+/// class the event-driven fast-forward core leaps over. Reported as
+/// simulated-cycles/sec for both loop modes; the runs produce identical
+/// reports by contract (asserted here on cycle count).
+fn bench_stall_heavy(c: &mut Criterion) {
+    let b = chstone::JPEG;
+    let prepared = chstone::compile_and_prepare(&b);
+    let input = chstone::input_for(b.name, 1);
+    let build = twill::Compiler::new().partitions(b.partitions).build_from_module(prepared);
+
+    let stall_cfg = |fast_forward: bool| twill::SimulationConfig {
+        queue_latency: 512,
+        queue_depth: Some(2),
+        fast_forward,
+        ..build.sim_config()
+    };
+    let cycles = build.simulate_hybrid_with(input.clone(), &stall_cfg(true)).unwrap().cycles;
+    let naive_cycles = build.simulate_hybrid_with(input.clone(), &stall_cfg(false)).unwrap().cycles;
+    assert_eq!(cycles, naive_cycles, "fast-forward must not change simulated time");
+
+    let mut g = c.benchmark_group("stall_heavy");
+    g.throughput(Throughput::Elements(cycles));
+    g.bench_function("hybrid_jpeg_fast_forward", |bench| {
+        bench.iter(|| build.simulate_hybrid_with(input.clone(), &stall_cfg(true)).unwrap())
+    });
+    g.bench_function("hybrid_jpeg_naive", |bench| {
+        bench.iter(|| build.simulate_hybrid_with(input.clone(), &stall_cfg(false)).unwrap())
+    });
+    g.finish();
+}
+
 fn bench_interpreter(c: &mut Criterion) {
     let b = chstone::MOTION;
     let m = chstone::compile_and_prepare(&b);
@@ -41,6 +74,6 @@ fn bench_interpreter(c: &mut Criterion) {
 criterion_group! {
     name = sim;
     config = Criterion::default().sample_size(10);
-    targets = bench_simulator, bench_interpreter
+    targets = bench_simulator, bench_stall_heavy, bench_interpreter
 }
 criterion_main!(sim);

@@ -3,7 +3,7 @@
 //! ```console
 //! faults [--benches a,b,c] [--rates 1e-6,1e-5,1e-4] [--seed N]
 //!        [--attempts K] [--scale S] [--watchdog CYCLES] [--json FILE]
-//!        [--strict-obs] [--obs-ring-capacity N]
+//!        [--strict-obs] [--obs-ring-capacity N] [--no-fast-forward]
 //! ```
 //!
 //! Sweeps per-cycle fault rates across the CHStone suite, injecting queue
@@ -25,7 +25,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: faults [--benches a,b,c] [--rates r1,r2] [--seed N] \
          [--attempts K] [--scale S] [--watchdog CYCLES] [--json FILE] \
-         [--strict-obs] [--obs-ring-capacity N]"
+         [--strict-obs] [--obs-ring-capacity N] [--no-fast-forward]"
     );
     std::process::exit(2);
 }
@@ -70,6 +70,7 @@ fn main() -> ExitCode {
             }
             "--json" => json_out = Some(it.next().unwrap_or_else(|| usage())),
             "--strict-obs" => strict_obs = true,
+            "--no-fast-forward" => opts.fast_forward = false,
             "--obs-ring-capacity" => {
                 ring_capacity = twill_bench::parse_ring_capacity(&mut it).unwrap_or_else(|| usage())
             }

@@ -3,7 +3,7 @@
 //! ```console
 //! profile [BENCH] [--scale N] [--trace FILE] [--metrics FILE]
 //!         [--annotate-out FILE] [--folded-out FILE]
-//!         [--obs-ring-capacity N] [--strict-obs]
+//!         [--obs-ring-capacity N] [--strict-obs] [--no-fast-forward]
 //! ```
 //!
 //! With no benchmark name, profiles all eight. Prints the per-thread
@@ -25,7 +25,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: profile [BENCH] [--scale N] [--trace FILE] [--metrics FILE] \
          [--annotate-out FILE] [--folded-out FILE] [--obs-ring-capacity N] \
-         [--strict-obs]"
+         [--strict-obs] [--no-fast-forward]"
     );
     std::process::exit(2);
 }
@@ -39,6 +39,7 @@ fn main() {
     let mut folded_out: Option<String> = None;
     let mut ring_capacity: usize = 1 << 22;
     let mut strict_obs = false;
+    let mut no_fast_forward = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -53,6 +54,7 @@ fn main() {
                 ring_capacity = twill_bench::parse_ring_capacity(&mut it).unwrap_or_else(|| usage())
             }
             "--strict-obs" => strict_obs = true,
+            "--no-fast-forward" => no_fast_forward = true,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && bench.is_none() => bench = Some(other.to_string()),
             _ => usage(),
@@ -83,6 +85,7 @@ fn main() {
         let cfg = twill::SimulationConfig {
             trace_events: if trace.is_some() { ring_capacity } else { 0 },
             profile: annotate_out.is_some() || folded_out.is_some(),
+            fast_forward: !no_fast_forward && build.sim_config().fast_forward,
             ..build.sim_config()
         };
         let rep = build.simulate_hybrid_with(input, &cfg).expect("hybrid simulation");

@@ -38,6 +38,9 @@ pub struct CampaignOptions {
     /// Event-ring capacity armed on every run (0 = tracing off). With
     /// tracing armed, dropped events count as observability data loss.
     pub trace_capacity: usize,
+    /// Run the simulator's event-driven fast-forward loop (the default;
+    /// false forces the naive tick-every-cycle loop for cross-checking).
+    pub fast_forward: bool,
 }
 
 impl Default for CampaignOptions {
@@ -50,6 +53,7 @@ impl Default for CampaignOptions {
             watchdog: 200_000,
             max_cycles: 20_000_000,
             trace_capacity: 0,
+            fast_forward: true,
         }
     }
 }
@@ -155,6 +159,7 @@ pub fn run_campaign(benches: &[chstone::Benchmark], opts: &CampaignOptions) -> C
                     watchdog_window: opts.watchdog,
                     max_cycles: opts.max_cycles,
                     trace_events: opts.trace_capacity,
+                    fast_forward: opts.fast_forward && build.sim_config().fast_forward,
                     ..build.sim_config()
                 };
                 let (attempt, report) = match build.simulate_hybrid_with(input.clone(), &cfg) {
@@ -207,7 +212,11 @@ pub fn run_campaign(benches: &[chstone::Benchmark], opts: &CampaignOptions) -> C
             if cell.served != "hybrid" {
                 // Degraded path: the whole program on the soft CPU,
                 // injection off — must produce the golden output.
-                let cfg = SimulationConfig { fault: None, ..build.sim_config() };
+                let cfg = SimulationConfig {
+                    fault: None,
+                    fast_forward: opts.fast_forward && build.sim_config().fast_forward,
+                    ..build.sim_config()
+                };
                 let rep = twill_rt::simulate_pure_sw(build.prepared(), input.clone(), &cfg)
                     .unwrap_or_else(|e| panic!("{}: pure-SW fallback failed: {e}", b.name));
                 cell.final_ok = rep.output == golden;

@@ -8,8 +8,12 @@
 //!        [--metrics FILE] [--compare BASELINE]
 //!        [--compare-profile PROFILE.json] [--obs-ring-capacity N]
 //!        [--strict-obs] [--fault-rate R] [--fault-seed N]
-//!        [--watchdog CYCLES] [--resilient]
+//!        [--watchdog CYCLES] [--resilient] [--no-fast-forward]
 //! ```
+//!
+//! `--no-fast-forward` runs the simulator's naive tick-every-cycle loop
+//! instead of the event-driven fast-forward core — an escape hatch for
+//! cross-checking the two (they are observably identical by contract).
 //!
 //! `--fault-rate` injects deterministic faults (queue bit flips, drops,
 //! duplications, transient hardware-thread stalls, memory upsets) at the
@@ -64,6 +68,7 @@ struct Args {
     fault_seed: u64,
     watchdog: Option<u64>,
     resilient: bool,
+    no_fast_forward: bool,
 }
 
 /// Hybrid attempts before `--resilient` degrades to pure software.
@@ -78,7 +83,7 @@ fn usage() -> ! {
          [--trace FILE] [--metrics FILE] [--compare BASELINE] \
          [--compare-profile PROFILE.json] [--obs-ring-capacity N] \
          [--strict-obs] [--fault-rate R] [--fault-seed N] \
-         [--watchdog CYCLES] [--resilient]"
+         [--watchdog CYCLES] [--resilient] [--no-fast-forward]"
     );
     std::process::exit(2);
 }
@@ -109,6 +114,7 @@ fn parse_args() -> Args {
         fault_seed: 1,
         watchdog: None,
         resilient: false,
+        no_fast_forward: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -160,6 +166,7 @@ fn parse_args() -> Args {
                     Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
             }
             "--resilient" => args.resilient = true,
+            "--no-fast-forward" => args.no_fast_forward = true,
             "--obs-ring-capacity" => {
                 args.ring_capacity =
                     it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
@@ -264,6 +271,9 @@ fn main() -> ExitCode {
         };
         if let Some(w) = args.watchdog {
             cfg.watchdog_window = w;
+        }
+        if args.no_fast_forward {
+            cfg.fast_forward = false;
         }
         let tw = if args.resilient {
             match build.run_resilient(args.input.clone(), &cfg, RESILIENT_ATTEMPTS) {

@@ -5,7 +5,7 @@
 //! thread exists (thesis §4.4: single context switch, scheduler snoops for
 //! blocked threads).
 
-use crate::hwthread::Progress;
+use crate::hwthread::{Progress, SkipSpec};
 #[cfg(feature = "obs")]
 use crate::shared::op_class;
 use crate::shared::rec;
@@ -216,6 +216,115 @@ impl Cpu {
                 Progress::Busy
             }
             Err(e) => panic!("CPU execution fault: {e}"),
+        }
+    }
+
+    /// Earliest cycle (> `now`, the cycle just ticked) at which this
+    /// agent's tick can do anything beyond burning a charge cycle or
+    /// re-polling a blocked/latency-burning op — the fast-forward contract
+    /// (DESIGN.md §12). `u64::MAX` means "not until a peer acts".
+    pub(crate) fn next_interesting_cycle(&self, now: u64, shared: &Shared) -> u64 {
+        if self.is_finished() {
+            return u64::MAX;
+        }
+        if self.charge > 0 {
+            return now + self.charge as u64 + 1;
+        }
+        match &self.pending {
+            Some(p) => match p.state {
+                PendState::Latency(n) => now + n as u64,
+                // A ready resource means the last poll missed it (the HW
+                // peer served after the CPU's tick in the same cycle) —
+                // the serving wake tick is next and must happen for real.
+                PendState::WaitResource if shared.resource_ready(p.kind) => now + 1,
+                PendState::WaitResource => match self.next_runnable() {
+                    // The HW scheduler switches out a thread blocked for 4
+                    // consecutive cycles when another is runnable; that
+                    // switch is the next interesting event. Thread liveness
+                    // cannot change while this thread is blocked (all SW
+                    // threads run on this CPU), so the horizon is exact.
+                    Some(next) if next != self.active => {
+                        now + 4u64.saturating_sub(self.blocked_streak as u64).max(1)
+                    }
+                    // Sole runnable thread: blocked until a peer acts.
+                    _ => u64::MAX,
+                },
+                // Bus arbitration re-runs every cycle; never skip it.
+                _ => now + 1,
+            },
+            None => now + 1,
+        }
+    }
+
+    /// The constant per-cycle accounting of a fast-forward span starting
+    /// after `now` (see [`HwThread::skip_spec`]).
+    ///
+    /// [`HwThread::skip_spec`]: crate::hwthread::HwThread
+    pub(crate) fn skip_spec(&self) -> SkipSpec {
+        if self.is_finished() {
+            return SkipSpec {
+                progress: Progress::Finished,
+                class: StallClass::Idle,
+                stall_kind: None,
+            };
+        }
+        if self.charge > 0 {
+            return SkipSpec {
+                progress: Progress::Busy,
+                class: StallClass::Busy,
+                stall_kind: None,
+            };
+        }
+        match &self.pending {
+            Some(p) => match p.state {
+                PendState::WaitResource => SkipSpec {
+                    progress: Progress::Blocked,
+                    class: p.stall_class(),
+                    stall_kind: Some(p.kind),
+                },
+                _ => SkipSpec {
+                    progress: Progress::Blocked,
+                    class: StallClass::Busy,
+                    stall_kind: None,
+                },
+            },
+            None => {
+                debug_assert!(false, "skip_spec on an agent with nothing in flight");
+                SkipSpec { progress: Progress::Busy, class: StallClass::Busy, stall_kind: None }
+            }
+        }
+    }
+
+    /// Replay the state changes of `k` skipped ticks in one step: burn
+    /// charge, count down op latency, and grow the blocked streak exactly
+    /// as `k` naive polls would have.
+    pub(crate) fn apply_skip(&mut self, k: u64) {
+        if self.is_finished() {
+            return;
+        }
+        if self.charge > 0 {
+            debug_assert!(k <= self.charge as u64, "skip overran charge");
+            self.charge -= k as u32;
+            self.busy_cycles += k;
+            return;
+        }
+        match self.pending.as_mut() {
+            Some(p) => {
+                match &mut p.state {
+                    PendState::Latency(n) => {
+                        debug_assert!(k < *n as u64, "skip overran op latency");
+                        *n -= k as u32;
+                    }
+                    PendState::WaitResource => {
+                        // Matches the naive per-cycle `+= 1` modulo 2^32
+                        // (the streak only ever gates on reaching 4).
+                        self.blocked_streak = self.blocked_streak.wrapping_add(k as u32);
+                    }
+                    _ => debug_assert!(false, "unskippable pending state"),
+                }
+                self.blocked_cycles += k;
+            }
+            None => debug_assert!(false, "apply_skip on an agent with nothing in flight"),
         }
     }
 

@@ -329,6 +329,18 @@ impl FaultState {
         }
     }
 
+    /// Cycle of the earliest pinned fault not yet armed (fast-forward must
+    /// not leap past it).
+    pub(crate) fn next_pinned_cycle(&self) -> Option<u64> {
+        self.pinned.get(self.next_pinned).map(|p| p.cycle)
+    }
+
+    /// Whether any armed pinned stall is still waiting for its target
+    /// agent's next tick.
+    pub(crate) fn has_armed_stalls(&self) -> bool {
+        !self.armed_stalls.is_empty()
+    }
+
     /// Pop one armed memory upset (fired the cycle it comes due).
     pub(crate) fn pop_armed_mem(&mut self) -> Option<FaultSite> {
         let pos = self.armed_queue.iter().position(|s| matches!(s, FaultSite::MemUpset { .. }))?;

@@ -15,6 +15,21 @@ pub enum Progress {
     Finished,
 }
 
+/// How every cycle of a fast-forward span must be accounted for one agent:
+/// the Progress the naive tick would report, the stall class it would be
+/// charged under, and — for a resource-blocked op — the op kind whose
+/// per-retry stall counters must be bumped. All three are constant across
+/// a span by construction (the span ends before the agent's
+/// `next_interesting_cycle`), so one spec covers the whole leap.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SkipSpec {
+    pub progress: Progress,
+    pub class: StallClass,
+    /// The blocked op whose retry counters accrue each skipped cycle
+    /// (`None` unless the agent is in `PendState::WaitResource`).
+    pub stall_kind: Option<OpKind>,
+}
+
 struct HwFrame {
     func: FuncId,
     block: BlockId,
@@ -114,6 +129,108 @@ impl HwThread {
     /// a transient stall, attributed as busy time like any other charge).
     pub fn inject_stall(&mut self, cycles: u32) {
         self.charge += cycles;
+    }
+
+    /// Earliest cycle (> `now`, the cycle just ticked) at which this
+    /// agent's tick can do anything beyond burning a charge cycle or
+    /// re-polling a blocked/latency-burning op — the fast-forward contract
+    /// (DESIGN.md §12). `u64::MAX` means "not until a peer acts".
+    pub(crate) fn next_interesting_cycle(&self, now: u64, shared: &Shared) -> u64 {
+        if self.finished {
+            return u64::MAX;
+        }
+        if self.charge > 0 {
+            // Ticks now+1 ..= now+charge burn the charge; the next one
+            // executes.
+            return now + self.charge as u64 + 1;
+        }
+        match &self.pending {
+            Some((_, p, _, _)) => match p.state {
+                // Latency(n) polls down to Done at tick now+n.
+                PendState::Latency(n) => now + n as u64,
+                // Blocked on a queue/sem: only a peer can unblock it, and
+                // peers act at their own interesting cycles. But if the
+                // resource is ready right now the last poll simply missed
+                // it (the peer served later in the same cycle, or this
+                // agent was riding out a charge) — the wake tick is next.
+                PendState::WaitResource => {
+                    if shared.resource_ready(p.kind) {
+                        now + 1
+                    } else {
+                        u64::MAX
+                    }
+                }
+                // Bus arbitration is re-run every cycle in agent order;
+                // never skip over it.
+                _ => now + 1,
+            },
+            None => now + 1,
+        }
+    }
+
+    /// The constant per-cycle accounting of a fast-forward span starting
+    /// after `now`. Only meaningful when `next_interesting_cycle` allows a
+    /// skip (the run loop guarantees that).
+    pub(crate) fn skip_spec(&self) -> SkipSpec {
+        if self.finished {
+            return SkipSpec {
+                progress: Progress::Finished,
+                class: StallClass::Idle,
+                stall_kind: None,
+            };
+        }
+        if self.charge > 0 {
+            return SkipSpec {
+                progress: Progress::Busy,
+                class: StallClass::Busy,
+                stall_kind: None,
+            };
+        }
+        match &self.pending {
+            Some((_, p, _, _)) => match p.state {
+                PendState::WaitResource => SkipSpec {
+                    progress: Progress::Blocked,
+                    class: p.stall_class(),
+                    stall_kind: Some(p.kind),
+                },
+                // Latency burn: blocked progress, charged as busy.
+                _ => SkipSpec {
+                    progress: Progress::Blocked,
+                    class: StallClass::Busy,
+                    stall_kind: None,
+                },
+            },
+            None => {
+                debug_assert!(false, "skip_spec on an agent with nothing in flight");
+                SkipSpec { progress: Progress::Busy, class: StallClass::Busy, stall_kind: None }
+            }
+        }
+    }
+
+    /// Replay the state changes of `k` skipped ticks in one step: burn
+    /// charge, count down op latency, and advance the pending-op tick
+    /// counter exactly as `k` naive polls would have.
+    pub(crate) fn apply_skip(&mut self, k: u64) {
+        if self.finished {
+            return;
+        }
+        if self.charge > 0 {
+            debug_assert!(k <= self.charge as u64, "skip overran charge");
+            self.charge -= k as u32;
+            self.busy_cycles += k;
+            return;
+        }
+        match self.pending.as_mut() {
+            Some((_, p, ticks, _)) => {
+                *ticks = ticks.wrapping_add(k as u32);
+                if let PendState::Latency(n) = &mut p.state {
+                    debug_assert!(k < *n as u64, "skip overran op latency");
+                    *n -= k as u32;
+                }
+                self.blocked_cycles += k;
+            }
+            None => debug_assert!(false, "apply_skip on an agent with nothing in flight"),
+        }
     }
 
     fn eval(&self, m: &Module, v: Value) -> i64 {

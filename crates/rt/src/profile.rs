@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 pub type Site = (usize, usize);
 
 /// One agent's cycle attribution, keyed by instruction site.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AgentProfile {
     /// Per-site cycle breakdown. BTreeMap keeps report order deterministic.
     pub sites: BTreeMap<Site, ClassCycles>,
@@ -29,9 +29,16 @@ pub struct AgentProfile {
 
 impl AgentProfile {
     pub fn record(&mut self, site: Option<Site>, class: StallClass) {
+        self.record_n(site, class, 1);
+    }
+
+    /// Bulk-charge `n` cycles of one class to one site (fast-forward spans
+    /// attribute every skipped cycle to the instruction that was in flight
+    /// when the span began — the site cannot change while skipping).
+    pub fn record_n(&mut self, site: Option<Site>, class: StallClass, n: u64) {
         match site {
-            Some(s) => self.sites.entry(s).or_default().add(class),
-            None => self.overhead.add(class),
+            Some(s) => self.sites.entry(s).or_default().add_n(class, n),
+            None => self.overhead.add_n(class, n),
         }
     }
 
@@ -43,7 +50,7 @@ impl AgentProfile {
 
 /// Cycle attribution for a whole run, one entry per agent in
 /// [`crate::SimReport::agent_names`] order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimProfile {
     pub agents: Vec<AgentProfile>,
 }

@@ -145,14 +145,20 @@ pub struct ClassCycles {
 
 impl ClassCycles {
     pub fn add(&mut self, class: StallClass) {
+        self.add_n(class, 1);
+    }
+
+    /// Bulk-charge `n` cycles to one class (the fast-forward path charges
+    /// a whole skipped span in one call).
+    pub fn add_n(&mut self, class: StallClass, n: u64) {
         match class {
-            StallClass::Busy => self.busy += 1,
-            StallClass::QueueFull => self.queue_full += 1,
-            StallClass::QueueEmpty => self.queue_empty += 1,
-            StallClass::Sem => self.sem += 1,
-            StallClass::MemBus => self.mem_bus += 1,
-            StallClass::ModuleBus => self.module_bus += 1,
-            StallClass::Idle => self.idle += 1,
+            StallClass::Busy => self.busy += n,
+            StallClass::QueueFull => self.queue_full += n,
+            StallClass::QueueEmpty => self.queue_empty += n,
+            StallClass::Sem => self.sem += n,
+            StallClass::MemBus => self.mem_bus += n,
+            StallClass::ModuleBus => self.module_bus += n,
+            StallClass::Idle => self.idle += n,
         }
     }
 
@@ -183,7 +189,7 @@ pub struct QueueStat {
 }
 
 /// Simulation counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     pub cycles: u64,
     pub module_bus_grants: u64,
@@ -347,6 +353,79 @@ impl Shared {
         self.mem_bus_left = 1;
         if self.faults.is_some() {
             self.cycle_faults();
+        }
+    }
+
+    /// Leap the clock over `k` quiet cycles (fast-forward path). Only legal
+    /// when nothing observable happens in the span: no agent executes, no
+    /// bus poll occurs (budgets reset unused each naive cycle), and no
+    /// fault is armed or rate-drawn. The caller bulk-charges each agent's
+    /// counters separately so the `total() == cycle` invariants hold.
+    pub(crate) fn skip_cycles(&mut self, k: u64) {
+        self.cycle += k;
+        self.stats.cycles = self.cycle;
+    }
+
+    /// Bulk equivalent of `k` consecutive [`Shared::note_stall`] retries of
+    /// the same blocked op. None of them is the episode's first attempt (it
+    /// happened at issue time), so no trace event is emitted — exactly like
+    /// the naive loop's retry cycles.
+    pub(crate) fn note_stall_bulk(&mut self, kind: OpKind, k: u64) {
+        match kind {
+            OpKind::Enqueue(q, _) => {
+                self.stats.queue_full_stalls += k;
+                self.stats.queue_stats[q.index()].full_stalls += k;
+            }
+            OpKind::Dequeue(q) => {
+                self.stats.queue_empty_stalls += k;
+                self.stats.queue_stats[q.index()].empty_stalls += k;
+            }
+            OpKind::SemLower(..) => {
+                self.stats.sem_stalls += k;
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether a blocked (`WaitResource`) op of this kind would be served
+    /// by its next poll. Fast-forward horizon check: a blocked agent's
+    /// last real poll can predate the resource becoming ready (the peer
+    /// acts after it in the same cycle, or it was riding out a charge), so
+    /// a ready resource forces the wake tick to happen for real. Mirrors
+    /// the availability tests in `try_serve`.
+    pub(crate) fn resource_ready(&self, kind: OpKind) -> bool {
+        match kind {
+            OpKind::Enqueue(q, _) => {
+                let qi = q.index();
+                self.queues[qi].items.len() < self.queues[qi].cap
+            }
+            OpKind::Dequeue(q) => !self.queues[q.index()].items.is_empty(),
+            OpKind::SemLower(s, n) => self.sems[s.index()] >= n,
+            _ => true,
+        }
+    }
+
+    /// The next not-yet-armed pinned fault's cycle (a fast-forward leap
+    /// must not cross it: pinned stalls and memory upsets fire at exact
+    /// cycles).
+    pub(crate) fn next_pinned_fault_cycle(&self) -> Option<u64> {
+        self.faults.as_deref().and_then(|fs| fs.next_pinned_cycle())
+    }
+
+    /// True while an armed pinned stall waits for its target agent's next
+    /// tick; fast-forward must not skip that tick.
+    pub(crate) fn has_armed_stalls(&self) -> bool {
+        self.faults.as_deref().is_some_and(|fs| fs.has_armed_stalls())
+    }
+
+    /// True when the fault plan consumes PRNG draws every cycle (memory
+    /// upsets per cycle, stall draws per live hardware thread per cycle).
+    /// Such cycles can be skipped only by replaying the draws in tick
+    /// order so the splitmix64 stream stays byte-identical.
+    pub(crate) fn fault_draws_per_cycle(&self, live_hw: bool) -> bool {
+        match self.faults.as_deref() {
+            None => false,
+            Some(fs) => fs.spec.mem_upset_rate > 0.0 || (live_hw && fs.spec.hw_stall_rate > 0.0),
         }
     }
 

@@ -3,7 +3,7 @@
 use crate::cpu::Cpu;
 use crate::fault::{FaultPlan, FaultRecord};
 use crate::hang::{build_hang_report, AgentSnapshot, HangReport, WaitState};
-use crate::hwthread::{HwThread, Progress};
+use crate::hwthread::{HwThread, Progress, SkipSpec};
 use crate::shared::{Shared, StallClass};
 use twill_dswp::DswpResult;
 use twill_hls::schedule::{schedule_module, HlsOptions, ModuleSchedule};
@@ -32,6 +32,13 @@ pub struct SimConfig {
     /// No-progress window, in cycles, before the watchdog declares the
     /// system hung and renders a [`HangReport`].
     pub watchdog_window: u64,
+    /// Event-driven fast-forward: leap the clock over spans where every
+    /// agent is provably burning charge or re-polling a blocked op
+    /// (observably identical to ticking each cycle; see DESIGN.md §12).
+    /// `false` forces the naive tick-every-cycle loop — the bisection
+    /// escape hatch behind `--no-fast-forward`. Defaults to on unless the
+    /// `TWILL_NO_FAST_FORWARD` environment variable is set.
+    pub fast_forward: bool,
 }
 
 impl Default for SimConfig {
@@ -46,6 +53,7 @@ impl Default for SimConfig {
             profile: false,
             fault: None,
             watchdog_window: 1_000_000,
+            fast_forward: std::env::var_os("TWILL_NO_FAST_FORWARD").is_none(),
         }
     }
 }
@@ -528,8 +536,263 @@ pub fn simulate_hybrid_scheduled(
     wrap(halt, report)
 }
 
+/// The agent interface the run loop drives. Both agent kinds tick the same
+/// way from the loop's perspective; `sched` is ignored by the CPU and
+/// required by hardware threads.
+trait SimAgent {
+    fn agent_id(&self) -> usize;
+    fn stall_class(&self) -> StallClass;
+    fn attr_site(&self) -> Option<(usize, usize)>;
+    fn tick(&mut self, m: &Module, sched: Option<&ModuleSchedule>, shared: &mut Shared)
+        -> Progress;
+}
+
+impl SimAgent for Cpu {
+    fn agent_id(&self) -> usize {
+        self.agent_id
+    }
+    fn stall_class(&self) -> StallClass {
+        Cpu::stall_class(self)
+    }
+    fn attr_site(&self) -> Option<(usize, usize)> {
+        Cpu::attr_site(self)
+    }
+    fn tick(
+        &mut self,
+        m: &Module,
+        _sched: Option<&ModuleSchedule>,
+        shared: &mut Shared,
+    ) -> Progress {
+        Cpu::tick(self, m, shared)
+    }
+}
+
+impl SimAgent for HwThread {
+    fn agent_id(&self) -> usize {
+        self.agent_id
+    }
+    fn stall_class(&self) -> StallClass {
+        HwThread::stall_class(self)
+    }
+    fn attr_site(&self) -> Option<(usize, usize)> {
+        HwThread::attr_site(self)
+    }
+    fn tick(
+        &mut self,
+        m: &Module,
+        sched: Option<&ModuleSchedule>,
+        shared: &mut Shared,
+    ) -> Progress {
+        HwThread::tick(self, m, sched.expect("HW threads need a schedule"), shared)
+    }
+}
+
+/// Tick one agent and charge the cycle: progress counters, per-class
+/// attribution, and (when profiling) the instruction-site table. The single
+/// accounting site both the naive loop and the fast-forward re-sync ticks
+/// go through. Returns whether the agent made progress (watchdog feed).
+fn tick_agent<A: SimAgent>(
+    a: &mut A,
+    m: &Module,
+    sched: Option<&ModuleSchedule>,
+    shared: &mut Shared,
+    profile: &mut Option<crate::profile::SimProfile>,
+) -> bool {
+    let aid = a.agent_id();
+    shared.set_agent(aid as u16);
+    let mut progressed = false;
+    let class = match a.tick(m, sched, shared) {
+        Progress::Busy => {
+            progressed = true;
+            shared.stats.agent_busy[aid] += 1;
+            StallClass::Busy
+        }
+        Progress::Blocked => {
+            shared.stats.agent_blocked[aid] += 1;
+            a.stall_class()
+        }
+        Progress::Finished => StallClass::Idle,
+    };
+    shared.stats.agent_cycles[aid].add(class);
+    if let Some(p) = profile.as_mut() {
+        let site = if class == StallClass::Idle { None } else { a.attr_site() };
+        p.agents[aid].record(site, class);
+    }
+    progressed
+}
+
+/// Bulk-charge `k` skipped cycles for one agent under its (constant) skip
+/// spec: the fast-forward twin of the accounting in [`tick_agent`].
+fn charge_skip(
+    shared: &mut Shared,
+    profile: &mut Option<crate::profile::SimProfile>,
+    aid: usize,
+    spec: &SkipSpec,
+    site: Option<(usize, usize)>,
+    k: u64,
+) {
+    match spec.progress {
+        Progress::Busy => shared.stats.agent_busy[aid] += k,
+        Progress::Blocked => shared.stats.agent_blocked[aid] += k,
+        Progress::Finished => {}
+    }
+    shared.stats.agent_cycles[aid].add_n(spec.class, k);
+    if let Some(kind) = spec.stall_kind {
+        shared.note_stall_bulk(kind, k);
+    }
+    if let Some(p) = profile.as_mut() {
+        let site = if spec.class == StallClass::Idle { None } else { site };
+        p.agents[aid].record_n(site, spec.class, k);
+    }
+}
+
+/// Try to leap the clock from `shared.cycle` to just before the earliest
+/// cycle anything observable can happen. Returns whether a leap occurred
+/// (the caller re-enters the loop top either way).
+///
+/// The target is the minimum over every agent's `next_interesting_cycle`,
+/// capped so the leap never crosses a pinned fault's cycle, the watchdog's
+/// firing edge, or `max_cycles`. Skipped cycles are bulk-charged to each
+/// agent's current stall class at both stats and profile granularity, and
+/// the HW rotation advances as if each cycle had been ticked. When the
+/// fault plan draws randomness every cycle (memory-upset rate, HW-stall
+/// rate), the draws are replayed per skipped cycle in exact tick order —
+/// without executing any agent — so the splitmix64 stream, fault log, and
+/// trace events stay byte-identical to the naive loop.
+#[allow(clippy::too_many_arguments)]
+fn try_fast_forward(
+    mut cpu: Option<&mut Cpu>,
+    hw: &mut [HwThread],
+    shared: &mut Shared,
+    cfg: &SimConfig,
+    profile: &mut Option<crate::profile::SimProfile>,
+    rotation: &mut usize,
+    last_progress_cycle: &mut u64,
+) -> bool {
+    let now = shared.cycle;
+    if shared.has_armed_stalls() {
+        // An armed pinned stall fires at its target agent's next tick;
+        // that tick must actually happen.
+        return false;
+    }
+    let mut target = u64::MAX;
+    if let Some(c) = cpu.as_deref() {
+        target = target.min(c.next_interesting_cycle(now, shared));
+    }
+    for h in hw.iter() {
+        target = target.min(h.next_interesting_cycle(now, shared));
+    }
+    if let Some(p) = shared.next_pinned_fault_cycle() {
+        target = target.min(p.max(now + 1));
+    }
+    if target <= now + 1 {
+        return false;
+    }
+    // Every agent can now be skipped (its horizon is >= target >= now+2),
+    // so the per-cycle accounting of the whole span is a constant spec.
+    let cpu_spec = cpu.as_deref().map(|c| c.skip_spec());
+    let progressed_const = cpu_spec.map(|s| s.progress == Progress::Busy).unwrap_or(false)
+        || hw.iter().any(|h| h.skip_spec().progress == Progress::Busy);
+    if !progressed_const {
+        // A fully-blocked span must stop exactly where the watchdog would
+        // fire; the normal iteration at that cycle then fires it.
+        target =
+            target.min(last_progress_cycle.saturating_add(cfg.watchdog_window).saturating_add(1));
+    }
+    // Skipping through cycle max_cycles is fine (the naive loop ticks it);
+    // the loop-top check then reports the timeout with identical stats.
+    target = target.min(cfg.max_cycles.saturating_add(1));
+    if target <= now + 1 {
+        return false;
+    }
+    let k = target - now - 1;
+    let n = hw.len();
+    let live_hw = hw.iter().any(|h| !h.is_finished());
+
+    if !shared.fault_draws_per_cycle(live_hw) {
+        // O(1) leap: no per-cycle randomness to reproduce. Pinned faults
+        // cannot come due inside the span (target is capped at the next
+        // pinned cycle), so deferring `begin_cycle`'s arming to the next
+        // real tick is unobservable; bus budgets reset unused each naive
+        // span cycle and are reset again at the next `begin_cycle`.
+        shared.skip_cycles(k);
+        if let (Some(c), Some(spec)) = (cpu.as_deref_mut(), cpu_spec) {
+            let site = c.attr_site();
+            c.apply_skip(k);
+            charge_skip(shared, profile, c.agent_id, &spec, site, k);
+        }
+        for h in hw.iter_mut() {
+            let spec = h.skip_spec();
+            let site = h.attr_site();
+            h.apply_skip(k);
+            charge_skip(shared, profile, h.agent_id, &spec, site, k);
+        }
+        if n > 0 {
+            *rotation = (*rotation + (k % n as u64) as usize) % n;
+            // Restore the event track the naive loop would have left
+            // current: the last HW thread ticked in the final skipped
+            // cycle's rotation (a pinned fault firing at `begin_cycle` of
+            // the next cycle is recorded against it).
+            let last_idx = (*rotation + 2 * n - 2) % n;
+            shared.set_agent(hw[last_idx].agent_id as u16);
+        }
+        if progressed_const {
+            *last_progress_cycle = shared.cycle;
+        }
+    } else {
+        // Per-cycle fault-draw replay: advance the clock cycle by cycle,
+        // consuming exactly the draws the naive loop would (memory upsets
+        // in `begin_cycle`, stall draws per live HW thread in rotation
+        // order) — but without executing any agent. An injected stall
+        // changes the stalled agent's horizon, so the span ends early
+        // there and the main loop recomputes.
+        let mut injected = false;
+        for _ in 0..k {
+            shared.begin_cycle();
+            let mut progressed = false;
+            if let (Some(c), Some(spec)) = (cpu.as_deref_mut(), cpu_spec) {
+                shared.set_agent(c.agent_id as u16);
+                let site = c.attr_site();
+                c.apply_skip(1);
+                progressed |= spec.progress == Progress::Busy;
+                charge_skip(shared, profile, c.agent_id, &spec, site, 1);
+            }
+            for i in 0..n {
+                let idx = (*rotation + i) % n;
+                let aid = hw[idx].agent_id;
+                shared.set_agent(aid as u16);
+                if !hw[idx].is_finished() {
+                    if let Some(cycles) = shared.fault_stall(aid) {
+                        hw[idx].inject_stall(cycles);
+                        injected = true;
+                    }
+                }
+                // Spec after any injection: the naive tick of a freshly
+                // stalled agent burns one charge cycle as busy.
+                let spec = hw[idx].skip_spec();
+                let site = hw[idx].attr_site();
+                hw[idx].apply_skip(1);
+                progressed |= spec.progress == Progress::Busy;
+                charge_skip(shared, profile, aid, &spec, site, 1);
+            }
+            if n > 0 {
+                *rotation = (*rotation + 1) % n;
+            }
+            if progressed {
+                *last_progress_cycle = shared.cycle;
+            }
+            if injected {
+                break;
+            }
+        }
+    }
+    true
+}
+
 /// The global cycle loop: CPU ticks first (module-bus priority, §4.1),
 /// then the hardware threads in rotating order (longest-waiting fairness).
+/// With `cfg.fast_forward` the loop leaps over cycles no agent can act on
+/// (see [`try_fast_forward`]); otherwise every cycle is ticked naively.
 #[allow(clippy::too_many_arguments)]
 fn run_loop(
     m: &Module,
@@ -573,31 +836,26 @@ fn run_loop(
         if shared.cycle >= cfg.max_cycles {
             return Err(RunHalt::Timeout(cfg.max_cycles));
         }
+        if cfg.fast_forward
+            && try_fast_forward(
+                cpu.as_deref_mut(),
+                hw,
+                shared,
+                cfg,
+                profile,
+                &mut rotation,
+                &mut last_progress_cycle,
+            )
+        {
+            continue;
+        }
         shared.begin_cycle();
         let mut progressed = false;
         if let Some(c) = cpu.as_deref_mut() {
-            shared.set_agent(c.agent_id as u16);
-            let class = match c.tick(m, shared) {
-                Progress::Busy => {
-                    progressed = true;
-                    shared.stats.agent_busy[c.agent_id] += 1;
-                    StallClass::Busy
-                }
-                Progress::Blocked => {
-                    shared.stats.agent_blocked[c.agent_id] += 1;
-                    c.stall_class()
-                }
-                Progress::Finished => StallClass::Idle,
-            };
-            shared.stats.agent_cycles[c.agent_id].add(class);
-            if let Some(p) = profile.as_mut() {
-                let site = if class == StallClass::Idle { None } else { c.attr_site() };
-                p.agents[c.agent_id].record(site, class);
-            }
+            progressed |= tick_agent(c, m, sched, shared, profile);
         }
         let n = hw.len();
         if n > 0 {
-            let sched = sched.expect("HW threads need a schedule");
             for i in 0..n {
                 let idx = (rotation + i) % n;
                 let aid = hw[idx].agent_id;
@@ -609,23 +867,7 @@ fn run_loop(
                         hw[idx].inject_stall(cycles);
                     }
                 }
-                let class = match hw[idx].tick(m, sched, shared) {
-                    Progress::Busy => {
-                        progressed = true;
-                        shared.stats.agent_busy[aid] += 1;
-                        StallClass::Busy
-                    }
-                    Progress::Blocked => {
-                        shared.stats.agent_blocked[aid] += 1;
-                        hw[idx].stall_class()
-                    }
-                    Progress::Finished => StallClass::Idle,
-                };
-                shared.stats.agent_cycles[aid].add(class);
-                if let Some(p) = profile.as_mut() {
-                    let site = if class == StallClass::Idle { None } else { hw[idx].attr_site() };
-                    p.agents[aid].record(site, class);
-                }
+                progressed |= tick_agent(&mut hw[idx], m, sched, shared, profile);
             }
             rotation = (rotation + 1) % n;
         }

@@ -1,0 +1,274 @@
+//! Fast-forward ⇔ naive loop equivalence.
+//!
+//! The event-driven fast-forward core (DESIGN.md §12) must be observably
+//! identical to ticking every agent on every cycle: same cycle counts,
+//! same stats and per-instruction profile, same fault log from the same
+//! splitmix64 stream, same trace events, same watchdog/timeout outcomes.
+//! A proptest drives both loops over random configurations, fault plans,
+//! and watchdog windows and compares entire `SimReport`s; unit tests pin
+//! the sharp edges (a pinned fault inside a skipped span, determinism of
+//! the fast path itself).
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use twill_dswp::{run_dswp, DswpOptions, DswpResult};
+use twill_rt::{
+    simulate_hybrid, simulate_pure_hw, simulate_pure_sw, FaultPlan, FaultSite, FaultSpec,
+    PinnedFault, SimConfig, SimError, SimReport,
+};
+
+fn prepare(src: &str) -> twill_ir::Module {
+    let mut m = twill_frontend::compile("t", src).unwrap();
+    twill_passes::run_standard_pipeline(&mut m, &Default::default());
+    m
+}
+
+/// A pipeline with uneven stage weights: the consumer-side modulus chain
+/// is much heavier than the producer, so queue-full/queue-empty stalls
+/// dominate — exactly the spans fast-forward leaps over.
+const PROGRAM: &str = r#"
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 48; i++) {
+    int x = (i * 13 + 5) ^ (i << 3);
+    int y = x;
+    for (int j = 0; j < 6; j++) y = (y * 3 + j) % 251;
+    acc += y;
+  }
+  out(acc);
+  return 0;
+}
+"#;
+
+/// Compile once per process; proptest cases reuse the build.
+fn testbed() -> &'static (twill_ir::Module, DswpResult) {
+    static TESTBED: OnceLock<(twill_ir::Module, DswpResult)> = OnceLock::new();
+    TESTBED.get_or_init(|| {
+        let m = prepare(PROGRAM);
+        let d = run_dswp(
+            &m,
+            &DswpOptions {
+                num_partitions: 2,
+                split_points: Some(vec![0.5, 0.5]),
+                ..Default::default()
+            },
+        );
+        assert!(d.stats.queues > 0, "expected queue traffic");
+        (m, d)
+    })
+}
+
+fn assert_reports_equal(a: &SimReport, b: &SimReport, ctx: &str) {
+    assert_eq!(a.cycles, b.cycles, "{ctx}: cycles diverged");
+    assert_eq!(a.output, b.output, "{ctx}: output diverged");
+    assert_eq!(a.stats, b.stats, "{ctx}: stats diverged");
+    assert_eq!(
+        a.cpu_busy_fraction.to_bits(),
+        b.cpu_busy_fraction.to_bits(),
+        "{ctx}: cpu_busy_fraction diverged"
+    );
+    assert_eq!(a.hw_threads, b.hw_threads, "{ctx}: hw_threads diverged");
+    assert_eq!(a.agent_names, b.agent_names, "{ctx}: agent_names diverged");
+    assert_eq!(a.dropped_events, b.dropped_events, "{ctx}: dropped_events diverged");
+    assert_eq!(a.profile, b.profile, "{ctx}: profile diverged");
+    assert_eq!(a.fault_log, b.fault_log, "{ctx}: fault_log diverged");
+    #[cfg(feature = "obs")]
+    assert_eq!(a.events, b.events, "{ctx}: trace events diverged");
+}
+
+/// Both loops must reach the same outcome — including identical deadlock
+/// diagnoses and timeout points, with identical partial reports.
+fn assert_outcomes_equal(
+    ff: Result<SimReport, SimError>,
+    naive: Result<SimReport, SimError>,
+    ctx: &str,
+) {
+    match (ff, naive) {
+        (Ok(a), Ok(b)) => assert_reports_equal(&a, &b, ctx),
+        (
+            Err(SimError::Deadlock { report: ra, partial: pa }),
+            Err(SimError::Deadlock { report: rb, partial: pb }),
+        ) => {
+            assert_eq!(ra.cycle, rb.cycle, "{ctx}: watchdog fired at different cycles");
+            assert_eq!(ra.render(), rb.render(), "{ctx}: hang diagnosis diverged");
+            assert_reports_equal(&pa, &pb, ctx);
+        }
+        (
+            Err(SimError::Timeout { max_cycles: ma, partial: pa }),
+            Err(SimError::Timeout { max_cycles: mb, partial: pb }),
+        ) => {
+            assert_eq!(ma, mb, "{ctx}: timeout bounds diverged");
+            assert_reports_equal(&pa, &pb, ctx);
+        }
+        (x, y) => panic!("{ctx}: outcome kinds diverged:\n  fast-forward: {x:?}\n  naive: {y:?}"),
+    }
+}
+
+fn run_both(cfg: &SimConfig, ctx: &str) {
+    let (m, d) = testbed();
+    let ff = SimConfig { fast_forward: true, ..cfg.clone() };
+    let naive = SimConfig { fast_forward: false, ..cfg.clone() };
+    assert_outcomes_equal(
+        simulate_hybrid(d, vec![], &ff),
+        simulate_hybrid(d, vec![], &naive),
+        &format!("{ctx} [hybrid]"),
+    );
+    assert_outcomes_equal(
+        simulate_pure_hw(m, vec![], &ff),
+        simulate_pure_hw(m, vec![], &naive),
+        &format!("{ctx} [pure-hw]"),
+    );
+    assert_outcomes_equal(
+        simulate_pure_sw(m, vec![], &ff),
+        simulate_pure_sw(m, vec![], &naive),
+        &format!("{ctx} [pure-sw]"),
+    );
+}
+
+fn site_strategy() -> impl Strategy<Value = FaultSite> {
+    prop_oneof![
+        (0u32..2, 0u32..32).prop_map(|(queue, bit)| FaultSite::QueueBitFlip { queue, bit }).boxed(),
+        (0u32..2).prop_map(|queue| FaultSite::QueueDrop { queue }).boxed(),
+        (0u32..2).prop_map(|queue| FaultSite::QueueDup { queue }).boxed(),
+        (0u32..3, 1u32..60)
+            .prop_map(|(agent, cycles)| FaultSite::HwStall { agent, cycles })
+            .boxed(),
+        (64u32..0x4000, 0u8..8).prop_map(|(addr, bit)| FaultSite::MemUpset { addr, bit }).boxed(),
+    ]
+}
+
+fn spec_strategy() -> impl Strategy<Value = FaultSpec> {
+    // Zero-heavy so plenty of cases exercise the pure skip path (Path A)
+    // rather than always forcing per-cycle fault-draw replay.
+    let rate = || prop_oneof![Just(0.0), Just(0.0), Just(0.0), Just(0.002), Just(0.02)];
+    (
+        (rate(), rate(), rate()),
+        (rate(), rate()),
+        1u32..50,
+        proptest::collection::vec((0u64..4000, site_strategy()), 0..3),
+    )
+        .prop_map(|((flip, drop, dup), (stall, mem), stall_cycles, pinned)| FaultSpec {
+            queue_bit_flip_rate: flip,
+            queue_drop_rate: drop,
+            queue_dup_rate: dup,
+            hw_stall_rate: stall,
+            hw_stall_cycles: stall_cycles,
+            mem_upset_rate: mem,
+            pinned: pinned.into_iter().map(|(cycle, site)| PinnedFault { cycle, site }).collect(),
+        })
+}
+
+fn config_strategy() -> impl Strategy<Value = SimConfig> {
+    let fault =
+        prop_oneof![Just(None).boxed(), (any::<u64>(), spec_strategy()).prop_map(Some).boxed(),];
+    (
+        (
+            prop_oneof![Just(2u32), Just(16), Just(128)],
+            prop_oneof![Just(None), Just(Some(2u32)), Just(Some(8))],
+        ),
+        (
+            prop_oneof![Just(48u64), Just(2_000), Just(200_000)],
+            prop_oneof![Just(3_000u64), Just(60_000)],
+        ),
+        (any::<bool>(), prop_oneof![Just(0usize), Just(512)]),
+        fault,
+    )
+        .prop_map(
+            |(
+                (queue_latency, queue_depth),
+                (watchdog_window, max_cycles),
+                (profile, trace),
+                fault,
+            )| {
+                SimConfig {
+                    queue_latency,
+                    queue_depth,
+                    watchdog_window,
+                    max_cycles,
+                    profile,
+                    trace_events: trace,
+                    fault: fault.map(|(seed, spec)| FaultPlan::new(seed, spec)),
+                    ..Default::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acid test: over random configs, fault plans, and watchdog
+    /// windows, both loops produce identical `SimReport`s (or identical
+    /// deadlock/timeout diagnoses) in all three simulation modes.
+    #[test]
+    fn fast_forward_is_equivalent_to_naive(cfg in config_strategy()) {
+        run_both(&cfg, &format!("random config {cfg:?}"));
+    }
+}
+
+/// A pinned fault whose cycle lands inside a skipped span must still fire
+/// on its exact cycle: the leap is capped at the next pinned cycle, so the
+/// arming `begin_cycle` runs as a real tick.
+#[test]
+fn pinned_fault_inside_skipped_span_fires_on_its_cycle() {
+    let (_, d) = testbed();
+    // 128-cycle queue ops make nearly every cycle part of a charge/latency
+    // span, so both pinned cycles fall inside leaps.
+    let spec = FaultSpec {
+        pinned: vec![
+            PinnedFault { cycle: 500, site: FaultSite::HwStall { agent: 1, cycles: 40 } },
+            PinnedFault { cycle: 777, site: FaultSite::MemUpset { addr: 0x100, bit: 3 } },
+        ],
+        ..Default::default()
+    };
+    let cfg = SimConfig {
+        queue_latency: 128,
+        fault: Some(FaultPlan::new(11, spec)),
+        fast_forward: true,
+        ..Default::default()
+    };
+    let rep = simulate_hybrid(d, vec![], &cfg).unwrap();
+    assert!(rep.cycles > 777, "run must outlive the pinned faults");
+    let cycles: Vec<u64> = rep.fault_log.iter().map(|r| r.cycle).collect();
+    assert_eq!(cycles, vec![500, 777], "pinned faults must fire on their exact cycles");
+    assert!(matches!(rep.fault_log[0].site, FaultSite::HwStall { agent: 1, cycles: 40 }));
+    assert!(matches!(rep.fault_log[1].site, FaultSite::MemUpset { addr: 0x100, bit: 3 }));
+
+    let naive = simulate_hybrid(d, vec![], &SimConfig { fast_forward: false, ..cfg }).unwrap();
+    assert_reports_equal(&rep, &naive, "pinned-in-span");
+}
+
+/// The fast path must be deterministic in its own right (same run twice).
+#[test]
+fn fast_forward_is_deterministic() {
+    let (_, d) = testbed();
+    let cfg = SimConfig {
+        queue_latency: 128,
+        fault: Some(FaultPlan::new(42, FaultSpec::uniform(1e-3))),
+        fast_forward: true,
+        max_cycles: 2_000_000,
+        watchdog_window: 100_000,
+        ..Default::default()
+    };
+    let a = simulate_hybrid(d, vec![], &cfg);
+    let b = simulate_hybrid(d, vec![], &cfg);
+    match (a, b) {
+        (Ok(x), Ok(y)) => assert_reports_equal(&x, &y, "determinism"),
+        (x, y) => assert_outcomes_equal(x, y, "determinism"),
+    }
+}
+
+/// Deep-queue/skewed-rate stall spans — the workload class the fast path
+/// exists for — must stay equivalent when both stall classes (queue-full
+/// on the producer, queue-empty on the consumer) dominate.
+#[test]
+fn stall_heavy_config_is_equivalent() {
+    let cfg = SimConfig {
+        queue_latency: 128,
+        queue_depth: Some(2),
+        profile: true,
+        trace_events: 1024,
+        ..Default::default()
+    };
+    run_both(&cfg, "stall-heavy");
+}
