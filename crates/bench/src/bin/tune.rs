@@ -1,0 +1,223 @@
+//! Run the profile-guided auto-tuner over the CHStone suite and record
+//! the results (`BENCH_tuning.json`).
+//!
+//! ```console
+//! tune [--out FILE] [--seed N] [--rounds N] [--bench a,b,c]
+//!      [--report-dir DIR] [--trace-dir DIR] [--no-fast-forward]
+//! ```
+//!
+//! For every selected benchmark the tuner searches DSWP split points and
+//! per-queue depths from the paper-default configuration and the bin
+//! writes one document with `{default, tuned}` hybrid cycles and the
+//! trial count per benchmark. Acceptance is strictly improving, so a
+//! tuned entry with more cycles than the default is a tuner bug — the
+//! bin exits non-zero on one (the CI tuning gate relies on this).
+//!
+//! `--report-dir`/`--trace-dir` additionally write each benchmark's full
+//! [`twill_obs::TuningReport`] JSON and Perfetto search trace (the CI
+//! gate uploads both as artifacts). The search is seeded and
+//! deterministic: same tree, seed, and benchmark set ⇒ byte-identical
+//! outputs.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use twill::{Compiler, TuneOptions};
+
+/// Default path of the tuning record, relative to the repo root.
+const TUNING_PATH: &str = "BENCH_tuning.json";
+
+struct Args {
+    out: String,
+    seed: u64,
+    rounds: usize,
+    benches: Option<Vec<String>>,
+    report_dir: Option<String>,
+    trace_dir: Option<String>,
+    no_fast_forward: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tune [--out FILE] [--seed N] [--rounds N] [--bench a,b,c] \
+         [--report-dir DIR] [--trace-dir DIR] [--no-fast-forward]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: TUNING_PATH.into(),
+        seed: 0,
+        rounds: 4,
+        benches: None,
+        report_dir: None,
+        trace_dir: None,
+        no_fast_forward: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => args.out = it.next().unwrap_or_else(|| usage()),
+            "--seed" => {
+                args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--rounds" => {
+                args.rounds = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--bench" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                args.benches =
+                    Some(list.split(',').filter(|s| !s.is_empty()).map(str::to_string).collect());
+            }
+            "--report-dir" => args.report_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--trace-dir" => args.trace_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--no-fast-forward" => args.no_fast_forward = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let all = chstone::all();
+    let selected: Vec<&chstone::Benchmark> = all
+        .iter()
+        .filter(|b| args.benches.as_ref().is_none_or(|names| names.iter().any(|n| n == b.name)))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("tune: no benchmark matches {:?}", args.benches);
+        return ExitCode::FAILURE;
+    }
+    for dir in [&args.report_dir, &args.trace_dir].into_iter().flatten() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("tune: cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut regressed = false;
+    let mut improved = 0usize;
+    for b in &selected {
+        let build = Compiler::new()
+            .partitions(b.partitions)
+            .compile(b.name, b.source)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let input = chstone::input_for(b.name, twill_bench::BASELINE_SCALE);
+        let mut cfg = build.sim_config();
+        if args.no_fast_forward {
+            cfg.fast_forward = false;
+        }
+        let topts = TuneOptions {
+            seed: args.seed,
+            max_rounds: args.rounds,
+            bench: b.name.to_string(),
+            ..Default::default()
+        };
+        let outcome = match twill::tune(&build, &input, &cfg, &topts) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("tune: {} baseline run failed: {e}", b.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let r = &outcome.report;
+        if r.tuned_cycles > r.baseline_cycles {
+            eprintln!(
+                "tune: REGRESSION: {} tuned to {} cycles from {} — strictly-improving \
+                 acceptance is broken",
+                b.name, r.tuned_cycles, r.baseline_cycles
+            );
+            regressed = true;
+        }
+        if r.tuned_cycles < r.baseline_cycles {
+            improved += 1;
+        }
+        println!(
+            "  {:<10} {:>10} \u{2192} {:>10} cycles ({:.2}x, {} trial(s))  {}",
+            b.name,
+            r.baseline_cycles,
+            r.tuned_cycles,
+            r.speedup(),
+            r.trials.len(),
+            r.tuned.as_flags()
+        );
+        for h in &r.hints {
+            println!("      {h}");
+        }
+        if let Some(dir) = &args.report_dir {
+            let f = Path::new(dir).join(format!("{}_tuning.json", b.name));
+            if let Err(e) = std::fs::write(&f, r.to_json()) {
+                eprintln!("tune: cannot write {}: {e}", f.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(dir) = &args.trace_dir {
+            let f = Path::new(dir).join(format!("{}_search_trace.json", b.name));
+            if let Err(e) = std::fs::write(&f, r.search_trace()) {
+                eprintln!("tune: cannot write {}: {e}", f.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        rows.push((
+            b.name.to_string(),
+            r.baseline_cycles,
+            r.tuned_cycles,
+            r.trials.len(),
+            r.speedup(),
+            r.tuned.as_flags(),
+        ));
+    }
+
+    let doc = render_json(args.seed, args.rounds, &rows);
+    if let Err(e) = std::fs::write(&args.out, doc) {
+        eprintln!("tune: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "tuning record written to {}: {}/{} benchmark(s) improved, seed {}",
+        args.out,
+        improved,
+        rows.len(),
+        args.seed
+    );
+    if regressed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `BENCH_tuning.json`: benchmark × {default, tuned} cycles + trial
+/// count. Cycle data is deterministic; env metadata is provenance.
+fn render_json(
+    seed: u64,
+    rounds: usize,
+    rows: &[(String, u64, u64, usize, f64, String)],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"rounds\": {rounds},");
+    out.push_str("  \"env\": {");
+    let env = twill_bench::env_metadata();
+    for (i, (k, v)) in env.iter().enumerate() {
+        let sep = if i + 1 < env.len() { ", " } else { "" };
+        let _ = write!(out, "{}: {}{sep}", twill_obs::json::quote(k), twill_obs::json::quote(v));
+    }
+    out.push_str("},\n  \"benches\": [\n");
+    for (i, (bench, base, tuned, trials, speedup, flags)) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"bench\": {}, \"default_cycles\": {base}, \"tuned_cycles\": {tuned}, \
+             \"trials\": {trials}, \"speedup\": {}, \"tuned_flags\": {}}}",
+            twill_obs::json::quote(bench),
+            twill_obs::json::number(*speedup),
+            twill_obs::json::quote(flags),
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -25,11 +25,16 @@ pub const BASELINE_PATH: &str = "BENCH_baseline.json";
 /// Environment metadata recorded in the baseline. Only the cycle data is
 /// compared across machines — this is provenance, not a cache key.
 pub fn env_metadata() -> Vec<(String, String)> {
+    let no_ff = std::env::var_os("TWILL_NO_FAST_FORWARD").is_some();
     vec![
         ("generator".into(), "twill-bench baseline".into()),
         ("schema".into(), SCHEMA_VERSION.to_string()),
         ("os".into(), std::env::consts::OS.into()),
         ("arch".into(), std::env::consts::ARCH.into()),
+        // Which simulator loop produced the numbers (they are identical
+        // by contract, but a mismatch investigation starts here).
+        ("fast_forward".into(), (if no_ff { "off" } else { "on" }).into()),
+        ("TWILL_NO_FAST_FORWARD".into(), (if no_ff { "set" } else { "unset" }).into()),
     ]
 }
 

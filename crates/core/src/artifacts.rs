@@ -81,6 +81,11 @@ fn hash_dswp_opts(h: &mut Fnv, o: &DswpOptions) {
         }
     }
     h.u64(o.queue_depth as u64);
+    h.u64(o.queue_depth_overrides.len() as u64);
+    for &(id, depth) in &o.queue_depth_overrides {
+        h.u64(id as u64);
+        h.u64(depth as u64);
+    }
     h.bool(o.prune);
     h.bool(o.phi_const_pairs);
     h.bool(o.reuse_queues);

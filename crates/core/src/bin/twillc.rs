@@ -2,6 +2,7 @@
 //!
 //! ```console
 //! twillc program.c [--partitions N] [--sw-fraction F] [--queue-depth D]
+//!        [--queue-depths q0=4,q1=32]
 //!        [--allow-recursion] [--run] [--input 1,2,3] [--emit-verilog FILE]
 //!        [--emit-ir FILE] [--stats] [--profile] [--annotate]
 //!        [--folded FILE] [--profile-json FILE] [--trace FILE]
@@ -9,7 +10,19 @@
 //!        [--compare-profile PROFILE.json] [--obs-ring-capacity N]
 //!        [--strict-obs] [--fault-rate R] [--fault-seed N]
 //!        [--watchdog CYCLES] [--resilient] [--no-fast-forward]
+//!        [--tune] [--tune-report FILE] [--tune-trace FILE]
+//!        [--tune-seed N] [--tune-rounds N]
 //! ```
+//!
+//! `--tune` runs the profile-guided auto-tuner (DESIGN.md §13): it
+//! searches DSWP split points and per-queue depths to minimize hybrid
+//! cycles and prints the tuning report — every accepted move names the
+//! observability signal and C line that proposed it, and the win is
+//! proved through the metrics diff engine. `--tune-report` writes the
+//! full report as JSON; `--tune-trace` writes the *search itself* as a
+//! Perfetto trace (one track per search arm, a counter track for
+//! best-so-far cycles); `--tune-seed`/`--tune-rounds` control the seeded
+//! deterministic search (same program + seed ⇒ byte-identical outputs).
 //!
 //! `--no-fast-forward` runs the simulator's naive tick-every-cycle loop
 //! instead of the event-driven fast-forward core — an escape hatch for
@@ -48,6 +61,7 @@ struct Args {
     partitions: usize,
     sw_fraction: Option<f64>,
     queue_depth: Option<u32>,
+    queue_depths: Vec<(usize, u32)>,
     allow_recursion: bool,
     run: bool,
     input: Vec<i32>,
@@ -69,21 +83,45 @@ struct Args {
     watchdog: Option<u64>,
     resilient: bool,
     no_fast_forward: bool,
+    tune: bool,
+    tune_report: Option<String>,
+    tune_trace: Option<String>,
+    tune_seed: u64,
+    tune_rounds: usize,
 }
 
 /// Hybrid attempts before `--resilient` degrades to pure software.
 const RESILIENT_ATTEMPTS: u32 = 3;
 
+/// Parse `q0=4,q1=32` (the `q` prefix is optional) into per-queue depth
+/// overrides. `None` on any malformed entry or a zero depth.
+fn parse_queue_depths(list: &str) -> Option<Vec<(usize, u32)>> {
+    let mut out = Vec::new();
+    for entry in list.split(',').filter(|s| !s.is_empty()) {
+        let (id, depth) = entry.split_once('=')?;
+        let id = id.trim().strip_prefix('q').unwrap_or(id.trim());
+        let depth: u32 = depth.trim().parse().ok()?;
+        if depth == 0 {
+            return None;
+        }
+        out.push((id.parse().ok()?, depth));
+    }
+    Some(out)
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: twillc <program.c> [--partitions N] [--sw-fraction F] \
-         [--queue-depth D] [--allow-recursion] [--run] [--input a,b,c] \
+         [--queue-depth D] [--queue-depths q0=4,q1=32] \
+         [--allow-recursion] [--run] [--input a,b,c] \
          [--emit-verilog FILE] [--emit-ir FILE] [--stats] [--profile] \
          [--annotate] [--folded FILE] [--profile-json FILE] \
          [--trace FILE] [--metrics FILE] [--compare BASELINE] \
          [--compare-profile PROFILE.json] [--obs-ring-capacity N] \
          [--strict-obs] [--fault-rate R] [--fault-seed N] \
-         [--watchdog CYCLES] [--resilient] [--no-fast-forward]"
+         [--watchdog CYCLES] [--resilient] [--no-fast-forward] \
+         [--tune] [--tune-report FILE] [--tune-trace FILE] \
+         [--tune-seed N] [--tune-rounds N]"
     );
     std::process::exit(2);
 }
@@ -94,6 +132,7 @@ fn parse_args() -> Args {
         partitions: 3,
         sw_fraction: None,
         queue_depth: None,
+        queue_depths: Vec::new(),
         allow_recursion: false,
         run: false,
         input: Vec::new(),
@@ -115,6 +154,11 @@ fn parse_args() -> Args {
         watchdog: None,
         resilient: false,
         no_fast_forward: false,
+        tune: false,
+        tune_report: None,
+        tune_trace: None,
+        tune_seed: 0,
+        tune_rounds: 4,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -129,6 +173,10 @@ fn parse_args() -> Args {
             "--queue-depth" => {
                 args.queue_depth =
                     Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--queue-depths" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                args.queue_depths = parse_queue_depths(&list).unwrap_or_else(|| usage());
             }
             "--allow-recursion" => args.allow_recursion = true,
             "--run" => args.run = true,
@@ -167,6 +215,15 @@ fn parse_args() -> Args {
             }
             "--resilient" => args.resilient = true,
             "--no-fast-forward" => args.no_fast_forward = true,
+            "--tune" => args.tune = true,
+            "--tune-report" => args.tune_report = Some(it.next().unwrap_or_else(|| usage())),
+            "--tune-trace" => args.tune_trace = Some(it.next().unwrap_or_else(|| usage())),
+            "--tune-seed" => {
+                args.tune_seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--tune-rounds" => {
+                args.tune_rounds = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
             "--obs-ring-capacity" => {
                 args.ring_capacity =
                     it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
@@ -204,6 +261,9 @@ fn main() -> ExitCode {
     }
     if let Some(d) = args.queue_depth {
         compiler = compiler.queue_depth(d);
+    }
+    if !args.queue_depths.is_empty() {
+        compiler = compiler.queue_depths(args.queue_depths.clone());
     }
 
     let build = match compiler.compile(&name, &src) {
@@ -244,6 +304,50 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("hardware-thread Verilog written to {f}");
+    }
+
+    if args.tune || args.tune_report.is_some() || args.tune_trace.is_some() {
+        // The tuner gets the same loop-mode/watchdog knobs as the main
+        // run, but never fault injection: it optimizes the healthy
+        // machine.
+        let mut tune_cfg = build.sim_config();
+        if let Some(w) = args.watchdog {
+            tune_cfg.watchdog_window = w;
+        }
+        if args.no_fast_forward {
+            tune_cfg.fast_forward = false;
+        }
+        let topts = twill::TuneOptions {
+            seed: args.tune_seed,
+            max_rounds: args.tune_rounds,
+            bench: name.clone(),
+            ..Default::default()
+        };
+        let outcome = match twill::tune(&build, &args.input, &tune_cfg, &topts) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("twillc: tuning baseline run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", outcome.report.render_text());
+        if let Some(f) = &args.tune_report {
+            if let Err(e) = std::fs::write(f, outcome.report.to_json()) {
+                eprintln!("twillc: cannot write {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("tuning report written to {f}");
+        }
+        if let Some(f) = &args.tune_trace {
+            if let Err(e) = std::fs::write(f, outcome.report.search_trace()) {
+                eprintln!("twillc: cannot write {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "search trace written to {f} ({} trial(s)) — open at https://ui.perfetto.dev",
+                outcome.report.trials.len()
+            );
+        }
     }
 
     let line_profiling = args.annotate

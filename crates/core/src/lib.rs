@@ -44,6 +44,7 @@
 pub mod artifacts;
 pub mod experiments;
 pub mod report;
+pub mod tune;
 
 use std::sync::{Arc, OnceLock};
 
@@ -55,6 +56,7 @@ use twill_ir::Module;
 use twill_rt::{SimConfig, SimReport};
 
 pub use artifacts::StageCounts;
+pub use tune::{tune, TuneOptions, TuneOutcome};
 pub use twill_dswp::DswpOptions;
 pub use twill_hls::area::AreaReport;
 pub use twill_obs::MetricsSummary;
@@ -152,6 +154,15 @@ impl Compiler {
     /// Queue depth for all generated queues (paper baseline: 8).
     pub fn queue_depth(mut self, d: u32) -> Compiler {
         self.dswp.queue_depth = d;
+        self
+    }
+
+    /// Per-queue depth overrides `(queue id, depth)`, layered over
+    /// [`Compiler::queue_depth`]. These change the *declared* depths, so
+    /// the Verilog FIFOs and area model see them too — the tuner's main
+    /// actuator, also reachable via `twillc --queue-depths q0=4,q1=32`.
+    pub fn queue_depths(mut self, overrides: Vec<(usize, u32)>) -> Compiler {
+        self.dswp.queue_depth_overrides = overrides;
         self
     }
 

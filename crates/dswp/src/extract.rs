@@ -461,6 +461,16 @@ pub fn run_dswp(m: &Module, opts: &DswpOptions) -> DswpResult {
         semaphores = reuse_queues(&mut out, m, &cg);
     }
 
+    // Per-queue depth overrides land in the declared depths so the
+    // Verilog FIFOs and area model see them, not just the simulator.
+    // Queue ids are deterministic (BTreeMap allocation order above), so
+    // an override tuned against one run names the same queue in the next.
+    for &(id, depth) in &opts.queue_depth_overrides {
+        if let Some(q) = out.queues.get_mut(id) {
+            q.depth = depth.max(1);
+        }
+    }
+
     twill_ir::layout::assign_global_addrs(&mut out);
 
     // ---- threads ----

@@ -18,6 +18,12 @@ pub struct DswpOptions {
     pub split_points: Option<Vec<f64>>,
     /// Queue depth for all data queues (paper runs 8×32 queues).
     pub queue_depth: u32,
+    /// Per-queue depth overrides `(queue id, depth)`, applied to the
+    /// declared depths after extraction materializes the queue set (so
+    /// they land in the Verilog FIFOs and the area model, not just the
+    /// simulator). Ids past the declared set are ignored; duplicates keep
+    /// the last entry. The auto-tuner and `--queue-depths` set these.
+    pub queue_depth_overrides: Vec<(usize, u32)>,
     /// Prune irrelevant loops/diamonds per partition (thesis behaviour).
     pub prune: bool,
     /// Include the PHI-constant fake dependence pairs in the PDG.
@@ -44,6 +50,7 @@ impl Default for DswpOptions {
             sw_fraction: 0.25,
             split_points: None,
             queue_depth: 8,
+            queue_depth_overrides: Vec::new(),
             prune: true,
             phi_const_pairs: true,
             reuse_queues: false,

@@ -34,6 +34,7 @@ pub mod perfetto;
 pub mod profile;
 pub mod ring;
 pub mod span;
+pub mod tune;
 
 pub use baseline::{Baseline, BaselineEntry, StageTimings};
 pub use diff::{diff, MetricsDiff};
@@ -44,3 +45,4 @@ pub use perfetto::TraceBuilder;
 pub use profile::{line_regression, CycleBreakdown, SiteSample, SourceProfile};
 pub use ring::Ring;
 pub use span::{now_ns, Span};
+pub use tune::{ObsSignal, TrialRecord, TunedConfig, TuningReport};

@@ -256,10 +256,18 @@ impl Shared {
         input: Vec<i32>,
         queue_extra_latency: u32,
         queue_depth_override: Option<u32>,
+        queue_depths: &[(usize, u32)],
         n_agents: usize,
     ) -> Shared {
-        let caps: Vec<u32> =
+        // Per-queue overrides win over the global override; on duplicate
+        // ids the last entry wins (already validated by `validate_config`).
+        let mut caps: Vec<u32> =
             m.queues.iter().map(|q| queue_depth_override.unwrap_or(q.depth)).collect();
+        for &(id, depth) in queue_depths {
+            if let Some(cap) = caps.get_mut(id) {
+                *cap = depth;
+            }
+        }
         Shared {
             cycle: 0,
             mem: twill_ir::layout::initial_memory(m, mem_size),
@@ -727,7 +735,7 @@ mod tests {
     fn shared_with_queue(depth: u32, extra: u32) -> Shared {
         let mut m = Module::new("t");
         m.add_queue(QueueDecl { width: Ty::I32, depth });
-        Shared::new(&m, 0x10000, vec![], extra, None, 1)
+        Shared::new(&m, 0x10000, vec![], extra, None, &[], 1)
     }
 
     fn run_to_done(s: &mut Shared, mut p: Pending, max: u32) -> (i64, u32) {
@@ -801,7 +809,7 @@ mod tests {
         let mut m = Module::new("t");
         m.add_queue(QueueDecl { width: Ty::I32, depth: 8 });
         m.add_queue(QueueDecl { width: Ty::I32, depth: 8 });
-        let mut s = Shared::new(&m, 0x10000, vec![], 0, None, 2);
+        let mut s = Shared::new(&m, 0x10000, vec![], 0, None, &[], 2);
         let mut p1 = s.start_op(OpKind::Enqueue(QueueId(0), 1), 2);
         let mut p2 = s.start_op(OpKind::Enqueue(QueueId(1), 2), 2);
         s.begin_cycle();
@@ -818,7 +826,7 @@ mod tests {
     #[test]
     fn memory_bus_read_two_write_one() {
         let m = Module::new("t");
-        let mut s = Shared::new(&m, 0x10000, vec![], 0, None, 1);
+        let mut s = Shared::new(&m, 0x10000, vec![], 0, None, &[], 1);
         let w =
             s.start_op(OpKind::MemStore(0x2000, Ty::I32, 0xBEEF), twill_ir::cost::HW_STORE_LATENCY);
         let (_, wc) = run_to_done(&mut s, w, 10);
@@ -833,7 +841,7 @@ mod tests {
     fn semaphore_lower_blocks_at_zero() {
         let mut m = Module::new("t");
         m.add_sem(twill_ir::SemDecl { max: 4, initial: 0 });
-        let mut s = Shared::new(&m, 0x10000, vec![], 0, None, 1);
+        let mut s = Shared::new(&m, 0x10000, vec![], 0, None, &[], 1);
         let mut p = s.start_op(OpKind::SemLower(SemId(0), 1), 2);
         for _ in 0..3 {
             s.begin_cycle();
@@ -850,7 +858,7 @@ mod tests {
     #[test]
     fn io_stream_round_trip() {
         let m = Module::new("t");
-        let mut s = Shared::new(&m, 0x10000, vec![7, 8], 0, None, 1);
+        let mut s = Shared::new(&m, 0x10000, vec![7, 8], 0, None, &[], 1);
         let i1 = s.start_op(OpKind::In, 2);
         let (v, _) = run_to_done(&mut s, i1, 10);
         assert_eq!(v, 7);

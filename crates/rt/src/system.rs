@@ -17,6 +17,11 @@ pub struct SimConfig {
     pub queue_latency: u32,
     /// Queue depth override for all queues (Fig 6.6 sweeps 2..32).
     pub queue_depth: Option<u32>,
+    /// Per-queue depth overrides `(queue id, depth)`, applied after the
+    /// global `queue_depth` override — the auto-tuner's main actuator
+    /// (`twillc --queue-depths q0=4,q1=32`). Ids must name declared
+    /// queues; duplicates keep the last entry.
+    pub queue_depths: Vec<(usize, u32)>,
     pub mem_size: u32,
     pub max_cycles: u64,
     pub hls: HlsOptions,
@@ -46,6 +51,7 @@ impl Default for SimConfig {
         SimConfig {
             queue_latency: twill_ir::cost::HW_QUEUE_LATENCY,
             queue_depth: None,
+            queue_depths: Vec::new(),
             mem_size: layout::DEFAULT_MEM_SIZE,
             max_cycles: 3_000_000_000,
             hls: HlsOptions::default(),
@@ -212,6 +218,8 @@ pub enum ConfigError {
     BadFaultRate { field: &'static str, value: f64 },
     /// A nonzero stall rate with `hw_stall_cycles: 0` injects nothing.
     ZeroStallCycles,
+    /// A per-queue override names a queue the module does not declare.
+    UnknownQueue { queue: usize, declared: usize },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -234,6 +242,13 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroStallCycles => {
                 write!(f, "hw_stall_cycles of 0 with a nonzero hw_stall_rate injects nothing")
+            }
+            ConfigError::UnknownQueue { queue, declared } => {
+                write!(
+                    f,
+                    "queue_depths override names q{queue} but the module declares \
+                     only {declared} queue(s)"
+                )
             }
         }
     }
@@ -302,6 +317,14 @@ fn validate_config(m: &Module, cfg: &SimConfig, n_agents: usize) -> Result<(), C
     if cfg.queue_depth == Some(0) {
         return Err(ConfigError::ZeroQueueDepth);
     }
+    for &(id, depth) in &cfg.queue_depths {
+        if depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        if id >= m.queues.len() {
+            return Err(ConfigError::UnknownQueue { queue: id, declared: m.queues.len() });
+        }
+    }
     if cfg.watchdog_window == 0 {
         return Err(ConfigError::ZeroWatchdog);
     }
@@ -368,7 +391,15 @@ pub fn simulate_pure_sw(
     validate_config(m, cfg, 1)?;
     let main = m.find_func("main").ok_or(ConfigError::NoMain)?;
     let stacks = stack_regions(m, cfg.mem_size, 1);
-    let mut shared = Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, 1);
+    let mut shared = Shared::new(
+        m,
+        cfg.mem_size,
+        input,
+        cfg.queue_extra(),
+        cfg.queue_depth,
+        &cfg.queue_depths,
+        1,
+    );
     if let Some(plan) = &cfg.fault {
         shared.install_faults(plan);
     }
@@ -426,7 +457,15 @@ pub fn simulate_pure_hw_scheduled(
     validate_config(m, cfg, 1)?;
     let main = m.find_func("main").ok_or(ConfigError::NoMain)?;
     let stacks = stack_regions(m, cfg.mem_size, 1);
-    let mut shared = Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, 1);
+    let mut shared = Shared::new(
+        m,
+        cfg.mem_size,
+        input,
+        cfg.queue_extra(),
+        cfg.queue_depth,
+        &cfg.queue_depths,
+        1,
+    );
     if let Some(plan) = &cfg.fault {
         shared.install_faults(plan);
     }
@@ -488,7 +527,15 @@ pub fn simulate_hybrid_scheduled(
     let total = sw_entries.len() + hw_specs.len();
     validate_config(m, cfg, total)?;
     let stacks = stack_regions(m, cfg.mem_size, total);
-    let mut shared = Shared::new(m, cfg.mem_size, input, cfg.queue_extra(), cfg.queue_depth, total);
+    let mut shared = Shared::new(
+        m,
+        cfg.mem_size,
+        input,
+        cfg.queue_extra(),
+        cfg.queue_depth,
+        &cfg.queue_depths,
+        total,
+    );
     if let Some(plan) = &cfg.fault {
         shared.install_faults(plan);
     }

@@ -43,7 +43,7 @@ bb2:
     twill_ir::layout::assign_global_addrs(&mut m);
     let p = m.find_func("producer").unwrap();
     let c = m.find_func("consumer").unwrap();
-    let mut shared = Shared::new(&m, 0x100000, vec![], 0, None, 1);
+    let mut shared = Shared::new(&m, 0x100000, vec![], 0, None, &[], 1);
     let mut cpu = Cpu::new(0, &m, &[p, c], &[(0x20000, 0x30000), (0x30000, 0x40000)]);
     let mut cycles = 0u64;
     while !cpu.is_finished() {

@@ -52,7 +52,7 @@ fn steady_state_sim_loop_does_not_allocate() {
     let mut m = Module::new("zero-alloc");
     m.add_queue(QueueDecl { width: Ty::I32, depth: 4 });
     m.add_sem(SemDecl { max: 8, initial: 0 });
-    let mut s = Shared::new(&m, 1 << 16, vec![], 0, None, 1);
+    let mut s = Shared::new(&m, 1 << 16, vec![], 0, None, &[], 1);
     s.set_agent(0);
 
     // Warm up one round so lazy one-time costs land before measuring.
