@@ -2,6 +2,7 @@
 //!
 //! ```console
 //! profile [BENCH] [--scale N] [--trace FILE] [--metrics FILE]
+//!         [--metrics-text FILE] [--regmap-out FILE] [--dump-out FILE]
 //!         [--annotate-out FILE] [--folded-out FILE]
 //!         [--obs-ring-capacity N] [--strict-obs] [--no-fast-forward]
 //! ```
@@ -12,6 +13,10 @@
 //! `--trace` writes a Chrome/Perfetto `trace_event` JSON of the run
 //! (compiler stages + cycle timeline, open at <https://ui.perfetto.dev>),
 //! `--metrics` writes the structured metrics report as JSON,
+//! `--metrics-text` writes the same metrics in the Prometheus text
+//! exposition format, `--regmap-out`/`--dump-out` write the hardware
+//! performance-counter register map and the simulated word-for-word
+//! counter dump (DESIGN.md §14 readback artifacts),
 //! `--annotate-out` writes the benchmark's C source annotated with the
 //! per-line cycles/stall gutter, `--folded-out` writes folded-stack lines
 //! for flamegraph tooling. `--obs-ring-capacity` bounds the event ring
@@ -24,6 +29,7 @@ use twill::Compiler;
 fn usage() -> ! {
     eprintln!(
         "usage: profile [BENCH] [--scale N] [--trace FILE] [--metrics FILE] \
+         [--metrics-text FILE] [--regmap-out FILE] [--dump-out FILE] \
          [--annotate-out FILE] [--folded-out FILE] [--obs-ring-capacity N] \
          [--strict-obs] [--no-fast-forward]"
     );
@@ -35,6 +41,9 @@ fn main() {
     let mut scale: Option<u32> = None;
     let mut trace: Option<String> = None;
     let mut metrics: Option<String> = None;
+    let mut metrics_text: Option<String> = None;
+    let mut regmap_out: Option<String> = None;
+    let mut dump_out: Option<String> = None;
     let mut annotate_out: Option<String> = None;
     let mut folded_out: Option<String> = None;
     let mut ring_capacity: usize = 1 << 22;
@@ -48,6 +57,9 @@ fn main() {
             }
             "--trace" => trace = Some(it.next().unwrap_or_else(|| usage())),
             "--metrics" => metrics = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics-text" => metrics_text = Some(it.next().unwrap_or_else(|| usage())),
+            "--regmap-out" => regmap_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--dump-out" => dump_out = Some(it.next().unwrap_or_else(|| usage())),
             "--annotate-out" => annotate_out = Some(it.next().unwrap_or_else(|| usage())),
             "--folded-out" => folded_out = Some(it.next().unwrap_or_else(|| usage())),
             "--obs-ring-capacity" => {
@@ -71,16 +83,24 @@ fn main() {
         None => chstone::all(),
     };
     if benches.len() > 1
-        && (trace.is_some() || metrics.is_some() || annotate_out.is_some() || folded_out.is_some())
+        && (trace.is_some()
+            || metrics.is_some()
+            || metrics_text.is_some()
+            || regmap_out.is_some()
+            || dump_out.is_some()
+            || annotate_out.is_some()
+            || folded_out.is_some())
     {
-        eprintln!("profile: --trace/--metrics/--annotate-out/--folded-out need a single benchmark");
+        eprintln!("profile: per-file output flags need a single benchmark");
         std::process::exit(2);
     }
 
     let mut obs_data_lost = false;
     for b in &benches {
         let graph = benchmark_graph(b);
-        let build = Compiler::new().partitions(b.partitions).build_on(&graph);
+        let hw_counters = regmap_out.is_some() || dump_out.is_some();
+        let build =
+            Compiler::new().partitions(b.partitions).hw_counters(hw_counters).build_on(&graph);
         let input = chstone::input_for(b.name, scale.unwrap_or(b.default_scale));
         let cfg = twill::SimulationConfig {
             trace_events: if trace.is_some() { ring_capacity } else { 0 },
@@ -108,6 +128,18 @@ fn main() {
         if let Some(f) = &metrics {
             std::fs::write(f, rep.metrics().to_json()).expect("write metrics");
             println!("metrics JSON written to {f}");
+        }
+        if let Some(f) = &metrics_text {
+            std::fs::write(f, rep.metrics().metrics_text()).expect("write text metrics");
+            println!("Prometheus text metrics written to {f}");
+        }
+        if let Some(f) = &regmap_out {
+            std::fs::write(f, build.regmap_json().as_bytes()).expect("write register map");
+            println!("counter register map written to {f}");
+        }
+        if let Some(f) = &dump_out {
+            std::fs::write(f, build.counter_bank(&rep).dump().to_json()).expect("write dump");
+            println!("hardware counter dump written to {f}");
         }
         if annotate_out.is_some() || folded_out.is_some() {
             let sp = rep

@@ -1,6 +1,15 @@
 //! The hardware-side artifacts for the benchmark suite: Verilog emission
 //! must be deterministic, structurally balanced, and cover every hardware
-//! thread.
+//! thread. With `--hw-counters` off the output must be byte-identical to
+//! plain emission for every benchmark; with it on, the counters-enabled
+//! emission for `mips` is pinned by a golden snapshot. Regenerate the
+//! snapshot after an intentional emitter change with:
+//!
+//! ```sh
+//! TWILL_UPDATE_GOLDEN=1 cargo test -p chstone --test verilog_artifacts
+//! ```
+
+use twill_hls::verilog::EmitOptions;
 
 #[test]
 fn verilog_for_all_benchmarks() {
@@ -32,6 +41,64 @@ fn verilog_for_all_benchmarks() {
         let v2 = twill_hls::verilog::emit_module(&d.module, &sched);
         assert_eq!(v, v2);
     }
+}
+
+#[test]
+fn counters_off_is_byte_identical_for_all_benchmarks() {
+    // The instrumentation is strictly opt-in: with `hw_counters` off the
+    // options-taking entry point must reproduce plain emission exactly,
+    // byte for byte, for every benchmark in the suite.
+    for b in chstone::all() {
+        let m = chstone::compile_and_prepare(&b);
+        let d = twill_dswp::run_dswp(
+            &m,
+            &twill_dswp::DswpOptions { num_partitions: b.partitions, ..Default::default() },
+        );
+        let sched = twill_hls::schedule::schedule_module(&d.module, &Default::default());
+        let plain = twill_hls::verilog::emit_module(&d.module, &sched);
+        let off = twill_hls::verilog::emit_module_with(&d.module, &sched, &EmitOptions::default());
+        assert_eq!(plain, off, "{}: counters-off emission drifted from plain", b.name);
+    }
+}
+
+#[test]
+fn counters_enabled_emission_matches_golden_snapshot() {
+    let b = chstone::by_name("mips").unwrap();
+    let m = chstone::compile_and_prepare(&b);
+    let d = twill_dswp::run_dswp(
+        &m,
+        &twill_dswp::DswpOptions { num_partitions: b.partitions, ..Default::default() },
+    );
+    let sched = twill_hls::schedule::schedule_module(&d.module, &Default::default());
+    let opts = EmitOptions { hw_counters: true, threads: d.agent_names() };
+    let v = twill_hls::verilog::emit_module_with(&d.module, &sched, &opts);
+
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/mips_counters.v");
+    if std::env::var_os("TWILL_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &v).unwrap();
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing; run with TWILL_UPDATE_GOLDEN=1 to create it");
+    assert_eq!(v, golden, "counters-enabled Verilog drifted from tests/golden/mips_counters.v");
+
+    // Structural facts the snapshot should always carry: the perf module,
+    // a mux arm per register, and the magic word first.
+    let map = opts.regmap(&d.module);
+    assert!(v.contains("module twill_perf ("), "twill_perf register file present");
+    for r in map.registers() {
+        assert!(
+            v.contains(&format!("// {}", r.name)),
+            "register {} missing from readback mux",
+            r.name
+        );
+    }
+    assert!(v.contains("32'h54574c50; // magic"));
+
+    // Determinism of the instrumented emission.
+    let v2 = twill_hls::verilog::emit_module_with(&d.module, &sched, &opts);
+    assert_eq!(v, v2);
 }
 
 #[test]

@@ -122,23 +122,28 @@ pub struct StageCounts {
     pub hls: usize,
     /// Verilog emissions.
     pub verilog: usize,
+    /// Counter register-map JSON artifact generations (only demanded by
+    /// `--hw-counters` flows; stays 0 during baseline collection).
+    pub regmap: usize,
     /// DSWP demands answered from the cache.
     pub dswp_hits: usize,
     /// Schedule demands answered from the cache.
     pub hls_hits: usize,
     /// Verilog demands answered from the cache.
     pub verilog_hits: usize,
+    /// Register-map demands answered from the cache.
+    pub regmap_hits: usize,
 }
 
 impl StageCounts {
     /// Total stage executions (cache misses — the work actually done).
     pub fn runs(&self) -> usize {
-        self.frontend + self.passes + self.dswp + self.hls + self.verilog
+        self.frontend + self.passes + self.dswp + self.hls + self.verilog + self.regmap
     }
 
     /// Total demands answered from a memoization cache.
     pub fn hits(&self) -> usize {
-        self.dswp_hits + self.hls_hits + self.verilog_hits
+        self.dswp_hits + self.hls_hits + self.verilog_hits + self.regmap_hits
     }
 }
 
@@ -149,9 +154,11 @@ struct StageCounters {
     dswp: AtomicUsize,
     hls: AtomicUsize,
     verilog: AtomicUsize,
+    regmap: AtomicUsize,
     dswp_hits: AtomicUsize,
     hls_hits: AtomicUsize,
     verilog_hits: AtomicUsize,
+    regmap_hits: AtomicUsize,
 }
 
 /// A DSWP run plus the content hash of its partitioned module; the hash
@@ -189,6 +196,7 @@ pub struct BuildGraph {
     dswp: Mutex<HashMap<u64, Arc<DswpArtifact>>>,
     schedules: Mutex<HashMap<u64, Arc<ModuleSchedule>>>,
     verilog: Mutex<HashMap<u64, Arc<String>>>,
+    regmaps: Mutex<HashMap<u64, Arc<String>>>,
     counters: StageCounters,
     /// Wall-clock span per stage *execution* (cache hits record nothing),
     /// on the shared [`twill_obs::now_ns`] epoch.
@@ -232,6 +240,7 @@ impl BuildGraph {
             dswp: Mutex::new(HashMap::new()),
             schedules: Mutex::new(HashMap::new()),
             verilog: Mutex::new(HashMap::new()),
+            regmaps: Mutex::new(HashMap::new()),
             counters: StageCounters::default(),
             spans: Mutex::new(Vec::new()),
         }
@@ -265,9 +274,11 @@ impl BuildGraph {
             dswp: self.counters.dswp.load(Ordering::Relaxed),
             hls: self.counters.hls.load(Ordering::Relaxed),
             verilog: self.counters.verilog.load(Ordering::Relaxed),
+            regmap: self.counters.regmap.load(Ordering::Relaxed),
             dswp_hits: self.counters.dswp_hits.load(Ordering::Relaxed),
             hls_hits: self.counters.hls_hits.load(Ordering::Relaxed),
             verilog_hits: self.counters.verilog_hits.load(Ordering::Relaxed),
+            regmap_hits: self.counters.regmap_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -380,7 +391,31 @@ impl BuildGraph {
     /// Verilog for `module` under `hls`, memoized like
     /// [`BuildGraph::schedule_for`] (and reusing its schedule).
     pub fn verilog_for(&self, module: &Module, module_hash: u64, hls: &HlsOptions) -> Arc<String> {
-        let key = schedule_key(module_hash, hls);
+        self.verilog_for_opts(module, module_hash, hls, &twill_hls::EmitOptions::default())
+    }
+
+    /// [`BuildGraph::verilog_for`] with explicit emission switches
+    /// (`--hw-counters`). Counters-on and counters-off artifacts memoize
+    /// under distinct keys, so a sweep mixing both never serves the wrong
+    /// text.
+    pub fn verilog_for_opts(
+        &self,
+        module: &Module,
+        module_hash: u64,
+        hls: &HlsOptions,
+        emit: &twill_hls::EmitOptions,
+    ) -> Arc<String> {
+        let key = {
+            let mut h = Fnv::new();
+            h.u64(schedule_key(module_hash, hls));
+            h.bool(emit.hw_counters);
+            h.u64(emit.threads.len() as u64);
+            for t in &emit.threads {
+                h.bytes(t.as_bytes());
+                h.bytes(&[0xff]);
+            }
+            h.finish()
+        };
         if let Some(hit) = self.verilog.lock().unwrap().get(&key) {
             self.counters.verilog_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
@@ -394,10 +429,37 @@ impl BuildGraph {
             return hit.clone();
         }
         self.counters.verilog.fetch_add(1, Ordering::Relaxed);
-        let text =
-            Arc::new(self.timed("verilog", || twill_hls::verilog::emit_module(module, &sched)));
+        let text = Arc::new(
+            self.timed("verilog", || twill_hls::verilog::emit_module_with(module, &sched, emit)),
+        );
         cache.insert(key, text.clone());
         text
+    }
+
+    /// The counter register-map JSON artifact for `module` instrumented
+    /// with agent tracks `threads`, memoized per (module, track list).
+    /// Emitted next to the Verilog by `twillc --emit-regmap`.
+    pub fn regmap_for(&self, module: &Module, module_hash: u64, threads: &[String]) -> Arc<String> {
+        let key = {
+            let mut h = Fnv::new();
+            h.u64(module_hash);
+            h.u64(threads.len() as u64);
+            for t in threads {
+                h.bytes(t.as_bytes());
+                h.bytes(&[0xff]);
+            }
+            h.finish()
+        };
+        let mut cache = self.regmaps.lock().unwrap();
+        if let Some(hit) = cache.get(&key) {
+            self.counters.regmap_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.counters.regmap.fetch_add(1, Ordering::Relaxed);
+        let opts = twill_hls::EmitOptions { hw_counters: true, threads: threads.to_vec() };
+        let json = Arc::new(self.timed("regmap", || opts.regmap(module).to_json()));
+        cache.insert(key, json.clone());
+        json
     }
 }
 
@@ -463,6 +525,29 @@ int main() {
         assert!(Arc::ptr_eq(&v1, &v2));
         assert_eq!(g.counters().verilog, 1);
         assert_eq!(g.counters().hls, 1);
+    }
+
+    #[test]
+    fn counter_emission_memoizes_separately_from_plain_verilog() {
+        let g = graph();
+        let hls = HlsOptions::default();
+        let plain = g.verilog_for(g.prepared(), g.prepared_hash(), &hls);
+        let opts = twill_hls::EmitOptions { hw_counters: true, threads: vec!["cpu".into()] };
+        let counted = g.verilog_for_opts(g.prepared(), g.prepared_hash(), &hls, &opts);
+        assert_ne!(*plain, *counted, "instrumented text must differ");
+        assert!(counted.contains("module twill_perf ("));
+        assert_eq!(g.counters().verilog, 2, "two distinct emissions");
+        // Each key hits its own cache entry; the schedule is shared.
+        let again = g.verilog_for_opts(g.prepared(), g.prepared_hash(), &hls, &opts);
+        assert!(Arc::ptr_eq(&counted, &again));
+        assert_eq!(g.counters().hls, 1);
+
+        let r1 = g.regmap_for(g.prepared(), g.prepared_hash(), &["cpu".to_string()]);
+        let r2 = g.regmap_for(g.prepared(), g.prepared_hash(), &["cpu".to_string()]);
+        assert!(Arc::ptr_eq(&r1, &r2));
+        let c = g.counters();
+        assert_eq!((c.regmap, c.regmap_hits), (1, 1));
+        assert!(r1.contains("\"schema\": \"twill-regmap\""));
     }
 
     #[test]

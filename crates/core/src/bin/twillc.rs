@@ -6,13 +6,25 @@
 //!        [--allow-recursion] [--run] [--input 1,2,3] [--emit-verilog FILE]
 //!        [--emit-ir FILE] [--stats] [--profile] [--annotate]
 //!        [--folded FILE] [--profile-json FILE] [--trace FILE]
-//!        [--metrics FILE] [--compare BASELINE]
+//!        [--metrics FILE] [--metrics-text FILE] [--compare BASELINE]
 //!        [--compare-profile PROFILE.json] [--obs-ring-capacity N]
 //!        [--strict-obs] [--fault-rate R] [--fault-seed N]
 //!        [--watchdog CYCLES] [--resilient] [--no-fast-forward]
+//!        [--hw-counters] [--emit-regmap FILE] [--counter-dump FILE]
 //!        [--tune] [--tune-report FILE] [--tune-trace FILE]
 //!        [--tune-seed N] [--tune-rounds N]
 //! ```
+//!
+//! `--hw-counters` instruments the emitted Verilog with the synthesizable
+//! `twill_perf` register file (DESIGN.md §14): per-thread busy/stall/idle
+//! cycle counters and per-queue push/pop/stall counters, readable over the
+//! existing runtime interface. `--emit-regmap` writes the machine-readable
+//! register map (JSON) that describes every readback word; `--counter-dump`
+//! runs the hybrid simulation and writes the word-for-word counter dump a
+//! host would read from the hardware — decode it against the register map
+//! to recover the exact simulator metrics. Either artifact flag implies
+//! `--hw-counters`. `--metrics-text` writes the run's metrics in the
+//! Prometheus text exposition format for scrape-based dashboards.
 //!
 //! `--tune` runs the profile-guided auto-tuner (DESIGN.md §13): it
 //! searches DSWP split points and per-queue depths to minimize hybrid
@@ -74,6 +86,7 @@ struct Args {
     profile_json: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
+    metrics_text: Option<String>,
     compare: Option<String>,
     compare_profile: Option<String>,
     ring_capacity: usize,
@@ -83,6 +96,9 @@ struct Args {
     watchdog: Option<u64>,
     resilient: bool,
     no_fast_forward: bool,
+    hw_counters: bool,
+    emit_regmap: Option<String>,
+    counter_dump: Option<String>,
     tune: bool,
     tune_report: Option<String>,
     tune_trace: Option<String>,
@@ -116,10 +132,12 @@ fn usage() -> ! {
          [--allow-recursion] [--run] [--input a,b,c] \
          [--emit-verilog FILE] [--emit-ir FILE] [--stats] [--profile] \
          [--annotate] [--folded FILE] [--profile-json FILE] \
-         [--trace FILE] [--metrics FILE] [--compare BASELINE] \
+         [--trace FILE] [--metrics FILE] [--metrics-text FILE] \
+         [--compare BASELINE] \
          [--compare-profile PROFILE.json] [--obs-ring-capacity N] \
          [--strict-obs] [--fault-rate R] [--fault-seed N] \
          [--watchdog CYCLES] [--resilient] [--no-fast-forward] \
+         [--hw-counters] [--emit-regmap FILE] [--counter-dump FILE] \
          [--tune] [--tune-report FILE] [--tune-trace FILE] \
          [--tune-seed N] [--tune-rounds N]"
     );
@@ -145,6 +163,7 @@ fn parse_args() -> Args {
         profile_json: None,
         trace: None,
         metrics: None,
+        metrics_text: None,
         compare: None,
         compare_profile: None,
         ring_capacity: 1 << 20,
@@ -154,6 +173,9 @@ fn parse_args() -> Args {
         watchdog: None,
         resilient: false,
         no_fast_forward: false,
+        hw_counters: false,
+        emit_regmap: None,
+        counter_dump: None,
         tune: false,
         tune_report: None,
         tune_trace: None,
@@ -197,6 +219,7 @@ fn parse_args() -> Args {
             "--profile-json" => args.profile_json = Some(it.next().unwrap_or_else(|| usage())),
             "--trace" => args.trace = Some(it.next().unwrap_or_else(|| usage())),
             "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics-text" => args.metrics_text = Some(it.next().unwrap_or_else(|| usage())),
             "--compare" => args.compare = Some(it.next().unwrap_or_else(|| usage())),
             "--compare-profile" => {
                 args.compare_profile = Some(it.next().unwrap_or_else(|| usage()))
@@ -215,6 +238,9 @@ fn parse_args() -> Args {
             }
             "--resilient" => args.resilient = true,
             "--no-fast-forward" => args.no_fast_forward = true,
+            "--hw-counters" => args.hw_counters = true,
+            "--emit-regmap" => args.emit_regmap = Some(it.next().unwrap_or_else(|| usage())),
+            "--counter-dump" => args.counter_dump = Some(it.next().unwrap_or_else(|| usage())),
             "--tune" => args.tune = true,
             "--tune-report" => args.tune_report = Some(it.next().unwrap_or_else(|| usage())),
             "--tune-trace" => args.tune_trace = Some(it.next().unwrap_or_else(|| usage())),
@@ -254,8 +280,12 @@ fn main() -> ExitCode {
         .unwrap_or("program")
         .to_string();
 
-    let mut compiler =
-        Compiler::new().partitions(args.partitions).allow_recursion(args.allow_recursion);
+    // Either counter artifact flag implies instrumentation.
+    let hw_counters = args.hw_counters || args.emit_regmap.is_some() || args.counter_dump.is_some();
+    let mut compiler = Compiler::new()
+        .partitions(args.partitions)
+        .allow_recursion(args.allow_recursion)
+        .hw_counters(hw_counters);
     if let Some(f) = args.sw_fraction {
         compiler = compiler.sw_fraction(f);
     }
@@ -304,6 +334,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("hardware-thread Verilog written to {f}");
+    }
+
+    if let Some(f) = &args.emit_regmap {
+        if let Err(e) = std::fs::write(f, build.regmap_json().as_bytes()) {
+            eprintln!("twillc: cannot write {f}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("performance-counter register map written to {f}");
     }
 
     if args.tune || args.tune_report.is_some() || args.tune_trace.is_some() {
@@ -357,6 +395,8 @@ fn main() -> ExitCode {
     let observing = args.profile
         || args.trace.is_some()
         || args.metrics.is_some()
+        || args.metrics_text.is_some()
+        || args.counter_dump.is_some()
         || args.compare.is_some()
         || line_profiling;
     let mut obs_data_lost = false;
@@ -546,6 +586,23 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("metrics JSON written to {f}");
+        }
+
+        if let Some(f) = &args.metrics_text {
+            if let Err(e) = std::fs::write(f, tw.metrics().metrics_text()) {
+                eprintln!("twillc: cannot write {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("Prometheus text metrics written to {f}");
+        }
+
+        if let Some(f) = &args.counter_dump {
+            let dump = build.counter_bank(&tw).dump();
+            if let Err(e) = std::fs::write(f, dump.to_json()) {
+                eprintln!("twillc: cannot write {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("hardware counter dump written to {f} (decode with --emit-regmap)");
         }
 
         if tw.dropped_events > 0 {

@@ -105,6 +105,10 @@ pub struct Compiler {
     /// Accept recursive programs (thesis §7 extension): recursive call
     /// trees are pinned whole to the software master.
     pub allow_recursion: bool,
+    /// Instrument the emitted Verilog with the `twill_perf` counter
+    /// register file (DESIGN.md §14). Opt-in: off keeps every artifact
+    /// byte-identical to an uninstrumented build.
+    pub hw_counters: bool,
 }
 
 impl Default for Compiler {
@@ -130,6 +134,7 @@ impl Compiler {
             },
             hls: HlsOptions::default(),
             allow_recursion: false,
+            hw_counters: false,
         }
     }
 
@@ -173,6 +178,14 @@ impl Compiler {
         self
     }
 
+    /// Emit on-chip performance counters with the Verilog (`twillc
+    /// --hw-counters`). The area model then charges the instrumentation
+    /// overhead, and [`TwillBuild::regmap_json`] describes the readback.
+    pub fn hw_counters(mut self, yes: bool) -> Compiler {
+        self.hw_counters = yes;
+        self
+    }
+
     /// Compile mini-C source through the full Twill flow. The frontend runs
     /// eagerly (so errors surface here); every later stage — passes, DSWP,
     /// HLS, Verilog — is computed lazily on first demand and memoized in
@@ -201,6 +214,7 @@ impl Compiler {
             graph: graph.clone(),
             dswp_opts: self.dswp.clone(),
             hls: self.hls,
+            hw_counters: self.hw_counters,
             dswp: OnceLock::new(),
             hybrid_schedule: OnceLock::new(),
             pure_schedule: OnceLock::new(),
@@ -216,6 +230,7 @@ pub struct TwillBuild {
     graph: Arc<BuildGraph>,
     dswp_opts: DswpOptions,
     hls: HlsOptions,
+    hw_counters: bool,
     dswp: OnceLock<Arc<DswpArtifact>>,
     hybrid_schedule: OnceLock<Arc<ModuleSchedule>>,
     pure_schedule: OnceLock<Arc<ModuleSchedule>>,
@@ -360,15 +375,46 @@ impl TwillBuild {
     }
 
     /// Verilog for the hardware threads (thesis §5.4 output artifact).
+    /// When the build was configured with [`Compiler::hw_counters`], the
+    /// bundle includes the `twill_perf` register file (DESIGN.md §14).
     pub fn verilog(&self) -> Arc<String> {
         let art = self.dswp_artifact().clone();
-        self.graph.verilog_for(&art.result.module, art.module_hash, &self.hls)
+        if self.hw_counters {
+            let emit =
+                twill_hls::EmitOptions { hw_counters: true, threads: art.result.agent_names() };
+            self.graph.verilog_for_opts(&art.result.module, art.module_hash, &self.hls, &emit)
+        } else {
+            self.graph.verilog_for(&art.result.module, art.module_hash, &self.hls)
+        }
     }
 
     /// Verilog for the pure-HW (LegUp-style) translation.
     pub fn verilog_pure_hw(&self) -> Arc<String> {
         let h = self.graph.prepared_hash();
         self.graph.verilog_for(self.prepared(), h, &self.hls)
+    }
+
+    /// Whether this build instruments its Verilog with `twill_perf`.
+    pub fn hw_counters(&self) -> bool {
+        self.hw_counters
+    }
+
+    /// The machine-readable counter register-map artifact (JSON) for this
+    /// build's hybrid design — the document `twillc --emit-regmap` writes
+    /// next to the Verilog. Available regardless of
+    /// [`TwillBuild::hw_counters`] so tooling can inspect the would-be
+    /// layout; cached in the graph.
+    pub fn regmap_json(&self) -> Arc<String> {
+        let art = self.dswp_artifact().clone();
+        self.graph.regmap_for(&art.result.module, art.module_hash, &art.result.agent_names())
+    }
+
+    /// Model the post-run `twill_perf` readback for a hybrid report of
+    /// this build: the word image a flashed design's counters would hold,
+    /// served through the same register map as [`TwillBuild::regmap_json`]
+    /// (same design name, threads, and queues).
+    pub fn counter_bank(&self, rep: &SimReport) -> twill_rt::CounterBank {
+        twill_rt::CounterBank::from_report(&self.dswp().module.name, rep)
     }
 }
 

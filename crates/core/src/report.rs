@@ -2,7 +2,8 @@
 
 use crate::TwillBuild;
 use twill_hls::area::{
-    estimate_function_area, estimate_module_area, microblaze_area, runtime_area, AreaReport,
+    estimate_function_area, estimate_module_area, microblaze_area, perf_counter_area, runtime_area,
+    AreaReport,
 };
 use twill_hls::power::{fig_6_1_configs, power_mw};
 
@@ -35,6 +36,11 @@ pub fn area_breakdown(b: &TwillBuild) -> AreaBreakdown {
     let hw_threads = dswp.threads.iter().filter(|t| t.is_hw).count() as u32;
     let mut twill_total = twill_hw;
     twill_total.add(runtime_area(&dswp.module, hw_threads, 1));
+    if b.hw_counters() {
+        // Instrumentation is not free: charge the twill_perf register file
+        // (one bank covering the CPU track + every HW thread and queue).
+        twill_total.add(perf_counter_area(hw_threads + 1, dswp.module.queues.len() as u32));
+    }
 
     let mut twill_mb = twill_total;
     twill_mb.add(microblaze_area());
@@ -142,6 +148,25 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("name"));
         assert!(lines[3].ends_with("123456"));
+    }
+
+    #[test]
+    fn hw_counters_charge_area_overhead() {
+        let src =
+            "int main() { int s = 0; for (int i = 0; i < 40; i++) s += i * i; out(s); return 0; }";
+        let plain = crate::Compiler::new().partitions(3).compile("t", src).unwrap();
+        let counted =
+            crate::Compiler::new().partitions(3).hw_counters(true).compile("t", src).unwrap();
+        let a = area_breakdown(&plain);
+        let b = area_breakdown(&counted);
+        assert_eq!(a.twill_hw_threads.luts, b.twill_hw_threads.luts);
+        assert!(
+            b.twill_total.luts > a.twill_total.luts,
+            "twill_perf must cost LUTs: {} vs {}",
+            b.twill_total.luts,
+            a.twill_total.luts
+        );
+        assert!(b.twill_plus_microblaze.luts > a.twill_plus_microblaze.luts);
     }
 
     #[test]

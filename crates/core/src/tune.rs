@@ -279,6 +279,7 @@ pub fn tune(
             pipeline: twill_passes::PipelineOptions::default(),
             hls: build.hls,
             allow_recursion: false,
+            hw_counters: build.hw_counters(),
         }
     };
     compiler.dswp.queue_depth_overrides.extend(tuned.queue_depths.iter().copied());
@@ -342,6 +343,7 @@ fn fork(build: &TwillBuild, p: usize, sw: f64) -> Compiler {
         pipeline: twill_passes::PipelineOptions::default(),
         hls: build.hls,
         allow_recursion: false,
+        hw_counters: build.hw_counters(),
     }
 }
 

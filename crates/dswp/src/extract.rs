@@ -41,6 +41,22 @@ pub struct DswpResult {
     pub stats: DswpStats,
 }
 
+impl DswpResult {
+    /// Agent track names of the hybrid system this partitioning deploys
+    /// to: the software master (`cpu`) followed by one `hw<i>` per
+    /// hardware thread, in partition order. This is the naming authority
+    /// shared by the simulator's `SimReport`, the observability exporters,
+    /// and the hardware performance-counter register map — all three must
+    /// agree on it for counter readbacks to line up.
+    pub fn agent_names(&self) -> Vec<String> {
+        let mut names = vec!["cpu".to_string()];
+        names.extend(
+            (1..=self.threads.iter().filter(|t| t.is_hw).count()).map(|i| format!("hw{i}")),
+        );
+        names
+    }
+}
+
 /// Per-(function, partition) extraction plan.
 struct PartPlan {
     needed_args: Vec<u16>,

@@ -90,6 +90,38 @@ pub fn runtime_area(m: &Module, hw_threads: u32, cpus: u32) -> AreaReport {
     AreaReport { luts, dsps, brams }
 }
 
+/// Per-counter LUT cost of the opt-in `twill_perf` subsystem: a 64-bit
+/// increment chain plus the enable gate.
+const LUTS_PERF_COUNTER64: u32 = 36;
+/// Per-queue high-water tracker: 32-bit compare + register.
+const LUTS_PERF_HIGH_WATER: u32 = 40;
+/// Readback word mux, per mapped 32-bit word.
+const LUTS_PERF_WORD_MUX: u32 = 2;
+/// Fixed decode/handshake glue plus the FSM state taps.
+const LUTS_PERF_GLUE: u32 = 48;
+
+/// Instrumentation overhead of the `twill_perf` counter register file
+/// (DESIGN.md §14), charged only when a design is emitted with hardware
+/// counters enabled so `fits_device` stays honest about the instrumented
+/// bitstream. Counter and word populations come from the register-map
+/// layout constants — the same source the emitted Verilog is generated
+/// from.
+pub fn perf_counter_area(threads: u32, queues: u32) -> AreaReport {
+    use twill_obs::regmap::{
+        HEADER_WORDS, QUEUE_COUNTERS, QUEUE_WORDS, THREAD_CLASSES, THREAD_WORDS,
+    };
+    let counters = 1 + threads * THREAD_CLASSES.len() as u32 + queues * QUEUE_COUNTERS.len() as u32;
+    let words = HEADER_WORDS + threads * THREAD_WORDS + queues * QUEUE_WORDS;
+    AreaReport {
+        luts: counters * LUTS_PERF_COUNTER64
+            + queues * LUTS_PERF_HIGH_WATER
+            + words * LUTS_PERF_WORD_MUX
+            + LUTS_PERF_GLUE,
+        dsps: 0,
+        brams: 0,
+    }
+}
+
 /// The Microblaze soft core itself (Table 6.2's final column delta).
 pub fn microblaze_area() -> AreaReport {
     AreaReport { luts: cost::LUTS_MICROBLAZE, dsps: 3, brams: cost::BRAMS_MICROBLAZE }
@@ -153,6 +185,21 @@ bb0:
         let a_big = estimate_module_area(&mb, &schedule_module(&mb, &HlsOptions::default()));
         assert!(a_big.luts > a_small.luts);
         assert!(a_big.dsps >= 1);
+    }
+
+    #[test]
+    fn perf_counter_area_scales_with_population() {
+        let none = perf_counter_area(0, 0);
+        // Cycle counter + glue + header mux words even for an empty map.
+        assert_eq!(none.luts, 36 + 6 * 2 + 48);
+        assert_eq!((none.dsps, none.brams), (0, 0));
+        let small = perf_counter_area(2, 1);
+        let big = perf_counter_area(3, 8);
+        assert!(none.luts < small.luts && small.luts < big.luts);
+        // One extra thread costs 7 counters + 15 mux words.
+        assert_eq!(perf_counter_area(3, 1).luts - small.luts, 7 * 36 + 15 * 2);
+        // One extra queue costs 4 counters + a high-water tracker + 10 words.
+        assert_eq!(perf_counter_area(2, 2).luts - small.luts, 4 * 36 + 40 + 10 * 2);
     }
 
     #[test]

@@ -21,9 +21,10 @@ pub mod power;
 pub mod schedule;
 pub mod verilog;
 
-pub use area::{estimate_module_area, AreaReport};
+pub use area::{estimate_module_area, perf_counter_area, AreaReport};
 pub use power::{power_mw, PowerConfig};
 pub use schedule::{
     schedule_function, schedule_module, schedule_module_threads, BlockSchedule, FuncSchedule,
     HlsOptions, ModuleSchedule,
 };
+pub use verilog::{emit_module, emit_module_with, EmitOptions};

@@ -32,6 +32,7 @@ pub mod json;
 pub mod metrics;
 pub mod perfetto;
 pub mod profile;
+pub mod regmap;
 pub mod ring;
 pub mod span;
 pub mod tune;
@@ -43,6 +44,7 @@ pub use fmt::{profile_report, StageSection};
 pub use metrics::{FaultMetrics, MetricsSummary, QueueMetrics, SimMetrics, ThreadMetrics};
 pub use perfetto::TraceBuilder;
 pub use profile::{line_regression, CycleBreakdown, SiteSample, SourceProfile};
+pub use regmap::{hardware_view, CounterDump, QueueDesc, RegMap};
 pub use ring::Ring;
 pub use span::{now_ns, Span};
 pub use tune::{ObsSignal, TrialRecord, TunedConfig, TuningReport};

@@ -322,6 +322,100 @@ impl SimMetrics {
         Ok(m)
     }
 
+    /// Render as Prometheus text exposition format (version 0.0.4) — the
+    /// scrape body a sweep service would serve for this run. Counter
+    /// samples carry `_total` suffixes; derived gauges (`utilization`) are
+    /// recomputed from the raw counters, never stored.
+    pub fn metrics_text(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut out = String::new();
+        out.push_str("# HELP twill_cycles_total Simulated cycles of the run.\n");
+        out.push_str("# TYPE twill_cycles_total counter\n");
+        let _ = writeln!(out, "twill_cycles_total {}", self.cycles);
+        out.push_str(
+            "# HELP twill_thread_cycles_total Per-thread cycle attribution by stall class.\n",
+        );
+        out.push_str("# TYPE twill_thread_cycles_total counter\n");
+        for t in &self.threads {
+            let classes = [
+                ("busy", t.busy),
+                ("queue_full", t.queue_full),
+                ("queue_empty", t.queue_empty),
+                ("sem", t.sem),
+                ("mem_bus", t.mem_bus),
+                ("module_bus", t.module_bus),
+                ("idle", t.idle),
+            ];
+            for (class, n) in classes {
+                let _ = writeln!(
+                    out,
+                    "twill_thread_cycles_total{{thread=\"{}\",class=\"{class}\"}} {n}",
+                    esc(&t.name)
+                );
+            }
+        }
+        out.push_str("# HELP twill_thread_utilization Busy fraction of the run per thread.\n");
+        out.push_str("# TYPE twill_thread_utilization gauge\n");
+        for t in &self.threads {
+            let _ = writeln!(
+                out,
+                "twill_thread_utilization{{thread=\"{}\"}} {}",
+                esc(&t.name),
+                json::number(t.utilization())
+            );
+        }
+        out.push_str("# HELP twill_queue_events_total Queue lifetime event counts.\n");
+        out.push_str("# TYPE twill_queue_events_total counter\n");
+        for q in &self.queues {
+            let events = [
+                ("push", q.pushes),
+                ("pop", q.pops),
+                ("full_stall", q.full_stalls),
+                ("empty_stall", q.empty_stalls),
+            ];
+            for (event, n) in events {
+                let _ = writeln!(
+                    out,
+                    "twill_queue_events_total{{queue=\"{}\",event=\"{event}\"}} {n}",
+                    esc(&q.name)
+                );
+            }
+        }
+        out.push_str("# HELP twill_queue_depth Declared queue capacity.\n");
+        out.push_str("# TYPE twill_queue_depth gauge\n");
+        for q in &self.queues {
+            let _ = writeln!(out, "twill_queue_depth{{queue=\"{}\"}} {}", esc(&q.name), q.depth);
+        }
+        out.push_str("# HELP twill_queue_high_water Peak simultaneous queue occupancy.\n");
+        out.push_str("# TYPE twill_queue_high_water gauge\n");
+        for q in &self.queues {
+            let _ = writeln!(
+                out,
+                "twill_queue_high_water{{queue=\"{}\"}} {}",
+                esc(&q.name),
+                q.high_water
+            );
+        }
+        out.push_str(
+            "# HELP twill_dropped_events_total Trace events lost to the ring-buffer bound.\n",
+        );
+        out.push_str("# TYPE twill_dropped_events_total counter\n");
+        let _ = writeln!(out, "twill_dropped_events_total {}", self.dropped_events);
+        out.push_str("# HELP twill_faults_total Injected faults by class.\n");
+        out.push_str("# TYPE twill_faults_total counter\n");
+        let faults = [
+            ("bit_flip", self.faults.bit_flips),
+            ("drop", self.faults.drops),
+            ("dup", self.faults.dups),
+            ("stall", self.faults.stalls),
+            ("mem_upset", self.faults.mem_upsets),
+        ];
+        for (class, n) in faults {
+            let _ = writeln!(out, "twill_faults_total{{class=\"{class}\"}} {n}");
+        }
+        out
+    }
+
     /// The `twillc --profile` stall/utilization table.
     pub fn profile_table(&self) -> String {
         let mut out = String::new();
@@ -524,6 +618,39 @@ mod tests {
         assert!(t.contains("critical stage: hw1"));
         assert!(t.contains("3 events dropped"));
         assert!(t.lines().next().unwrap().contains("busy%"));
+    }
+
+    #[test]
+    fn metrics_text_is_valid_prometheus_exposition() {
+        let t = sample().metrics_text();
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in t.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# HELP ") || line.starts_with("# TYPE "), "{line}");
+                continue;
+            }
+            let (sample, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(!sample.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "non-numeric value in {line:?}");
+        }
+        assert!(t.contains("twill_cycles_total 100\n"));
+        assert!(t.contains("twill_thread_cycles_total{thread=\"cpu\",class=\"queue_empty\"} 20\n"));
+        assert!(t.contains("twill_thread_utilization{thread=\"hw1\"} 0.9\n"));
+        assert!(t.contains("twill_queue_events_total{queue=\"q0\",event=\"full_stall\"} 10\n"));
+        assert!(t.contains("twill_queue_high_water{queue=\"q0\"} 6\n"));
+        assert!(t.contains("twill_dropped_events_total 3\n"));
+        assert!(t.contains("twill_faults_total{class=\"drop\"} 0\n"));
+        // Each # TYPE header appears before its first sample.
+        let type_pos = t.find("# TYPE twill_queue_depth gauge").unwrap();
+        let sample_pos = t.find("twill_queue_depth{").unwrap();
+        assert!(type_pos < sample_pos);
+    }
+
+    #[test]
+    fn metrics_text_escapes_label_values() {
+        let mut m = sample();
+        m.threads[0].name = "cp\"u\\x".into();
+        assert!(m.metrics_text().contains("thread=\"cp\\\"u\\\\x\""));
     }
 
     #[test]

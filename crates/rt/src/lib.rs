@@ -26,6 +26,8 @@
 //!   cycle, chained ops free, multi-cycle ops stall, pipelined loop bodies
 //!   initiate every II cycles.
 
+#[cfg(feature = "obs")]
+pub mod counters;
 pub mod cpu;
 pub mod fault;
 pub mod hang;
@@ -34,6 +36,8 @@ pub mod profile;
 pub mod shared;
 pub mod system;
 
+#[cfg(feature = "obs")]
+pub use counters::CounterBank;
 pub use fault::{FaultCounts, FaultPlan, FaultRecord, FaultSite, FaultSpec, PinnedFault};
 pub use hang::{AgentWait, HangReport, WaitState};
 pub use profile::{AgentProfile, SimProfile};

@@ -565,8 +565,10 @@ pub fn simulate_hybrid_scheduled(
     #[cfg(not(feature = "obs"))]
     let dropped_events = 0;
     let (fault_log, _) = shared.take_fault_log();
-    let mut agent_names = vec!["cpu".to_string()];
-    agent_names.extend((1..=hw.len()).map(|i| format!("hw{i}")));
+    // One naming authority for simulator tracks, obs exporters, and the
+    // hardware counter register map.
+    let agent_names = dswp.agent_names();
+    debug_assert_eq!(agent_names.len(), 1 + hw.len());
     let report = SimReport {
         cycles,
         output: shared.output.clone(),
