@@ -4,6 +4,7 @@
 //! profile [BENCH] [--scale N] [--trace FILE] [--metrics FILE]
 //!         [--metrics-text FILE] [--regmap-out FILE] [--dump-out FILE]
 //!         [--annotate-out FILE] [--folded-out FILE]
+//!         [--sample-interval N] [--timeline-out FILE] [--phases-out FILE]
 //!         [--obs-ring-capacity N] [--strict-obs] [--no-fast-forward]
 //! ```
 //!
@@ -19,7 +20,13 @@
 //! counter dump (DESIGN.md §14 readback artifacts),
 //! `--annotate-out` writes the benchmark's C source annotated with the
 //! per-line cycles/stall gutter, `--folded-out` writes folded-stack lines
-//! for flamegraph tooling. `--obs-ring-capacity` bounds the event ring
+//! for flamegraph tooling. `--timeline-out` writes the interval-sampled
+//! counter timeline as JSON and `--phases-out` the phase-segmentation
+//! report (runs of intervals sharing a dominant stall-class signature,
+//! each named by its hottest C line); both default to one sample every
+//! 4096 cycles unless `--sample-interval` says otherwise, and both are
+//! the artifacts CI archives for the blowfish perf gate.
+//! `--obs-ring-capacity` bounds the event ring
 //! used with `--trace` (default 2^22 events; overflow warns on stderr,
 //! never silent — and exits non-zero under `--strict-obs`).
 
@@ -30,7 +37,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: profile [BENCH] [--scale N] [--trace FILE] [--metrics FILE] \
          [--metrics-text FILE] [--regmap-out FILE] [--dump-out FILE] \
-         [--annotate-out FILE] [--folded-out FILE] [--obs-ring-capacity N] \
+         [--annotate-out FILE] [--folded-out FILE] [--sample-interval N] \
+         [--timeline-out FILE] [--phases-out FILE] [--obs-ring-capacity N] \
          [--strict-obs] [--no-fast-forward]"
     );
     std::process::exit(2);
@@ -46,6 +54,9 @@ fn main() {
     let mut dump_out: Option<String> = None;
     let mut annotate_out: Option<String> = None;
     let mut folded_out: Option<String> = None;
+    let mut sample_interval: Option<u64> = None;
+    let mut timeline_out: Option<String> = None;
+    let mut phases_out: Option<String> = None;
     let mut ring_capacity: usize = 1 << 22;
     let mut strict_obs = false;
     let mut no_fast_forward = false;
@@ -62,6 +73,12 @@ fn main() {
             "--dump-out" => dump_out = Some(it.next().unwrap_or_else(|| usage())),
             "--annotate-out" => annotate_out = Some(it.next().unwrap_or_else(|| usage())),
             "--folded-out" => folded_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--sample-interval" => {
+                sample_interval =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--timeline-out" => timeline_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--phases-out" => phases_out = Some(it.next().unwrap_or_else(|| usage())),
             "--obs-ring-capacity" => {
                 ring_capacity = twill_bench::parse_ring_capacity(&mut it).unwrap_or_else(|| usage())
             }
@@ -89,7 +106,9 @@ fn main() {
             || regmap_out.is_some()
             || dump_out.is_some()
             || annotate_out.is_some()
-            || folded_out.is_some())
+            || folded_out.is_some()
+            || timeline_out.is_some()
+            || phases_out.is_some())
     {
         eprintln!("profile: per-file output flags need a single benchmark");
         std::process::exit(2);
@@ -102,9 +121,13 @@ fn main() {
         let build =
             Compiler::new().partitions(b.partitions).hw_counters(hw_counters).build_on(&graph);
         let input = chstone::input_for(b.name, scale.unwrap_or(b.default_scale));
+        let sampling = sample_interval.is_some() || timeline_out.is_some() || phases_out.is_some();
         let cfg = twill::SimulationConfig {
             trace_events: if trace.is_some() { ring_capacity } else { 0 },
-            profile: annotate_out.is_some() || folded_out.is_some(),
+            // Phase reports name each phase's hottest C line, so
+            // `--phases-out` needs the line-granular profile too.
+            profile: annotate_out.is_some() || folded_out.is_some() || phases_out.is_some(),
+            sample_interval: sampling.then(|| sample_interval.unwrap_or(4096)),
             fast_forward: !no_fast_forward && build.sim_config().fast_forward,
             ..build.sim_config()
         };
@@ -156,6 +179,26 @@ fn main() {
                 std::fs::write(f, sp.folded_stacks()).expect("write folded stacks");
                 println!("folded stacks written to {f} (feed to flamegraph.pl / inferno)");
             }
+        }
+        if let Some(f) = &timeline_out {
+            let t = rep.timeline.as_ref().expect("sampling was enabled");
+            std::fs::write(f, t.to_json()).expect("write timeline");
+            println!(
+                "sampled timeline written to {f} ({} interval(s) of {} cycles)",
+                t.intervals.len(),
+                t.sample_interval
+            );
+        }
+        if let Some(f) = &phases_out {
+            let t = rep.timeline.as_ref().expect("sampling was enabled");
+            let mut pr = twill_obs::segment(t);
+            let sp = rep
+                .source_profile(&build.dswp().module)
+                .expect("source profile requested but missing");
+            pr.annotate(&sp);
+            std::fs::write(f, pr.to_json()).expect("write phase report");
+            print!("{}", pr.render_text());
+            println!("phase report written to {f} ({} phase(s))", pr.phases.len());
         }
         if rep.dropped_events > 0 {
             obs_data_lost = true;

@@ -4,6 +4,7 @@
 //! ```console
 //! tune [--out FILE] [--seed N] [--rounds N] [--bench a,b,c]
 //!      [--report-dir DIR] [--trace-dir DIR] [--no-fast-forward]
+//!      [--obs-ring-capacity N] [--strict-obs]
 //! ```
 //!
 //! For every selected benchmark the tuner searches DSWP split points and
@@ -18,6 +19,11 @@
 //! gate uploads both as artifacts). The search is seeded and
 //! deterministic: same tree, seed, and benchmark set ⇒ byte-identical
 //! outputs.
+//!
+//! `--obs-ring-capacity` arms the event recorder on each benchmark's
+//! *baseline* run with a ring of that many events (trials always run
+//! untraced — tracing is observation-only either way); truncation warns
+//! on stderr, never silent, and exits non-zero under `--strict-obs`.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -35,12 +41,15 @@ struct Args {
     report_dir: Option<String>,
     trace_dir: Option<String>,
     no_fast_forward: bool,
+    ring_capacity: Option<usize>,
+    strict_obs: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tune [--out FILE] [--seed N] [--rounds N] [--bench a,b,c] \
-         [--report-dir DIR] [--trace-dir DIR] [--no-fast-forward]"
+         [--report-dir DIR] [--trace-dir DIR] [--no-fast-forward] \
+         [--obs-ring-capacity N] [--strict-obs]"
     );
     std::process::exit(2);
 }
@@ -54,6 +63,8 @@ fn parse_args() -> Args {
         report_dir: None,
         trace_dir: None,
         no_fast_forward: false,
+        ring_capacity: None,
+        strict_obs: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -73,6 +84,11 @@ fn parse_args() -> Args {
             "--report-dir" => args.report_dir = Some(it.next().unwrap_or_else(|| usage())),
             "--trace-dir" => args.trace_dir = Some(it.next().unwrap_or_else(|| usage())),
             "--no-fast-forward" => args.no_fast_forward = true,
+            "--obs-ring-capacity" => {
+                args.ring_capacity =
+                    Some(twill_bench::parse_ring_capacity(&mut it).unwrap_or_else(|| usage()))
+            }
+            "--strict-obs" => args.strict_obs = true,
             _ => usage(),
         }
     }
@@ -100,6 +116,7 @@ fn main() -> ExitCode {
     let mut rows = Vec::new();
     let mut regressed = false;
     let mut improved = 0usize;
+    let mut obs_data_lost = false;
     for b in &selected {
         let build = Compiler::new()
             .partitions(b.partitions)
@@ -109,6 +126,9 @@ fn main() -> ExitCode {
         let mut cfg = build.sim_config();
         if args.no_fast_forward {
             cfg.fast_forward = false;
+        }
+        if let Some(cap) = args.ring_capacity {
+            cfg.trace_events = cap;
         }
         let topts = TuneOptions {
             seed: args.seed,
@@ -123,6 +143,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if outcome.dropped_events > 0 {
+            obs_data_lost = true;
+            eprintln!(
+                "tune: WARN: trace truncated for {}: {} event(s) dropped — \
+                 raise --obs-ring-capacity",
+                b.name, outcome.dropped_events
+            );
+        }
         let r = &outcome.report;
         if r.tuned_cycles > r.baseline_cycles {
             eprintln!(
@@ -183,6 +211,10 @@ fn main() -> ExitCode {
         rows.len(),
         args.seed
     );
+    if args.strict_obs && obs_data_lost {
+        eprintln!("tune: --strict-obs: observability data was lost");
+        return ExitCode::FAILURE;
+    }
     if regressed {
         return ExitCode::FAILURE;
     }

@@ -7,7 +7,9 @@
 //!        [--emit-ir FILE] [--stats] [--profile] [--annotate]
 //!        [--folded FILE] [--profile-json FILE] [--trace FILE]
 //!        [--metrics FILE] [--metrics-text FILE] [--compare BASELINE]
-//!        [--compare-profile PROFILE.json] [--obs-ring-capacity N]
+//!        [--compare-profile PROFILE.json] [--compare-timeline TIMELINE.json]
+//!        [--sample-interval N] [--timeline-out FILE] [--phases]
+//!        [--obs-ring-capacity N]
 //!        [--strict-obs] [--fault-rate R] [--fault-seed N]
 //!        [--watchdog CYCLES] [--resilient] [--no-fast-forward]
 //!        [--hw-counters] [--emit-regmap FILE] [--counter-dump FILE]
@@ -64,6 +66,19 @@
 //! from; `--obs-ring-capacity` bounds the `--trace` event ring (default
 //! 2^20). `--strict-obs` turns observability data loss (trace
 //! truncation) into a non-zero exit instead of just a warning.
+//!
+//! `--sample-interval N` snapshots every cycle-class and queue counter
+//! each N cycles into a sampled timeline (printed as a per-interval
+//! table); `--timeline-out` writes that timeline as JSON (feed it to a
+//! later `--compare-timeline`); `--phases` segments the timeline into
+//! execution phases — runs of intervals with the same dominant
+//! stall-class signature — and names each phase's hottest C line;
+//! `--compare-timeline` with a previously saved timeline makes
+//! `--compare` attribute the cycle delta phase by phase ("the +41k
+//! cycles come from phase 2 of 5"). Timeline flags without an explicit
+//! `--sample-interval` default to one sample every 4096 cycles; a
+//! sampled `--trace` additionally carries per-thread/per-class and
+//! per-queue-occupancy counter tracks over time.
 
 use std::process::ExitCode;
 use twill::Compiler;
@@ -89,6 +104,10 @@ struct Args {
     metrics_text: Option<String>,
     compare: Option<String>,
     compare_profile: Option<String>,
+    compare_timeline: Option<String>,
+    sample_interval: Option<u64>,
+    timeline_out: Option<String>,
+    phases: bool,
     ring_capacity: usize,
     strict_obs: bool,
     fault_rate: Option<f64>,
@@ -108,6 +127,11 @@ struct Args {
 
 /// Hybrid attempts before `--resilient` degrades to pure software.
 const RESILIENT_ATTEMPTS: u32 = 3;
+
+/// Sample window when a timeline flag is used without an explicit
+/// `--sample-interval`: coarse enough to stay cheap on long runs, fine
+/// enough that CHStone-sized programs still get several intervals.
+const DEFAULT_SAMPLE_INTERVAL: u64 = 4096;
 
 /// Parse `q0=4,q1=32` (the `q` prefix is optional) into per-queue depth
 /// overrides. `None` on any malformed entry or a zero depth.
@@ -134,7 +158,9 @@ fn usage() -> ! {
          [--annotate] [--folded FILE] [--profile-json FILE] \
          [--trace FILE] [--metrics FILE] [--metrics-text FILE] \
          [--compare BASELINE] \
-         [--compare-profile PROFILE.json] [--obs-ring-capacity N] \
+         [--compare-profile PROFILE.json] [--compare-timeline TIMELINE.json] \
+         [--sample-interval N] [--timeline-out FILE] [--phases] \
+         [--obs-ring-capacity N] \
          [--strict-obs] [--fault-rate R] [--fault-seed N] \
          [--watchdog CYCLES] [--resilient] [--no-fast-forward] \
          [--hw-counters] [--emit-regmap FILE] [--counter-dump FILE] \
@@ -166,6 +192,10 @@ fn parse_args() -> Args {
         metrics_text: None,
         compare: None,
         compare_profile: None,
+        compare_timeline: None,
+        sample_interval: None,
+        timeline_out: None,
+        phases: false,
         ring_capacity: 1 << 20,
         strict_obs: false,
         fault_rate: None,
@@ -224,6 +254,15 @@ fn parse_args() -> Args {
             "--compare-profile" => {
                 args.compare_profile = Some(it.next().unwrap_or_else(|| usage()))
             }
+            "--compare-timeline" => {
+                args.compare_timeline = Some(it.next().unwrap_or_else(|| usage()))
+            }
+            "--sample-interval" => {
+                args.sample_interval =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--timeline-out" => args.timeline_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--phases" => args.phases = true,
             "--strict-obs" => args.strict_obs = true,
             "--fault-rate" => {
                 args.fault_rate =
@@ -391,13 +430,22 @@ fn main() -> ExitCode {
     let line_profiling = args.annotate
         || args.folded.is_some()
         || args.profile_json.is_some()
-        || args.compare_profile.is_some();
+        || args.compare_profile.is_some()
+        // Phase reports name each phase's hottest C line, which needs
+        // the line-granular profile of the same run.
+        || args.phases
+        || args.compare_timeline.is_some();
+    let sampling = args.sample_interval.is_some()
+        || args.timeline_out.is_some()
+        || args.phases
+        || args.compare_timeline.is_some();
     let observing = args.profile
         || args.trace.is_some()
         || args.metrics.is_some()
         || args.metrics_text.is_some()
         || args.counter_dump.is_some()
         || args.compare.is_some()
+        || sampling
         || line_profiling;
     let mut obs_data_lost = false;
     if args.run || observing {
@@ -408,6 +456,8 @@ fn main() -> ExitCode {
         let mut cfg = twill::SimulationConfig {
             trace_events: if args.trace.is_some() { args.ring_capacity } else { 0 },
             profile: line_profiling,
+            sample_interval: sampling
+                .then(|| args.sample_interval.unwrap_or(DEFAULT_SAMPLE_INTERVAL)),
             fault: args
                 .fault_rate
                 .map(|r| twill::FaultPlan::new(args.fault_seed, twill::FaultSpec::uniform(r))),
@@ -496,6 +546,11 @@ fn main() -> ExitCode {
             );
         }
 
+        if args.sample_interval.is_some() {
+            let t = tw.timeline.as_ref().expect("sampling was enabled");
+            print!("{}", twill_obs::timeline_table(t));
+        }
+
         let source_profile = tw.source_profile(&build.dswp().module);
 
         if args.annotate {
@@ -567,6 +622,48 @@ fn main() -> ExitCode {
             }
         }
 
+        if let Some(tf) = &args.compare_timeline {
+            // Segment both timelines into phases and attribute the cycle
+            // delta phase by phase; the per-phase deltas sum exactly to
+            // the total because phases tile each run.
+            let text = match std::fs::read_to_string(tf) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("twillc: cannot read {tf}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let base_t = match twill_obs::json::parse(&text)
+                .and_then(|doc| twill_obs::Timeline::from_json(&doc))
+            {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("twillc: {tf}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let t = tw.timeline.as_ref().expect("sampling was enabled");
+            if base_t.sample_interval != t.sample_interval {
+                eprintln!(
+                    "twillc: WARN: baseline timeline sampled every {} cycles, this run \
+                     every {} — phase alignment may be coarse",
+                    base_t.sample_interval, t.sample_interval
+                );
+            }
+            let base_phases = twill_obs::segment(&base_t);
+            let mut new_phases = twill_obs::segment(t);
+            if let Some(sp) = source_profile.as_ref() {
+                new_phases.annotate(sp);
+            }
+            let cycle_delta = tw.cycles as i64 - base_t.total_cycles() as i64;
+            let deltas = twill_obs::phase_attribution(&base_phases, &new_phases);
+            if cycle_delta == 0 && deltas.iter().all(|d| d.delta == 0) {
+                println!("compare timeline: identical phase timing ({} cycles)", tw.cycles);
+            } else {
+                print!("{}", twill_obs::render_phase_attribution(&deltas, cycle_delta));
+            }
+        }
+
         if let Some(f) = &args.trace {
             let json = tw.trace_builder().spans(build.graph().spans()).build();
             if let Err(e) = std::fs::write(f, json) {
@@ -578,6 +675,28 @@ fn main() -> ExitCode {
                 tw.events.len(),
                 tw.dropped_events
             );
+        }
+
+        if let Some(f) = &args.timeline_out {
+            let t = tw.timeline.as_ref().expect("sampling was enabled");
+            if let Err(e) = std::fs::write(f, t.to_json()) {
+                eprintln!("twillc: cannot write {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "sampled timeline written to {f} ({} interval(s) of {} cycles)",
+                t.intervals.len(),
+                t.sample_interval
+            );
+        }
+
+        if args.phases {
+            let t = tw.timeline.as_ref().expect("sampling was enabled");
+            let mut pr = twill_obs::segment(t);
+            if let Some(sp) = source_profile.as_ref() {
+                pr.annotate(sp);
+            }
+            print!("{}", pr.render_text());
         }
 
         if let Some(f) = &args.metrics {

@@ -384,6 +384,126 @@ impl MetricsDiff {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Per-phase attribution (temporal layer)
+// ---------------------------------------------------------------------------
+
+/// One aligned phase pair in a base-vs-new comparison: how much of the
+/// total cycle delta this position of the phase sequence contributed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseDelta {
+    /// Position in the aligned phase sequence (0-based).
+    pub index: usize,
+    /// Cycle range of the base run's phase (None when the new run grew an
+    /// extra phase at this position).
+    pub base: Option<(u64, u64)>,
+    /// Cycle range of the new run's phase (None when the base run had a
+    /// phase the new run no longer does).
+    pub new: Option<(u64, u64)>,
+    /// New duration minus base duration; the deltas of all entries sum
+    /// exactly to the total cycle delta because phases tile each run.
+    pub delta: i64,
+    /// Dominant thread (from the new phase when present, else the base).
+    pub thread: String,
+    /// Dominant stall class.
+    pub class: String,
+    /// Responsible queue, when the class is a queue stall.
+    pub queue: Option<String>,
+    /// Hottest function/line of the dominant pair (when annotated).
+    pub func: Option<String>,
+    pub line: u32,
+}
+
+/// Align two segmented timelines positionally and attribute the cycle
+/// delta per phase. Phases partition `[1, total_cycles]` in each run, so
+/// positional duration differences decompose the total delta exactly —
+/// including when the runs have different phase counts (extra new phases
+/// contribute their full duration, vanished base phases subtract theirs).
+pub fn phase_attribution(
+    base: &crate::phase::PhaseReport,
+    new: &crate::phase::PhaseReport,
+) -> Vec<PhaseDelta> {
+    let n = base.phases.len().max(new.phases.len());
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let b = base.phases.get(i);
+        let w = new.phases.get(i);
+        let b_cycles = b.map(|p| p.cycles() as i64).unwrap_or(0);
+        let w_cycles = w.map(|p| p.cycles() as i64).unwrap_or(0);
+        // Describe by the new run's phase when it exists (that is where
+        // the cycles are being spent now), else by the vanished base one.
+        let desc = w.or(b).expect("i < max(len, len)");
+        out.push(PhaseDelta {
+            index: i,
+            base: b.map(|p| (p.start, p.end)),
+            new: w.map(|p| (p.start, p.end)),
+            delta: w_cycles - b_cycles,
+            thread: desc.thread.clone(),
+            class: desc.class.clone(),
+            queue: desc.queue.clone(),
+            func: desc.func.clone(),
+            line: desc.line,
+        });
+    }
+    out
+}
+
+/// Render the per-phase attribution, leading with the ISSUE-style
+/// headline that names the phase responsible for the largest share of the
+/// regression: "the +41k cycles come from phase 2 of 5 (cycles
+/// 120000..310000, queue-full on q2, line 41)".
+pub fn render_phase_attribution(deltas: &[PhaseDelta], cycle_delta: i64) -> String {
+    let mut out = String::new();
+    let Some(worst) = deltas.iter().max_by_key(|d| (d.delta, std::cmp::Reverse(d.index))) else {
+        return out;
+    };
+    if worst.delta != 0 {
+        let range =
+            worst.new.or(worst.base).map(|(s, e)| format!("cycles {s}..{e}")).unwrap_or_default();
+        let mut cause = format!("{} on {}", worst.class, worst.thread);
+        if let Some(q) = &worst.queue {
+            let _ = write!(cause, " ({q})");
+        }
+        if worst.line != 0 {
+            let _ = write!(cause, ", line {}", worst.line);
+            if let Some(f) = &worst.func {
+                let _ = write!(cause, " in {f}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "the {} cycles come from phase {} of {} ({range}, {cause}; {} of the delta)",
+            human_delta(cycle_delta),
+            worst.index + 1,
+            deltas.len(),
+            human_delta(worst.delta),
+        );
+    }
+    let _ = writeln!(out, "per-phase deltas:");
+    for d in deltas {
+        let span = |r: Option<(u64, u64)>| match r {
+            Some((s, e)) => format!("{s}..{e}"),
+            None => "-".to_string(),
+        };
+        let mut cause = format!("{} on {}", d.class, d.thread);
+        if let Some(q) = &d.queue {
+            let _ = write!(cause, " ({q})");
+        }
+        if d.line != 0 {
+            let _ = write!(cause, ", line {}", d.line);
+        }
+        let _ = writeln!(
+            out,
+            "  phase {:>2}: {:>8}  base {} \u{2192} new {}  [{cause}]",
+            d.index + 1,
+            human_delta(d.delta),
+            span(d.base),
+            span(d.new),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,5 +664,84 @@ mod tests {
         assert_eq!(human_delta(-317), "-317");
         assert_eq!(human_delta(12_400), "+12.4k");
         assert_eq!(human_delta(-12_400_000), "-12.4M");
+    }
+
+    fn phase(start: u64, end: u64, class: &str, queue: Option<&str>, line: u32) -> crate::Phase {
+        crate::Phase {
+            start,
+            end,
+            intervals: 1,
+            thread: "hw1".into(),
+            class: class.into(),
+            stall_cycles: end - start + 1,
+            queue: queue.map(str::to_string),
+            func: (line != 0).then(|| "main".to_string()),
+            line,
+        }
+    }
+
+    fn report(phases: Vec<crate::Phase>) -> crate::PhaseReport {
+        let total_cycles = phases.last().map(|p| p.end).unwrap_or(0);
+        crate::PhaseReport { total_cycles, phases }
+    }
+
+    #[test]
+    fn phase_deltas_sum_to_total_cycle_delta() {
+        let base = report(vec![
+            phase(1, 100, "busy", None, 7),
+            phase(101, 220, "queue-full", Some("q2"), 41),
+        ]);
+        let new = report(vec![
+            phase(1, 100, "busy", None, 7),
+            phase(101, 290, "queue-full", Some("q2"), 41),
+            phase(291, 300, "queue-empty", Some("q0"), 9),
+        ]);
+        let deltas = phase_attribution(&base, &new);
+        assert_eq!(deltas.len(), 3);
+        let sum: i64 = deltas.iter().map(|d| d.delta).sum();
+        assert_eq!(sum, new.total_cycles as i64 - base.total_cycles as i64);
+        assert_eq!(deltas[1].delta, 70);
+        assert_eq!(deltas[2].delta, 10);
+        assert!(deltas[2].base.is_none(), "extra new phase has no base range");
+    }
+
+    #[test]
+    fn phase_deltas_sum_when_base_has_more_phases() {
+        let base = report(vec![phase(1, 100, "busy", None, 0), phase(101, 400, "sem", None, 0)]);
+        let new = report(vec![phase(1, 250, "busy", None, 0)]);
+        let deltas = phase_attribution(&base, &new);
+        let sum: i64 = deltas.iter().map(|d| d.delta).sum();
+        assert_eq!(sum, 250 - 400);
+        assert!(deltas[1].new.is_none(), "vanished base phase has no new range");
+        assert_eq!(deltas[1].class, "sem", "vanished phase described by its base");
+    }
+
+    #[test]
+    fn phase_attribution_render_names_the_worst_phase() {
+        let base = report(vec![
+            phase(1, 100, "busy", None, 7),
+            phase(101, 220, "queue-full", Some("q2"), 41),
+        ]);
+        let new = report(vec![
+            phase(1, 100, "busy", None, 7),
+            phase(101, 261, "queue-full", Some("q2"), 41),
+        ]);
+        let deltas = phase_attribution(&base, &new);
+        let text = render_phase_attribution(&deltas, 41);
+        assert!(text.contains("phase 2 of 2"), "{text}");
+        assert!(text.contains("queue-full on hw1 (q2), line 41 in main"), "{text}");
+        assert!(text.contains("cycles 101..261"), "{text}");
+    }
+
+    #[test]
+    fn identical_phase_reports_have_all_zero_deltas() {
+        let r = report(vec![
+            phase(1, 100, "busy", None, 0),
+            phase(101, 220, "queue-full", Some("q2"), 41),
+        ]);
+        let deltas = phase_attribution(&r, &r);
+        assert!(deltas.iter().all(|d| d.delta == 0));
+        let text = render_phase_attribution(&deltas, 0);
+        assert!(!text.contains("come from"), "no headline when nothing moved: {text}");
     }
 }

@@ -5,6 +5,7 @@
 
 use crate::metrics::SimMetrics;
 use crate::span::Span;
+use crate::timeseries::Timeline;
 use std::fmt::Write as _;
 
 /// Compiler-side timing data to append to a profile report: the stage
@@ -31,6 +32,48 @@ pub fn profile_report(title: &str, m: &SimMetrics, stages: Option<StageSection<'
             let _ = writeln!(out, "  {:<10} {:>9.2} ms", span.name, span.dur_ns as f64 / 1e6);
         }
         let _ = writeln!(out, "  {} stage run(s), {} cache hit(s)", s.runs, s.hits);
+    }
+    out
+}
+
+/// Render a sampled timeline as a per-interval table: one row per sample
+/// window, the dominant stall class of each thread, and each queue's
+/// occupancy level at the window's close. The quick terminal view of the
+/// same data the Perfetto counter tracks plot.
+pub fn timeline_table(t: &Timeline) -> String {
+    use crate::timeseries::CLASS_NAMES;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== timeline ({} interval(s) of {} cycles over {} cycles) ===",
+        t.intervals.len(),
+        t.sample_interval,
+        t.total_cycles()
+    );
+    let _ = write!(out, "{:>20}", "cycles");
+    for n in &t.thread_names {
+        let _ = write!(out, " {n:>14}");
+    }
+    for n in &t.queue_names {
+        let _ = write!(out, " {:>8}", format!("{n} occ"));
+    }
+    out.push('\n');
+    for iv in &t.intervals {
+        let _ = write!(out, "{:>20}", format!("{}..{}", iv.start, iv.end));
+        for b in &iv.threads {
+            let a = b.as_array();
+            let mut best = 0;
+            for (i, &v) in a.iter().enumerate() {
+                if v > a[best] {
+                    best = i;
+                }
+            }
+            let _ = write!(out, " {:>14}", CLASS_NAMES[best]);
+        }
+        for q in &iv.queues {
+            let _ = write!(out, " {:>8}", q.occupancy);
+        }
+        out.push('\n');
     }
     out
 }
@@ -74,5 +117,34 @@ mod tests {
     fn stage_section_is_optional() {
         let r = profile_report("aes", &metrics(), None);
         assert!(!r.contains("compiler stages"), "{r}");
+    }
+
+    #[test]
+    fn timeline_table_rows_per_interval() {
+        use crate::timeseries::{Interval, QueueWindow, Timeline};
+        let t = Timeline {
+            sample_interval: 100,
+            thread_names: vec!["cpu".into()],
+            queue_names: vec!["q0".into()],
+            intervals: vec![
+                Interval {
+                    start: 1,
+                    end: 100,
+                    threads: vec![crate::CycleBreakdown { busy: 100, ..Default::default() }],
+                    queues: vec![QueueWindow { occupancy: 3, ..Default::default() }],
+                },
+                Interval {
+                    start: 101,
+                    end: 150,
+                    threads: vec![crate::CycleBreakdown { queue_empty: 50, ..Default::default() }],
+                    queues: vec![QueueWindow { occupancy: 0, ..Default::default() }],
+                },
+            ],
+        };
+        let r = timeline_table(&t);
+        assert!(r.contains("2 interval(s) of 100 cycles over 150 cycles"), "{r}");
+        assert!(r.contains("1..100"), "{r}");
+        assert!(r.contains("queue-empty"), "{r}");
+        assert_eq!(r.lines().count(), 4, "{r}");
     }
 }

@@ -9,24 +9,42 @@ use std::fmt::Write as _;
 // Writing
 // ---------------------------------------------------------------------------
 
-/// Escape and quote a string for JSON output.
-pub fn quote(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
+/// The single string-escaping core shared by every exporter: [`quote`]
+/// (JSON strings in the metrics/trace/timeline writers) and [`prom_label`]
+/// (Prometheus label values). `full_json` additionally escapes `\r`, `\t`,
+/// and remaining control characters as `\uXXXX`; the Prometheus text
+/// exposition format defines only the `\\`, `\"`, and `\n` escapes, so
+/// label values pass everything else through verbatim.
+fn escape_into(out: &mut String, s: &str, full_json: bool) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            '\r' if full_json => out.push_str("\\r"),
+            '\t' if full_json => out.push_str("\\t"),
+            c if full_json && (c as u32) < 0x20 => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }
     }
+}
+
+/// Escape and quote a string for JSON output.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
+    escape_into(&mut out, s, true);
+    out.push('"');
+    out
+}
+
+/// Escape a Prometheus label value (no surrounding quotes; the caller
+/// supplies them as part of the `name{label="..."}` sample syntax).
+pub fn prom_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s, false);
     out
 }
 
@@ -286,6 +304,16 @@ mod tests {
     fn quote_escapes_specials() {
         assert_eq!(quote("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
         assert_eq!(quote("\u{1}"), r#""\u0001""#);
+    }
+
+    #[test]
+    fn prom_label_escapes_only_the_prometheus_set() {
+        assert_eq!(prom_label(r#"cp"u\x"#), r#"cp\"u\\x"#);
+        assert_eq!(prom_label("a\nb"), "a\\nb");
+        // Tab and other controls are not part of the exposition format's
+        // escape set and must pass through untouched.
+        assert_eq!(prom_label("a\tb"), "a\tb");
+        assert_eq!(prom_label("plain"), "plain");
     }
 
     #[test]

@@ -31,20 +31,24 @@ pub mod fmt;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
+pub mod phase;
 pub mod profile;
 pub mod regmap;
 pub mod ring;
 pub mod span;
+pub mod timeseries;
 pub mod tune;
 
 pub use baseline::{Baseline, BaselineEntry, StageTimings};
-pub use diff::{diff, MetricsDiff};
+pub use diff::{diff, phase_attribution, render_phase_attribution, MetricsDiff, PhaseDelta};
 pub use event::{Event, EventKind, FaultClass, OpClass};
-pub use fmt::{profile_report, StageSection};
+pub use fmt::{profile_report, timeline_table, StageSection};
 pub use metrics::{FaultMetrics, MetricsSummary, QueueMetrics, SimMetrics, ThreadMetrics};
 pub use perfetto::TraceBuilder;
+pub use phase::{segment, Phase, PhaseReport};
 pub use profile::{line_regression, CycleBreakdown, SiteSample, SourceProfile};
 pub use regmap::{hardware_view, CounterDump, QueueDesc, RegMap};
 pub use ring::Ring;
 pub use span::{now_ns, Span};
+pub use timeseries::{Interval, QueueWindow, Timeline};
 pub use tune::{ObsSignal, TrialRecord, TunedConfig, TuningReport};

@@ -327,7 +327,7 @@ impl SimMetrics {
     /// samples carry `_total` suffixes; derived gauges (`utilization`) are
     /// recomputed from the raw counters, never stored.
     pub fn metrics_text(&self) -> String {
-        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let esc = json::prom_label;
         let mut out = String::new();
         out.push_str("# HELP twill_cycles_total Simulated cycles of the run.\n");
         out.push_str("# TYPE twill_cycles_total counter\n");
@@ -381,6 +381,30 @@ impl SimMetrics {
                 );
             }
         }
+        out.push_str("# HELP twill_queue_pushes_total Values pushed per queue.\n");
+        out.push_str("# TYPE twill_queue_pushes_total counter\n");
+        for q in &self.queues {
+            let _ = writeln!(
+                out,
+                "twill_queue_pushes_total{{queue=\"{}\"}} {}",
+                esc(&q.name),
+                q.pushes
+            );
+        }
+        out.push_str(
+            "# HELP twill_queue_stall_cycles_total Producer (full) and consumer (empty) \
+             blocked cycles per queue.\n",
+        );
+        out.push_str("# TYPE twill_queue_stall_cycles_total counter\n");
+        for q in &self.queues {
+            for (kind, n) in [("full", q.full_stalls), ("empty", q.empty_stalls)] {
+                let _ = writeln!(
+                    out,
+                    "twill_queue_stall_cycles_total{{queue=\"{}\",kind=\"{kind}\"}} {n}",
+                    esc(&q.name)
+                );
+            }
+        }
         out.push_str("# HELP twill_queue_depth Declared queue capacity.\n");
         out.push_str("# TYPE twill_queue_depth gauge\n");
         for q in &self.queues {
@@ -391,8 +415,9 @@ impl SimMetrics {
         for q in &self.queues {
             let _ = writeln!(
                 out,
-                "twill_queue_high_water{{queue=\"{}\"}} {}",
+                "twill_queue_high_water{{queue=\"{}\",depth=\"{}\"}} {}",
                 esc(&q.name),
+                q.depth,
                 q.high_water
             );
         }
@@ -637,13 +662,27 @@ mod tests {
         assert!(t.contains("twill_thread_cycles_total{thread=\"cpu\",class=\"queue_empty\"} 20\n"));
         assert!(t.contains("twill_thread_utilization{thread=\"hw1\"} 0.9\n"));
         assert!(t.contains("twill_queue_events_total{queue=\"q0\",event=\"full_stall\"} 10\n"));
-        assert!(t.contains("twill_queue_high_water{queue=\"q0\"} 6\n"));
+        assert!(t.contains("twill_queue_high_water{queue=\"q0\",depth=\"8\"} 6\n"));
         assert!(t.contains("twill_dropped_events_total 3\n"));
         assert!(t.contains("twill_faults_total{class=\"drop\"} 0\n"));
         // Each # TYPE header appears before its first sample.
         let type_pos = t.find("# TYPE twill_queue_depth gauge").unwrap();
         let sample_pos = t.find("twill_queue_depth{").unwrap();
         assert!(type_pos < sample_pos);
+    }
+
+    #[test]
+    fn metrics_text_exposes_per_queue_families() {
+        let t = sample().metrics_text();
+        assert!(t.contains("twill_queue_pushes_total{queue=\"q0\"} 50\n"));
+        assert!(t.contains("twill_queue_stall_cycles_total{queue=\"q0\",kind=\"full\"} 10\n"));
+        assert!(t.contains("twill_queue_stall_cycles_total{queue=\"q0\",kind=\"empty\"} 20\n"));
+        // Each new family carries its HELP/TYPE headers before the samples.
+        for fam in ["twill_queue_pushes_total", "twill_queue_stall_cycles_total"] {
+            let type_pos = t.find(&format!("# TYPE {fam} counter")).unwrap();
+            let sample_pos = t.find(&format!("{fam}{{")).unwrap();
+            assert!(type_pos < sample_pos, "{fam}: TYPE header after first sample");
+        }
     }
 
     #[test]

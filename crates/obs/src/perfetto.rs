@@ -18,6 +18,7 @@
 use crate::event::{Event, EventKind};
 use crate::json;
 use crate::span::Span;
+use crate::timeseries::Timeline;
 use std::fmt::Write as _;
 
 const COMPILER_PID: u32 = 1;
@@ -34,6 +35,7 @@ pub struct TraceBuilder {
     dropped: u64,
     spans: Vec<Span>,
     metadata: Vec<(String, String)>,
+    timeline: Option<Timeline>,
 }
 
 impl TraceBuilder {
@@ -70,6 +72,16 @@ impl TraceBuilder {
     /// Attach a key/value pair to `otherData`.
     pub fn meta(mut self, key: &str, value: &str) -> Self {
         self.metadata.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Attach a sampled counter timeline: emits real timestamped `C`
+    /// counter tracks — one per (thread, stall class) with any activity,
+    /// plus a sampled-occupancy track per queue — so Perfetto plots how
+    /// stalls and queue levels evolve over the run instead of a single
+    /// end-of-run total.
+    pub fn timeline(mut self, t: Timeline) -> Self {
+        self.timeline = Some(t);
         self
     }
 
@@ -183,6 +195,43 @@ impl TraceBuilder {
                 }
                 EventKind::Fault { fault, unit } => {
                     ev.push(instant(&format!("fault: {} unit={unit}", fault.name()), tid, e.cycle));
+                }
+            }
+        }
+
+        if let Some(t) = &self.timeline {
+            // One counter track per (thread, stall class) that ever moved;
+            // all-zero tracks are skipped so the UI stays readable. The
+            // timestamp is the closing cycle of each sample window.
+            let totals = t.thread_totals();
+            for (ti, name) in t.thread_names.iter().enumerate() {
+                for (ci, class) in crate::timeseries::CLASS_NAMES.iter().enumerate() {
+                    if totals.get(ti).map(|b| b.as_array()[ci]).unwrap_or(0) == 0 {
+                        continue;
+                    }
+                    for iv in &t.intervals {
+                        ev.push(format!(
+                            "{{\"name\": {}, \"ph\": \"C\", \"pid\": {SIM_PID}, \"tid\": {ti}, \
+                             \"ts\": {}, \"args\": {{\"cycles\": {}}}}}",
+                            json::quote(&format!("{name}:{class}")),
+                            iv.end,
+                            iv.threads[ti].as_array()[ci],
+                        ));
+                    }
+                }
+            }
+            // Sampled occupancy levels per queue — named distinctly from
+            // the event-driven `{q} occupancy` push/pop counters so the
+            // two sources never interleave on one track.
+            for (qi, qname) in t.queue_names.iter().enumerate() {
+                for iv in &t.intervals {
+                    ev.push(format!(
+                        "{{\"name\": {}, \"ph\": \"C\", \"pid\": {SIM_PID}, \"tid\": 0, \
+                         \"ts\": {}, \"args\": {{\"occupancy\": {}}}}}",
+                        json::quote(&format!("{qname} occupancy (sampled)")),
+                        iv.end,
+                        iv.queues[qi].occupancy,
+                    ));
                 }
             }
         }
@@ -324,5 +373,52 @@ mod tests {
     fn empty_builder_still_produces_valid_json() {
         let doc = parse(&TraceBuilder::new().build()).unwrap();
         assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn timeline_becomes_timestamped_counter_tracks() {
+        use crate::timeseries::{Interval, QueueWindow, Timeline};
+        let bd = |busy, qf| crate::CycleBreakdown { busy, queue_full: qf, ..Default::default() };
+        let t = Timeline {
+            sample_interval: 100,
+            thread_names: vec!["cpu".into(), "hw1".into()],
+            queue_names: vec!["q0".into()],
+            intervals: vec![
+                Interval {
+                    start: 1,
+                    end: 100,
+                    threads: vec![bd(90, 10), bd(100, 0)],
+                    queues: vec![QueueWindow { occupancy: 2, ..Default::default() }],
+                },
+                Interval {
+                    start: 101,
+                    end: 130,
+                    threads: vec![bd(30, 0), bd(30, 0)],
+                    queues: vec![QueueWindow { occupancy: 0, ..Default::default() }],
+                },
+            ],
+        };
+        let out = TraceBuilder::new().threads(["cpu", "hw1"]).queues(["q0"]).timeline(t).build();
+        let doc = parse(&out).expect("trace with timeline must be valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let counters: Vec<_> =
+            events.iter().filter(|e| e.get("ph").unwrap().as_str() == Some("C")).collect();
+        let named = |n: &str| {
+            counters.iter().filter(|e| e.get("name").unwrap().as_str() == Some(n)).count()
+        };
+        // Active (thread, class) tracks get one sample per interval; the
+        // all-zero tracks (e.g. hw1:queue-full) are skipped entirely.
+        assert_eq!(named("cpu:busy"), 2);
+        assert_eq!(named("cpu:queue-full"), 2);
+        assert_eq!(named("hw1:busy"), 2);
+        assert_eq!(named("hw1:queue-full"), 0);
+        assert_eq!(named("q0 occupancy (sampled)"), 2);
+        // Timestamps are the interval end cycles.
+        let ts: Vec<u64> = counters
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("cpu:busy"))
+            .map(|e| e.get("ts").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(ts, vec![100, 130]);
     }
 }

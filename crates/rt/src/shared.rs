@@ -722,6 +722,18 @@ impl Shared {
         self.queues[q.index()].items.len()
     }
 
+    /// Instantaneous occupancy of queue `i` (by raw index, not
+    /// [`QueueId`]) — the level the timeline sampler records at each
+    /// interval boundary.
+    pub fn queue_occupancy(&self, i: usize) -> u32 {
+        self.queues[i].items.len() as u32
+    }
+
+    /// Number of queues the module declares.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
     pub fn all_queues_empty(&self) -> bool {
         self.queues.iter().all(|q| q.items.is_empty())
     }

@@ -44,6 +44,15 @@ pub struct SimConfig {
     /// escape hatch behind `--no-fast-forward`. Defaults to on unless the
     /// `TWILL_NO_FAST_FORWARD` environment variable is set.
     pub fast_forward: bool,
+    /// Sample the always-on counters every N cycles into a
+    /// `twill_obs::Timeline` on the report (`SimReport::timeline`):
+    /// per-thread stall-class deltas and per-queue traffic/stall deltas
+    /// plus the occupancy level at each boundary. `None` (the default)
+    /// turns the temporal layer off entirely — no state, no extra work on
+    /// either loop path. Fast-forward spans are capped at boundaries so
+    /// sampled timelines are byte-identical across loop modes
+    /// (DESIGN.md §15); requires the `obs` feature to record anything.
+    pub sample_interval: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -60,6 +69,7 @@ impl Default for SimConfig {
             fault: None,
             watchdog_window: 1_000_000,
             fast_forward: std::env::var_os("TWILL_NO_FAST_FORWARD").is_none(),
+            sample_interval: None,
         }
     }
 }
@@ -92,6 +102,12 @@ pub struct SimReport {
     /// Typed runtime event trace (when `SimConfig::trace_events > 0`).
     #[cfg(feature = "obs")]
     pub events: Vec<twill_obs::Event>,
+    /// Interval-sampled counter timeline (when
+    /// `SimConfig::sample_interval` is set); per-interval deltas sum
+    /// exactly to the end-of-run totals in `stats`, including for partial
+    /// (timeout/deadlock) reports.
+    #[cfg(feature = "obs")]
+    pub timeline: Option<twill_obs::Timeline>,
 }
 
 impl SimReport {
@@ -195,10 +211,14 @@ impl SimReport {
     /// compiler spans or extra metadata before `build()`.
     #[cfg(feature = "obs")]
     pub fn trace_builder(&self) -> twill_obs::TraceBuilder {
-        twill_obs::TraceBuilder::new()
+        let b = twill_obs::TraceBuilder::new()
             .threads(self.agent_names.iter().cloned())
             .queues((0..self.stats.queue_stats.len()).map(|i| format!("q{i}")))
-            .events(self.events.clone(), self.dropped_events)
+            .events(self.events.clone(), self.dropped_events);
+        match &self.timeline {
+            Some(t) => b.timeline(t.clone()),
+            None => b,
+        }
     }
 }
 
@@ -220,6 +240,8 @@ pub enum ConfigError {
     ZeroStallCycles,
     /// A per-queue override names a queue the module does not declare.
     UnknownQueue { queue: usize, declared: usize },
+    /// `sample_interval: Some(0)` — a zero-cycle window samples nothing.
+    ZeroSampleInterval,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -249,6 +271,9 @@ impl std::fmt::Display for ConfigError {
                     "queue_depths override names q{queue} but the module declares \
                      only {declared} queue(s)"
                 )
+            }
+            ConfigError::ZeroSampleInterval => {
+                write!(f, "sample_interval of 0: timeline windows need at least one cycle")
             }
         }
     }
@@ -327,6 +352,9 @@ fn validate_config(m: &Module, cfg: &SimConfig, n_agents: usize) -> Result<(), C
     }
     if cfg.watchdog_window == 0 {
         return Err(ConfigError::ZeroWatchdog);
+    }
+    if cfg.sample_interval == Some(0) {
+        return Err(ConfigError::ZeroSampleInterval);
     }
     if let Some(plan) = &cfg.fault {
         if let Some((field, value)) = plan.spec.invalid_rate() {
@@ -409,8 +437,14 @@ pub fn simulate_pure_sw(
     }
     let mut cpu = Cpu::new(0, m, &[main], &stacks);
     let mut profile = cfg.profile.then(|| crate::profile::SimProfile::new(1));
-    let halt = run_loop(m, None, &mut shared, Some(&mut cpu), &mut [], cfg, &mut profile);
+    let mut tl = TimelineState::new(cfg, &shared);
+    let halt = run_loop(m, None, &mut shared, Some(&mut cpu), &mut [], cfg, &mut profile, &mut tl);
     let cycles = shared.cycle;
+    let agent_names = vec!["cpu".to_string()];
+    #[cfg(feature = "obs")]
+    let timeline = tl.finish(&shared, &agent_names);
+    #[cfg(not(feature = "obs"))]
+    let _ = tl;
     #[cfg(feature = "obs")]
     let (events, dropped_events) = shared.take_recorder();
     #[cfg(not(feature = "obs"))]
@@ -422,12 +456,14 @@ pub fn simulate_pure_sw(
         cpu_busy_fraction: cpu.busy_cycles as f64 / cycles.max(1) as f64,
         stats: shared.stats,
         hw_threads: 0,
-        agent_names: vec!["cpu".to_string()],
+        agent_names,
         dropped_events,
         profile,
         fault_log,
         #[cfg(feature = "obs")]
         events,
+        #[cfg(feature = "obs")]
+        timeline,
     };
     wrap(halt, report)
 }
@@ -475,8 +511,14 @@ pub fn simulate_pure_hw_scheduled(
     }
     let mut hw = vec![HwThread::new(0, m, main, stacks[0])];
     let mut profile = cfg.profile.then(|| crate::profile::SimProfile::new(1));
-    let halt = run_loop(m, Some(sched), &mut shared, None, &mut hw, cfg, &mut profile);
+    let mut tl = TimelineState::new(cfg, &shared);
+    let halt = run_loop(m, Some(sched), &mut shared, None, &mut hw, cfg, &mut profile, &mut tl);
     let cycles = shared.cycle;
+    let agent_names = vec!["hw0".to_string()];
+    #[cfg(feature = "obs")]
+    let timeline = tl.finish(&shared, &agent_names);
+    #[cfg(not(feature = "obs"))]
+    let _ = tl;
     #[cfg(feature = "obs")]
     let (events, dropped_events) = shared.take_recorder();
     #[cfg(not(feature = "obs"))]
@@ -488,12 +530,14 @@ pub fn simulate_pure_hw_scheduled(
         cpu_busy_fraction: 0.0,
         stats: shared.stats,
         hw_threads: 1,
-        agent_names: vec!["hw0".to_string()],
+        agent_names,
         dropped_events,
         profile,
         fault_log,
         #[cfg(feature = "obs")]
         events,
+        #[cfg(feature = "obs")]
+        timeline,
     };
     wrap(halt, report)
 }
@@ -558,17 +602,23 @@ pub fn simulate_hybrid_scheduled(
         })
         .collect();
     let mut profile = cfg.profile.then(|| crate::profile::SimProfile::new(total));
-    let halt = run_loop(m, Some(sched), &mut shared, Some(&mut cpu), &mut hw, cfg, &mut profile);
+    let mut tl = TimelineState::new(cfg, &shared);
+    let halt =
+        run_loop(m, Some(sched), &mut shared, Some(&mut cpu), &mut hw, cfg, &mut profile, &mut tl);
     let cycles = shared.cycle;
+    // One naming authority for simulator tracks, obs exporters, and the
+    // hardware counter register map.
+    let agent_names = dswp.agent_names();
+    debug_assert_eq!(agent_names.len(), 1 + hw.len());
+    #[cfg(feature = "obs")]
+    let timeline = tl.finish(&shared, &agent_names);
+    #[cfg(not(feature = "obs"))]
+    let _ = tl;
     #[cfg(feature = "obs")]
     let (events, dropped_events) = shared.take_recorder();
     #[cfg(not(feature = "obs"))]
     let dropped_events = 0;
     let (fault_log, _) = shared.take_fault_log();
-    // One naming authority for simulator tracks, obs exporters, and the
-    // hardware counter register map.
-    let agent_names = dswp.agent_names();
-    debug_assert_eq!(agent_names.len(), 1 + hw.len());
     let report = SimReport {
         cycles,
         output: shared.output.clone(),
@@ -581,6 +631,8 @@ pub fn simulate_hybrid_scheduled(
         fault_log,
         #[cfg(feature = "obs")]
         events,
+        #[cfg(feature = "obs")]
+        timeline,
     };
     wrap(halt, report)
 }
@@ -717,6 +769,7 @@ fn try_fast_forward(
     profile: &mut Option<crate::profile::SimProfile>,
     rotation: &mut usize,
     last_progress_cycle: &mut u64,
+    next_sample_boundary: u64,
 ) -> bool {
     let now = shared.cycle;
     if shared.has_armed_stalls() {
@@ -734,6 +787,11 @@ fn try_fast_forward(
     if let Some(p) = shared.next_pinned_fault_cycle() {
         target = target.min(p.max(now + 1));
     }
+    // Timeline sampling: a leap may land exactly on a sample boundary but
+    // never cross it, so the boundary snapshot sees the same counter
+    // state the naive loop would (byte-identical timelines either way;
+    // `u64::MAX` when sampling is off).
+    target = target.min(next_sample_boundary.saturating_add(1));
     if target <= now + 1 {
         return false;
     }
@@ -838,6 +896,134 @@ fn try_fast_forward(
     true
 }
 
+/// Interval-sampling state for the counter timeline (DESIGN.md §15). The
+/// boundary bookkeeping is unconditional — fast-forward spans are capped
+/// at the next boundary whenever sampling is on, which never changes any
+/// observable counter — while the recorded intervals only exist under the
+/// `obs` feature. With `sample_interval` unset, `next_boundary` is
+/// `u64::MAX` and both loop paths reduce to a single dead comparison.
+struct TimelineState {
+    /// Sample window length in cycles (0 = sampling off).
+    interval: u64,
+    /// Next cycle to snapshot at (`u64::MAX` when off).
+    next_boundary: u64,
+    #[cfg(feature = "obs")]
+    rec: Option<TimelineRec>,
+}
+
+/// The `obs`-side half of [`TimelineState`]: last-boundary counter
+/// snapshots (so each interval records deltas) and the accumulated
+/// intervals.
+#[cfg(feature = "obs")]
+struct TimelineRec {
+    last_threads: Vec<crate::shared::ClassCycles>,
+    /// Per queue: (pushes, pops, full_stalls, empty_stalls) at the last
+    /// boundary.
+    last_queues: Vec<(u64, u64, u64, u64)>,
+    last_sampled: u64,
+    intervals: Vec<twill_obs::Interval>,
+}
+
+impl TimelineState {
+    fn new(cfg: &SimConfig, #[allow(unused)] shared: &Shared) -> TimelineState {
+        let interval = cfg.sample_interval.unwrap_or(0);
+        TimelineState {
+            interval,
+            next_boundary: if interval == 0 { u64::MAX } else { interval },
+            #[cfg(feature = "obs")]
+            rec: (interval != 0).then(|| TimelineRec {
+                last_threads: vec![Default::default(); shared.stats.agent_cycles.len()],
+                last_queues: vec![(0, 0, 0, 0); shared.queue_count()],
+                last_sampled: 0,
+                intervals: Vec::new(),
+            }),
+        }
+    }
+
+    /// Snapshot the counter deltas when the clock sits on a boundary. The
+    /// run loop calls this after every naive cycle and after every
+    /// fast-forward leap; leaps are capped at `next_boundary`, so the
+    /// clock lands exactly on each boundary and never jumps one.
+    fn maybe_sample(&mut self, shared: &Shared) {
+        if shared.cycle < self.next_boundary {
+            return;
+        }
+        debug_assert_eq!(shared.cycle, self.next_boundary, "a span leapt across a boundary");
+        self.next_boundary = self.next_boundary.saturating_add(self.interval);
+        self.record(shared);
+    }
+
+    /// Record the window ending at the current cycle.
+    #[cfg(feature = "obs")]
+    fn record(&mut self, shared: &Shared) {
+        let Some(rec) = self.rec.as_mut() else { return };
+        let threads = shared
+            .stats
+            .agent_cycles
+            .iter()
+            .zip(&rec.last_threads)
+            .map(|(cur, last)| twill_obs::CycleBreakdown {
+                busy: cur.busy - last.busy,
+                queue_full: cur.queue_full - last.queue_full,
+                queue_empty: cur.queue_empty - last.queue_empty,
+                sem: cur.sem - last.sem,
+                mem_bus: cur.mem_bus - last.mem_bus,
+                module_bus: cur.module_bus - last.module_bus,
+                idle: cur.idle - last.idle,
+            })
+            .collect();
+        let queues = shared
+            .stats
+            .queue_stats
+            .iter()
+            .zip(&rec.last_queues)
+            .enumerate()
+            .map(|(i, (q, last))| twill_obs::QueueWindow {
+                pushes: q.pushes - last.0,
+                pops: q.pops - last.1,
+                full_stalls: q.full_stalls - last.2,
+                empty_stalls: q.empty_stalls - last.3,
+                occupancy: shared.queue_occupancy(i),
+            })
+            .collect();
+        rec.intervals.push(twill_obs::Interval {
+            start: rec.last_sampled + 1,
+            end: shared.cycle,
+            threads,
+            queues,
+        });
+        rec.last_threads = shared.stats.agent_cycles.clone();
+        rec.last_queues = shared
+            .stats
+            .queue_stats
+            .iter()
+            .map(|q| (q.pushes, q.pops, q.full_stalls, q.empty_stalls))
+            .collect();
+        rec.last_sampled = shared.cycle;
+    }
+
+    #[cfg(not(feature = "obs"))]
+    fn record(&mut self, _shared: &Shared) {}
+
+    /// Flush the final partial window (a run rarely halts exactly on a
+    /// boundary — this keeps per-interval deltas summing to the end-of-run
+    /// totals, including for timeout/deadlock partial reports) and
+    /// assemble the timeline. `None` when sampling was off.
+    #[cfg(feature = "obs")]
+    fn finish(mut self, shared: &Shared, thread_names: &[String]) -> Option<twill_obs::Timeline> {
+        if shared.cycle > self.rec.as_ref()?.last_sampled {
+            self.record(shared);
+        }
+        let rec = self.rec?;
+        Some(twill_obs::Timeline {
+            sample_interval: self.interval,
+            thread_names: thread_names.to_vec(),
+            queue_names: (0..shared.queue_count()).map(|i| format!("q{i}")).collect(),
+            intervals: rec.intervals,
+        })
+    }
+}
+
 /// The global cycle loop: CPU ticks first (module-bus priority, §4.1),
 /// then the hardware threads in rotating order (longest-waiting fairness).
 /// With `cfg.fast_forward` the loop leaps over cycles no agent can act on
@@ -851,6 +1037,7 @@ fn run_loop(
     hw: &mut [HwThread],
     cfg: &SimConfig,
     profile: &mut Option<crate::profile::SimProfile>,
+    tl: &mut TimelineState,
 ) -> Result<(), RunHalt> {
     let mut rotation = 0usize;
     let mut last_progress_cycle = 0u64;
@@ -894,8 +1081,10 @@ fn run_loop(
                 profile,
                 &mut rotation,
                 &mut last_progress_cycle,
+                tl.next_boundary,
             )
         {
+            tl.maybe_sample(shared);
             continue;
         }
         shared.begin_cycle();
@@ -920,6 +1109,7 @@ fn run_loop(
             }
             rotation = (rotation + 1) % n;
         }
+        tl.maybe_sample(shared);
         if progressed {
             last_progress_cycle = shared.cycle;
         } else if shared.cycle - last_progress_cycle > cfg.watchdog_window {
@@ -1069,6 +1259,64 @@ int main() {
             }
             // The loop body carries real source lines (not all synthetic).
             assert!(sp.samples.iter().any(|s| s.line != 0 && s.cycles.total() > 0));
+        }
+    }
+
+    #[test]
+    fn zero_sample_interval_is_rejected() {
+        let m = prepare(PROGRAM);
+        let cfg = SimConfig { sample_interval: Some(0), ..Default::default() };
+        match simulate_pure_sw(&m, vec![], &cfg) {
+            Err(SimError::Config(ConfigError::ZeroSampleInterval)) => {}
+            other => panic!("expected ZeroSampleInterval, got {other:?}"),
+        }
+        assert!(ConfigError::ZeroSampleInterval.to_string().contains("sample_interval"));
+    }
+
+    #[test]
+    fn sampling_is_observation_only_and_tiles_the_run() {
+        let m = prepare(PROGRAM);
+        let d = run_dswp(
+            &m,
+            &DswpOptions {
+                num_partitions: 2,
+                split_points: Some(vec![0.5, 0.5]),
+                ..Default::default()
+            },
+        );
+        let plain = simulate_hybrid(&d, vec![], &SimConfig::default()).unwrap();
+        let cfg = SimConfig { sample_interval: Some(64), ..Default::default() };
+        let rep = simulate_hybrid(&d, vec![], &cfg).unwrap();
+        // Sampling must not perturb timing or results.
+        assert_eq!(rep.cycles, plain.cycles);
+        assert_eq!(rep.output, plain.output);
+        #[cfg(feature = "obs")]
+        {
+            assert!(plain.timeline.is_none(), "no timeline unless sampling is on");
+            let t = rep.timeline.as_ref().expect("sampled run carries a timeline");
+            assert_eq!(t.sample_interval, 64);
+            assert_eq!(t.thread_names, rep.agent_names);
+            // Intervals tile [1, cycles] exactly: consecutive, no gaps.
+            assert_eq!(t.total_cycles(), rep.cycles);
+            let mut expect_start = 1;
+            for iv in &t.intervals {
+                assert_eq!(iv.start, expect_start);
+                assert!(iv.end >= iv.start);
+                expect_start = iv.end + 1;
+            }
+            // Per-interval deltas sum exactly to the end-of-run totals.
+            for (tot, cc) in t.thread_totals().iter().zip(&rep.stats.agent_cycles) {
+                assert_eq!(tot.total(), rep.cycles);
+                assert_eq!(tot.busy, cc.busy);
+                assert_eq!(tot.queue_full, cc.queue_full);
+                assert_eq!(tot.idle, cc.idle);
+            }
+            for (tot, q) in t.queue_totals().iter().zip(&rep.stats.queue_stats) {
+                assert_eq!(tot.pushes, q.pushes);
+                assert_eq!(tot.pops, q.pops);
+                assert_eq!(tot.full_stalls, q.full_stalls);
+                assert_eq!(tot.empty_stalls, q.empty_stalls);
+            }
         }
     }
 

@@ -73,7 +73,15 @@ fn assert_reports_equal(a: &SimReport, b: &SimReport, ctx: &str) {
     assert_eq!(a.profile, b.profile, "{ctx}: profile diverged");
     assert_eq!(a.fault_log, b.fault_log, "{ctx}: fault_log diverged");
     #[cfg(feature = "obs")]
-    assert_eq!(a.events, b.events, "{ctx}: trace events diverged");
+    {
+        assert_eq!(a.events, b.events, "{ctx}: trace events diverged");
+        // Full sampled timelines must match — including their serialized
+        // bytes, since golden files and CI artifacts are compared as text.
+        assert_eq!(a.timeline, b.timeline, "{ctx}: timelines diverged");
+        if let (Some(x), Some(y)) = (&a.timeline, &b.timeline) {
+            assert_eq!(x.to_json(), y.to_json(), "{ctx}: timeline JSON diverged");
+        }
+    }
 }
 
 /// Both loops must reach the same outcome — including identical deadlock
@@ -170,14 +178,17 @@ fn config_strategy() -> impl Strategy<Value = SimConfig> {
             prop_oneof![Just(48u64), Just(2_000), Just(200_000)],
             prop_oneof![Just(3_000u64), Just(60_000)],
         ),
-        (any::<bool>(), prop_oneof![Just(0usize), Just(512)]),
+        (
+            (any::<bool>(), prop_oneof![Just(0usize), Just(512)]),
+            prop_oneof![Just(None), Just(Some(7u64)), Just(Some(64)), Just(Some(1000))],
+        ),
         fault,
     )
         .prop_map(
             |(
                 (queue_latency, queue_depth),
                 (watchdog_window, max_cycles),
-                (profile, trace),
+                ((profile, trace), sample_interval),
                 fault,
             )| {
                 SimConfig {
@@ -187,6 +198,7 @@ fn config_strategy() -> impl Strategy<Value = SimConfig> {
                     max_cycles,
                     profile,
                     trace_events: trace,
+                    sample_interval,
                     fault: fault.map(|(seed, spec)| FaultPlan::new(seed, spec)),
                     ..Default::default()
                 }
